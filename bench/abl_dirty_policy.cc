@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Sec. 4.4's dirty-bit protocol: a coalesced bundle's dirty bit is the
+ * AND of its members, so stores to clean bundles inject extra dirty-
+ * update micro-ops (cache traffic) compared to a per-entry dirty bit.
+ * The paper asserts the added traffic is tolerable; this ablation
+ * quantifies micro-ops and their runtime cost for split (per-entry
+ * dirty bits) versus MIX (conservative bundle bit) on store-heavy
+ * runs.
+ */
+
+#include "bench_common.hh"
+
+using namespace mixtlb;
+using namespace mixtlb::bench;
+using namespace mixtlb::sim;
+
+namespace
+{
+
+struct DirtyResult
+{
+    double microOpsPerKref = 0;
+    double overheadPct = 0;
+};
+
+DirtyResult
+measure(TlbDesign design, const std::string &workload,
+        std::uint64_t refs)
+{
+    MachineParams params;
+    params.name = designName(design);
+    params.memBytes = 8 * GiB;
+    params.design = design;
+    params.proc.policy = os::PagePolicy::Thp;
+    params.caches = scaledCaches();
+    Machine machine(params);
+    const std::uint64_t footprint = 4 * GiB;
+    VAddr base = machine.mapArena(footprint);
+    // Read-only warm sweep: walker leaves every page CLEAN, so the
+    // measured phase's stores exercise the dirty protocol.
+    for (VAddr va = base; va < base + footprint; va += PageBytes4K)
+        machine.tlbs().access(va, false);
+    machine.startMeasurement();
+    auto gen = workload::makeGenerator(workload, base, footprint, 3);
+    machine.run(*gen, refs);
+
+    DirtyResult result;
+    result.microOpsPerKref = 1000.0 * machine.tlbs().dirtyMicroOpCount()
+                             / machine.tlbs().accessCount();
+    result.overheadPct = 100 * machine.metrics().overheadFraction();
+    return result;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv);
+    const std::uint64_t refs = args.getU64("refs", 100000);
+
+    std::printf("=== Ablation: bundle dirty-bit protocol cost "
+                "(Sec. 4.4) ===\n\n");
+    Table table({"workload", "split uops/kref", "mix uops/kref",
+                 "split overhead%", "mix overhead%"});
+    for (const auto &workload :
+         std::vector<std::string>{"gups", "milc", "memcached"}) {
+        auto split = measure(TlbDesign::Split, workload, refs);
+        auto mix = measure(TlbDesign::Mix, workload, refs);
+        table.addRow({workload, Table::fmt(split.microOpsPerKref),
+                      Table::fmt(mix.microOpsPerKref),
+                      Table::fmt(split.overheadPct),
+                      Table::fmt(mix.overheadPct)});
+    }
+    table.print();
+    std::printf("\nPaper claim: the conservative bundle dirty bit adds "
+                "cache traffic (more\nmicro-ops than per-entry dirty "
+                "bits) but performance remains good.\n");
+    return 0;
+}

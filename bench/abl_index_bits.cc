@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Sec. 3's design question: why index with the *small-page* bits?
+ * The alternative — superpage index bits — eliminates mirrors but
+ * makes groups of 512 adjacent 4KB pages collide in one set. The
+ * paper measured 4-8x more TLB misses on average; this ablation
+ * reproduces the comparison on 4KB-heavy runs.
+ */
+
+#include "bench_common.hh"
+
+using namespace mixtlb;
+using namespace mixtlb::bench;
+using namespace mixtlb::sim;
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv);
+    const std::uint64_t refs = args.getU64("refs", 100000);
+
+    std::printf("=== Ablation: small-page vs superpage index bits "
+                "===\n\n");
+
+    Table table({"workload", "small-idx L1 miss%", "super-idx L1 miss%",
+                 "miss ratio"});
+    double ratio_sum = 0;
+    unsigned count = 0;
+    for (const auto &workload : std::vector<std::string>{
+             "btree", "memcached", "graph500", "xalancbmk"}) {
+        NativeRunConfig config;
+        config.workload = workload;
+        config.policy = os::PagePolicy::SmallOnly;
+        config.footprintBytes = 1 * GiB;
+        config.refs = refs;
+
+        config.design = TlbDesign::Mix;
+        auto normal = runNative(config);
+        config.design = TlbDesign::MixSuperIndex;
+        auto ablated = runNative(config);
+
+        double ratio = normal.l1MissRate > 0
+                           ? ablated.l1MissRate / normal.l1MissRate
+                           : 0.0;
+        ratio_sum += ratio;
+        count++;
+        table.addRow({workload, Table::fmt(100 * normal.l1MissRate),
+                      Table::fmt(100 * ablated.l1MissRate),
+                      Table::fmt(ratio, 1)});
+    }
+    table.print();
+    std::printf("\naverage miss ratio: %.1fx (paper: 4-8x on average; "
+                "the ratio is extremely\nworkload-dependent — "
+                "interleaved hot pages within one 2MB region explode, "
+                "\nfootprints beyond both designs' reach are "
+                "insensitive)\n",
+                ratio_sum / count);
+    return 0;
+}

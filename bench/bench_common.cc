@@ -1,0 +1,97 @@
+#include "bench_common.hh"
+
+#include "gpu/gpu_system.hh"
+#include "os/memhog.hh"
+#include "tlb/walk_source.hh"
+
+namespace mixtlb::bench
+{
+
+RunResult
+runGpu(const GpuRunConfig &config)
+{
+    stats::StatGroup root(sim::designName(config.design));
+    mem::PhysMem mem(config.memBytes);
+    os::MemoryManager mm(mem, &root);
+    os::Memhog hog(mm);
+    if (config.memhog > 0)
+        hog.fragment(config.memhog, config.seed);
+
+    os::ProcessParams proc_params;
+    proc_params.policy = os::PagePolicy::Thp;
+    os::Process proc(mm, proc_params, &root);
+    cache::CacheHierarchy caches(scaledCaches(), &root);
+    tlb::NativeWalkSource source(
+        proc.pageTable(), &root,
+        [&](VAddr va, bool store) {
+            return proc.touch(va, store) != os::TouchResult::OutOfMemory;
+        },
+        sim::walkerScanLines(config.design));
+
+    gpu::GpuParams gpu_params;
+    gpu_params.numCores = config.cores;
+    auto l2 = sim::makeGpuL2(config.design, &root, &proc.pageTable());
+    gpu::GpuSystem gpu_system(
+        gpu_params, &root,
+        [&](unsigned core, stats::StatGroup *parent) {
+            return sim::makeGpuCoreL1(config.design, core, parent,
+                                      &proc.pageTable());
+        },
+        l2, source, caches);
+
+    // Input upload: ascending first-touch through rotating cores.
+    VAddr base = proc.mmap(config.footprintBytes);
+    for (VAddr va = base; va < base + config.footprintBytes;
+         va += PageBytes4K) {
+        gpu_system.core((va >> PageShift4K) % config.cores)
+            .access(va, true);
+    }
+    root.resetStats();
+
+    std::vector<std::unique_ptr<workload::TraceGenerator>> gens;
+    for (unsigned core = 0; core < config.cores; core++) {
+        gens.push_back(workload::makeGenerator(config.kernel, base,
+                                               config.footprintBytes,
+                                               config.seed + core));
+    }
+    gpu_system.run(gens, config.refs);
+
+    RunResult result;
+    double translation_cycles = 0, l1_hits = 0, accesses = 0;
+    double walks = 0, walk_accesses = 0, data_cycles = 0;
+    perf::EnergyInputs energy;
+    for (unsigned core = 0; core < config.cores; core++) {
+        auto &hier = gpu_system.core(core);
+        translation_cycles += hier.translationCycleCount();
+        l1_hits += hier.l1HitCount();
+        accesses += hier.accessCount();
+        walks += hier.walkCount();
+        walk_accesses += hier.walkAccessCount();
+        auto inputs = sim::harvestEnergyInputs(root, hier,
+                                               config.design, 0.0);
+        energy.l1WaysRead += inputs.l1WaysRead;
+        energy.l2WaysRead = inputs.l2WaysRead; // shared L2: same object
+        energy.l1Entries = inputs.l1Entries;
+        energy.l2Entries = inputs.l2Entries;
+        energy.l1Fills += inputs.l1Fills;
+        energy.l2Fills = inputs.l2Fills;
+        energy.walkAccesses += inputs.walkAccesses;
+        energy.walkDramAccesses += inputs.walkDramAccesses;
+        energy.dirtyOps += inputs.dirtyOps;
+        energy.invalidations += inputs.invalidations;
+        energy.predictorLookups += inputs.predictorLookups;
+        energy.skewTimestamps = inputs.skewTimestamps;
+    }
+    result.metrics = perf::computeMetrics(
+        static_cast<std::uint64_t>(accesses), translation_cycles,
+        data_cycles);
+    energy.totalCycles = result.metrics.totalCycles;
+    result.energy = energy;
+    result.l1MissRate = 1.0 - l1_hits / accesses;
+    result.walksPerKref = 1000.0 * walks / accesses;
+    result.accessesPerWalk = walks > 0 ? walk_accesses / walks : 0.0;
+    result.distribution = os::scanDistribution(proc.pageTable());
+    return result;
+}
+
+} // namespace mixtlb::bench

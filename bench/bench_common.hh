@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Shared plumbing for the per-figure benchmark binaries: the scaled
+ * cache hierarchy (caches shrink with the footprint scaling so
+ * page-table walks keep their real relative cost — see DESIGN.md §5),
+ * canonical run helpers, and result records.
+ *
+ * Every bench prints the same rows/series the corresponding paper
+ * figure reports; absolute numbers differ from the paper (simulated
+ * substrate, scaled footprints) but the shapes are the deliverable.
+ */
+
+#ifndef MIXTLB_BENCH_COMMON_HH
+#define MIXTLB_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "os/scan.hh"
+#include "perf/energy_model.hh"
+#include "sim/cli.hh"
+#include "sim/machine.hh"
+
+namespace mixtlb::bench
+{
+
+constexpr std::uint64_t MiB = 1024 * 1024;
+constexpr std::uint64_t GiB = 1024 * MiB;
+
+/**
+ * Cache hierarchy scaled to our default footprints: the paper's 80GB
+ * footprints put page tables (160MB+) far beyond a 24MB LLC; our
+ * multi-GB footprints need a 2MB LLC for walks to cost the same
+ * *relative* amount.
+ */
+inline cache::HierarchyParams
+scaledCaches()
+{
+    cache::HierarchyParams params;
+    params.llc = {"llc", 2ULL * MiB, 16, CacheLineBytes, 40};
+    return params;
+}
+
+/** Everything a figure needs from one native-CPU run. */
+struct RunResult
+{
+    perf::RunMetrics metrics{};
+    perf::EnergyInputs energy{};
+    double l1MissRate = 0;
+    double walksPerKref = 0;
+    double accessesPerWalk = 0;
+    os::PageSizeDistribution distribution{};
+};
+
+struct NativeRunConfig
+{
+    sim::TlbDesign design = sim::TlbDesign::Split;
+    os::PagePolicy policy = os::PagePolicy::Thp;
+    std::string workload = "graph500";
+    std::uint64_t memBytes = 8 * GiB;
+    std::uint64_t footprintBytes = 6 * GiB;
+    std::uint64_t refs = 150000;
+    double memhog = 0.0;
+    std::uint64_t seed = 3;
+    std::uint64_t pool2m = 0;
+    std::uint64_t pool1g = 0;
+    sim::ConfigScale scale{};
+    /** Warm-sweep stride (coarser for 1GB-page footprints). */
+    std::uint64_t warmStep = PageBytes4K;
+};
+
+/** Build, warm (init sweep), measure, and summarise one machine. */
+inline RunResult
+runNative(const NativeRunConfig &config)
+{
+    sim::MachineParams params;
+    params.name = sim::designName(config.design);
+    params.memBytes = config.memBytes;
+    params.design = config.design;
+    params.scale = config.scale;
+    params.proc.policy = config.policy;
+    params.proc.pool2mPages = config.pool2m;
+    params.proc.pool1gPages = config.pool1g;
+    params.memhogFraction = config.memhog;
+    params.seed = config.seed;
+    params.caches = scaledCaches();
+    sim::Machine machine(params);
+
+    VAddr base = machine.mapArena(config.footprintBytes);
+    machine.warmup(base, config.footprintBytes, config.warmStep);
+    machine.startMeasurement();
+    auto gen = workload::makeGenerator(config.workload, base,
+                                       config.footprintBytes,
+                                       config.seed);
+    machine.run(*gen, config.refs);
+
+    RunResult result;
+    result.metrics = machine.metrics();
+    result.energy = machine.energyInputs();
+    auto &hier = machine.tlbs();
+    result.l1MissRate = 1.0 - hier.l1HitCount() / hier.accessCount();
+    result.walksPerKref = 1000.0 * hier.walkCount() / hier.accessCount();
+    result.accessesPerWalk =
+        hier.walkCount() > 0
+            ? hier.walkAccessCount() / hier.walkCount()
+            : 0.0;
+    result.distribution = machine.distribution();
+    return result;
+}
+
+/**
+ * Footprint the paper's memhog experiments would use: the workload
+ * grabs (almost) everything memhog left free, driving memory pressure
+ * the way an 80GB workload on an 80GB box does.
+ */
+inline std::uint64_t
+pressureFootprint(std::uint64_t mem_bytes, double memhog_fraction)
+{
+    auto bytes = static_cast<std::uint64_t>(
+        static_cast<double>(mem_bytes)
+        * (1.0 - memhog_fraction - 0.12));
+    return bytes & ~(PageBytes2M - 1);
+}
+
+/** % improvement of b over a (Figure 14's metric). */
+inline double
+improvement(const RunResult &baseline, const RunResult &other)
+{
+    return perf::improvementPercent(baseline.metrics, other.metrics);
+}
+
+struct VirtRunConfig
+{
+    sim::TlbDesign design = sim::TlbDesign::Split;
+    unsigned numVms = 1;
+    std::string workload = "memcached";
+    std::uint64_t hostMemBytes = 8 * GiB;
+    std::uint64_t footprintBytes = 0; ///< 0 = pressure-sized per VM
+    std::uint64_t refsPerVm = 60000;
+    double guestMemhog = 0.2;
+    std::uint64_t seed = 7;
+};
+
+/** One consolidated-VM run; metrics aggregate across vCPUs. */
+inline RunResult
+runVirt(const VirtRunConfig &config)
+{
+    sim::VirtMachineParams params;
+    params.name = sim::designName(config.design);
+    params.hostMemBytes = config.hostMemBytes;
+    params.numVms = config.numVms;
+    params.design = config.design;
+    params.guestProc.policy = os::PagePolicy::Thp;
+    params.guestMemhogFraction = config.guestMemhog;
+    params.seed = config.seed;
+    params.caches = scaledCaches();
+    sim::VirtMachine machine(params);
+
+    std::uint64_t guest_mem = config.hostMemBytes / config.numVms;
+    std::uint64_t footprint =
+        config.footprintBytes
+            ? config.footprintBytes
+            : pressureFootprint(guest_mem, config.guestMemhog);
+    std::vector<VAddr> bases;
+    for (unsigned vm = 0; vm < config.numVms; vm++) {
+        bases.push_back(machine.mapArena(vm, footprint));
+        machine.warmup(vm, bases[vm], footprint);
+    }
+    machine.startMeasurement();
+    for (unsigned vm = 0; vm < config.numVms; vm++) {
+        auto gen = workload::makeGenerator(config.workload, bases[vm],
+                                           footprint,
+                                           config.seed + vm);
+        machine.run(vm, *gen, config.refsPerVm);
+    }
+
+    RunResult result;
+    result.metrics = machine.metrics();
+    result.energy = machine.energyInputs();
+    double walks = 0, accesses = 0, walk_accesses = 0, l1_hits = 0;
+    for (unsigned vm = 0; vm < config.numVms; vm++) {
+        auto prefix = "tlb" + std::to_string(vm) + ".";
+        walks += machine.root().scalar(prefix + "walks").value();
+        accesses += machine.root().scalar(prefix + "accesses").value();
+        walk_accesses +=
+            machine.root().scalar(prefix + "walk_accesses").value();
+        l1_hits += machine.root().scalar(prefix + "l1_hits").value();
+    }
+    result.l1MissRate = 1.0 - l1_hits / accesses;
+    result.walksPerKref = 1000.0 * walks / accesses;
+    result.accessesPerWalk = walks > 0 ? walk_accesses / walks : 0.0;
+    result.distribution = machine.guestDistribution(0);
+    return result;
+}
+
+struct GpuRunConfig
+{
+    sim::TlbDesign design = sim::TlbDesign::Split;
+    std::string kernel = "bfs";
+    unsigned cores = 16;
+    std::uint64_t memBytes = 4 * GiB;
+    std::uint64_t footprintBytes = 1 * GiB;
+    std::uint64_t refs = 200000;
+    double memhog = 0.0;
+    std::uint64_t seed = 500;
+};
+
+/** One GPU run; translation cycles summed over shader cores. */
+RunResult runGpu(const GpuRunConfig &config);
+
+} // namespace mixtlb::bench
+
+#endif // MIXTLB_BENCH_COMMON_HH

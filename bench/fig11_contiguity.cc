@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Figure 11: average superpage contiguity (Sec. 7.1's definition:
+ * sum(len^2)/sum(len) over contiguity runs) for native workloads as
+ * memhog varies, separately for 2MB and 1GB superpages.
+ *
+ * Shape to reproduce: with memhog 20%, most workloads see 80+
+ * contiguous 2MB superpages (enough to offset 16-128 mirrors);
+ * contiguity drops with fragmentation but remains usable; 1GB pages
+ * show smaller but sufficient contiguity (tens of pages).
+ */
+
+#include "bench_common.hh"
+
+using namespace mixtlb;
+using namespace mixtlb::bench;
+using namespace mixtlb::sim;
+
+namespace
+{
+
+struct ContigResult
+{
+    double avg2m = 0;
+    double avg1g = 0;
+};
+
+ContigResult
+measure(double memhog, std::uint64_t mem, std::uint64_t seed,
+        bool with_1g_pool)
+{
+    MachineParams params;
+    params.name = "contig";
+    params.memBytes = mem;
+    params.design = TlbDesign::Split;
+    params.proc.policy = with_1g_pool ? os::PagePolicy::Huge1G
+                                      : os::PagePolicy::Thp;
+    params.memhogFraction = memhog;
+    params.seed = seed;
+    Machine machine(params);
+    std::uint64_t footprint = pressureFootprint(mem, memhog);
+    if (with_1g_pool) {
+        // libhugetlbfs pool: as many 1GB pages as can be defragmented.
+        params.proc.pool1gPages = footprint >> PageShift1G;
+    }
+    VAddr base = machine.mapArena(footprint);
+    machine.touchSequential(base, footprint);
+
+    ContigResult result;
+    result.avg2m = os::averageContiguity(
+        machine.contiguityRuns(PageSize::Size2M));
+    result.avg1g = os::averageContiguity(
+        machine.contiguityRuns(PageSize::Size1G));
+    return result;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv);
+    const std::uint64_t mem = args.getU64("mem-mb", 8192) << 20;
+
+    std::printf("=== Figure 11: average superpage contiguity vs "
+                "memhog ===\n\n");
+
+    Table table({"workload#", "memhog%", "avg 2MB contiguity"});
+    // The paper numbers workloads in ascending order of contiguity;
+    // we show several allocation sessions (seeds) per memhog level.
+    for (double memhog : {0.2, 0.4, 0.6}) {
+        std::vector<double> values;
+        for (std::uint64_t seed = 1; seed <= 6; seed++)
+            values.push_back(measure(memhog, mem, seed, false).avg2m);
+        std::sort(values.begin(), values.end());
+        for (std::size_t i = 0; i < values.size(); i++) {
+            table.addRow({std::to_string(i + 1),
+                          Table::fmt(memhog * 100, 0),
+                          Table::fmt(values[i], 1)});
+        }
+    }
+    table.print();
+
+    std::printf("\n--- 1GB superpages (libhugetlbfs pools) ---\n");
+    Table table1g({"memhog%", "avg 1GB contiguity"});
+    for (double memhog : {0.0, 0.2}) {
+        sim::MachineParams params;
+        params.name = "contig1g";
+        params.memBytes = mem;
+        params.proc.policy = os::PagePolicy::Huge1G;
+        params.memhogFraction = memhog;
+        std::uint64_t footprint = pressureFootprint(mem, memhog)
+                                  & ~(PageBytes1G - 1);
+        params.proc.pool1gPages = footprint >> PageShift1G;
+        sim::Machine machine(params);
+        VAddr base = machine.mapArena(footprint);
+        machine.touchSequential(base, footprint, PageBytes2M);
+        table1g.addRow({Table::fmt(memhog * 100, 0),
+                        Table::fmt(os::averageContiguity(
+                            machine.contiguityRuns(PageSize::Size1G)),
+                            1)});
+    }
+    table1g.print();
+
+    std::printf("\nPaper shape: 2MB contiguity 80+ at low memhog, "
+                "declining but usable at 60%%;\n1GB contiguity smaller "
+                "(tens) but enough for coalescing.\n");
+    return 0;
+}

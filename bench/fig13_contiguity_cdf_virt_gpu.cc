@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Figure 13: superpage contiguity CDFs for virtualized CPU workloads
+ * (end-to-end gVA+sPA contiguity under VM consolidation + guest
+ * memhog) and GPU workloads.
+ *
+ * The virtualized curves are the key novelty: contiguity must survive
+ * BOTH the guest's and the hypervisor's allocators for virtualized
+ * MIX TLBs to coalesce.
+ */
+
+#include "bench_common.hh"
+
+using namespace mixtlb;
+using namespace mixtlb::bench;
+using namespace mixtlb::sim;
+
+namespace
+{
+
+void
+cdfRow(Table &table, const std::string &label,
+       const std::vector<std::uint64_t> &runs)
+{
+    auto cdf = os::contiguityCdf(runs);
+    auto at = [&](std::uint64_t x) {
+        double y = 0;
+        for (auto [len, frac] : cdf) {
+            if (len <= x)
+                y = frac;
+        }
+        return y;
+    };
+    table.addRow({label, Table::fmt(at(1)), Table::fmt(at(8)),
+                  Table::fmt(at(16)), Table::fmt(at(32)),
+                  Table::fmt(at(64))});
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv);
+    const std::uint64_t host_mem = args.getU64("mem-mb", 8192) << 20;
+
+    std::printf("=== Figure 13: contiguity CDFs, virtualized CPU and "
+                "GPU ===\n\n");
+
+    Table table({"config", "x=1", "x=8", "x=16", "x=32", "x=64"});
+
+    // Virtualized: end-to-end nested contiguity.
+    for (auto [vms, memhog] : {std::pair<unsigned, double>{1, 0.2},
+                               {2, 0.4}, {4, 0.4}}) {
+        VirtMachineParams params;
+        params.name = "cdf";
+        params.hostMemBytes = host_mem;
+        params.numVms = vms;
+        params.guestProc.policy = os::PagePolicy::Thp;
+        params.guestMemhogFraction = memhog;
+        VirtMachine machine(params);
+        std::uint64_t guest_mem = host_mem / vms;
+        std::uint64_t footprint = pressureFootprint(guest_mem, memhog);
+        VAddr base = machine.mapArena(0, footprint);
+        machine.warmup(0, base, footprint);
+        std::string label = std::to_string(vms) + "VM:"
+                            + Table::fmt(memhog * 100, 0) + "mh";
+        cdfRow(table, label,
+               machine.nestedContiguityRuns(0, PageSize::Size2M));
+    }
+
+    // GPU (native paging, GPU-class footprints).
+    for (double memhog : {0.2, 0.6}) {
+        MachineParams params;
+        params.name = "gpucdf";
+        params.memBytes = host_mem / 2;
+        params.proc.policy = os::PagePolicy::Thp;
+        params.memhogFraction = memhog;
+        Machine machine(params);
+        std::uint64_t footprint =
+            pressureFootprint(host_mem / 2, memhog);
+        VAddr base = machine.mapArena(footprint);
+        machine.touchSequential(base, footprint);
+        cdfRow(table, "GPU:" + Table::fmt(memhog * 100, 0) + "mh",
+               machine.contiguityRuns(PageSize::Size2M));
+    }
+    table.print();
+    std::printf("\nPaper shape: all configurations retain considerable "
+                "contiguity even when\nfragmentation is high.\n");
+    return 0;
+}

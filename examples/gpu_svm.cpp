@@ -1,0 +1,115 @@
+/**
+ * @file
+ * CPU-GPU shared virtual memory scenario (Sec. 2 and 6.3): a GPU with
+ * per-shader-core L1 TLBs and a shared L2 runs Rodinia-style kernels
+ * over a THS-paged address space, comparing split and MIX TLB designs
+ * under varying memory fragmentation.
+ *
+ * Run: ./gpu_svm [--cores 16] [--refs 200000] [--memhog 0.2]
+ *                [--kernel bfs]
+ */
+
+#include <cstdio>
+
+#include "gpu/gpu_system.hh"
+#include "os/memhog.hh"
+#include "sim/cli.hh"
+#include "sim/configs.hh"
+#include "sim/machine.hh"
+#include "tlb/walk_source.hh"
+
+using namespace mixtlb;
+using namespace mixtlb::sim;
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv);
+    const unsigned cores = static_cast<unsigned>(args.getU64("cores", 16));
+    const std::uint64_t refs = args.getU64("refs", 200000);
+    const double memhog_frac = args.getDouble("memhog", 0.2);
+    const std::string kernel = args.getString("kernel", "bfs");
+    const std::uint64_t footprint = args.getU64("footprint-mb", 256)
+                                    << 20;
+
+    std::printf("GPU: %u shader cores, kernel=%s, footprint=%lluMB, "
+                "memhog=%.0f%%\n\n",
+                cores, kernel.c_str(),
+                (unsigned long long)(footprint >> 20),
+                memhog_frac * 100);
+
+    Table table({"design", "L1 miss%", "L2 miss%", "cycles/ref",
+                 "improvement vs split%"});
+    double split_cycles = 0;
+
+    for (TlbDesign design : {TlbDesign::Split, TlbDesign::Mix}) {
+        stats::StatGroup root(designName(design));
+        mem::PhysMem mem(2ULL << 30);
+        os::MemoryManager mm(mem, &root);
+        os::Memhog hog(mm);
+        if (memhog_frac > 0)
+            hog.fragment(memhog_frac, 5);
+
+        os::ProcessParams proc_params;
+        proc_params.policy = os::PagePolicy::Thp;
+        os::Process proc(mm, proc_params, &root);
+        cache::CacheHierarchy caches(cache::HierarchyParams{}, &root);
+        tlb::NativeWalkSource source(
+            proc.pageTable(), &root, [&](VAddr va, bool st) {
+                return proc.touch(va, st)
+                       != os::TouchResult::OutOfMemory;
+            });
+
+        gpu::GpuParams gpu_params;
+        gpu_params.numCores = cores;
+        auto l2 = makeGpuL2(design, &root, &proc.pageTable());
+        gpu::GpuSystem gpu_system(
+            gpu_params, &root,
+            [&](unsigned core, stats::StatGroup *parent) {
+                return makeGpuCoreL1(design, core, parent,
+                                     &proc.pageTable());
+            },
+            l2, source, caches);
+
+        // Input upload: ascending first-touch through rotating cores.
+        VAddr base = proc.mmap(footprint);
+        for (VAddr va = base; va < base + footprint; va += PageBytes4K)
+            gpu_system.core((va >> PageShift4K) % cores).access(va, true);
+        root.resetStats();
+
+        std::vector<std::unique_ptr<workload::TraceGenerator>> gens;
+        for (unsigned core = 0; core < cores; core++) {
+            gens.push_back(workload::makeGenerator(
+                kernel, base, footprint, 500 + core));
+        }
+        Cycles cycles = gpu_system.run(gens, refs);
+
+        double l1_hits = 0, l2_hits = 0, accesses = 0;
+        for (unsigned core = 0; core < cores; core++) {
+            l1_hits += gpu_system.core(core).l1HitCount();
+            l2_hits += gpu_system.core(core).l2HitCount();
+            accesses += gpu_system.core(core).accessCount();
+        }
+        double l1_miss = 100.0 * (1.0 - l1_hits / accesses);
+        double l2_miss_pct =
+            100.0 * (1.0 - (l1_hits + l2_hits) / accesses);
+
+        double improvement = 0;
+        if (design == TlbDesign::Split)
+            split_cycles = static_cast<double>(cycles);
+        else
+            improvement =
+                100.0 * (split_cycles / static_cast<double>(cycles)
+                         - 1.0);
+        table.addRow({designName(design), Table::fmt(l1_miss),
+                      Table::fmt(l2_miss_pct),
+                      Table::fmt(static_cast<double>(cycles) / refs),
+                      Table::fmt(improvement)});
+    }
+    table.print();
+
+    std::printf("\nGPU TLBs service hundreds of concurrent warps; the "
+                "shared-L2 reach MIX\nrecovers is what drives the "
+                "paper's large GPU gains (Figure 14).\n");
+    return 0;
+}

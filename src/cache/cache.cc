@@ -1,0 +1,116 @@
+#include "cache.hh"
+
+#include <algorithm>
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace mixtlb::cache
+{
+
+Cache::Cache(const CacheParams &params, stats::StatGroup *parent)
+    : params_(params),
+      stats_(params.name, parent),
+      hits_(stats_.addScalar("hits", "cache hits")),
+      misses_(stats_.addScalar("misses", "cache misses"))
+{
+    fatal_if(!isPowerOf2(params.lineBytes), "line size not a power of 2");
+    fatal_if(params.assoc == 0, "zero associativity");
+    std::uint64_t lines = params.sizeBytes / params.lineBytes;
+    fatal_if(lines == 0 || lines % params.assoc != 0,
+             "cache geometry does not divide evenly");
+    numSets_ = lines / params.assoc;
+    lineShift_ = floorLog2(params.lineBytes);
+    sets_.resize(numSets_);
+    stats_.addFormula("miss_rate", "miss fraction", [this] {
+        double total = hits_.value() + misses_.value();
+        return total > 0 ? misses_.value() / total : 0.0;
+    });
+}
+
+bool
+Cache::access(PAddr paddr, bool write)
+{
+    (void)write; // functional model: reads and writes behave alike
+    std::uint64_t tag = tagOf(paddr);
+    auto &set = sets_[setOf(tag)];
+    auto it = std::find(set.begin(), set.end(), tag);
+    if (it != set.end()) {
+        set.splice(set.begin(), set, it); // move to MRU
+        ++hits_;
+        return true;
+    }
+    ++misses_;
+    set.push_front(tag);
+    if (set.size() > params_.assoc)
+        set.pop_back();
+    return false;
+}
+
+bool
+Cache::contains(PAddr paddr) const
+{
+    std::uint64_t tag = tagOf(paddr);
+    const auto &set = sets_[setOf(tag)];
+    return std::find(set.begin(), set.end(), tag) != set.end();
+}
+
+void
+Cache::flush()
+{
+    for (auto &set : sets_)
+        set.clear();
+}
+
+CacheHierarchy::CacheHierarchy(const HierarchyParams &params,
+                               stats::StatGroup *parent)
+    : params_(params),
+      stats_("caches", parent),
+      l1_(params.l1, &stats_),
+      l2_(params.l2, &stats_),
+      llc_(params.llc, &stats_),
+      memAccesses_(stats_.addScalar("mem_accesses",
+                                    "accesses that reached memory"))
+{
+}
+
+HitLevel
+CacheHierarchy::accessLevel(PAddr paddr, bool write)
+{
+    if (l1_.access(paddr, write))
+        return HitLevel::L1;
+    if (l2_.access(paddr, write))
+        return HitLevel::L2;
+    if (llc_.access(paddr, write))
+        return HitLevel::LLC;
+    ++memAccesses_;
+    return HitLevel::Memory;
+}
+
+Cycles
+CacheHierarchy::levelLatency(HitLevel level) const
+{
+    switch (level) {
+      case HitLevel::L1: return params_.l1.hitLatency;
+      case HitLevel::L2: return params_.l2.hitLatency;
+      case HitLevel::LLC: return params_.llc.hitLatency;
+      case HitLevel::Memory: return params_.memLatency;
+    }
+    return params_.memLatency;
+}
+
+Cycles
+CacheHierarchy::access(PAddr paddr, bool write)
+{
+    return levelLatency(accessLevel(paddr, write));
+}
+
+void
+CacheHierarchy::flush()
+{
+    l1_.flush();
+    l2_.flush();
+    llc_.flush();
+}
+
+} // namespace mixtlb::cache

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * A functional set-associative cache with LRU replacement.
+ *
+ * Used to cost page-table-walk memory references (and, optionally, data
+ * references) the way the paper's functional simulator does (Sec. 6.2).
+ * Only tags are modelled; data never moves.
+ */
+
+#ifndef MIXTLB_CACHE_CACHE_HH
+#define MIXTLB_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace mixtlb::cache
+{
+
+struct CacheParams
+{
+    std::string name = "cache";
+    std::uint64_t sizeBytes = 32 * 1024;
+    unsigned assoc = 8;
+    unsigned lineBytes = CacheLineBytes;
+    Cycles hitLatency = 4;
+};
+
+class Cache
+{
+  public:
+    Cache(const CacheParams &params, stats::StatGroup *parent);
+
+    /**
+     * Look up @p paddr; on a miss the line is installed (evicting LRU).
+     * @retval true on hit.
+     */
+    bool access(PAddr paddr, bool write);
+
+    /** Probe without updating state or statistics. */
+    bool contains(PAddr paddr) const;
+
+    /** Drop every cached line. */
+    void flush();
+
+    Cycles hitLatency() const { return params_.hitLatency; }
+    const CacheParams &params() const { return params_; }
+
+    std::uint64_t numSets() const { return numSets_; }
+
+  private:
+    CacheParams params_;
+    std::uint64_t numSets_;
+    unsigned lineShift_;
+
+    /** Per-set tag store in LRU order (front = MRU). */
+    std::vector<std::list<std::uint64_t>> sets_;
+
+    stats::StatGroup stats_;
+    stats::Scalar &hits_;
+    stats::Scalar &misses_;
+
+    std::uint64_t tagOf(PAddr paddr) const { return paddr >> lineShift_; }
+    std::uint64_t setOf(std::uint64_t tag) const { return tag % numSets_; }
+};
+
+/** Which level of the hierarchy serviced an access. */
+enum class HitLevel : std::uint8_t { L1 = 0, L2, LLC, Memory };
+
+struct HierarchyParams
+{
+    CacheParams l1{"l1d", 32 * 1024, 8, CacheLineBytes, 4};
+    CacheParams l2{"l2", 256 * 1024, 8, CacheLineBytes, 12};
+    CacheParams llc{"llc", 24ULL * 1024 * 1024, 16, CacheLineBytes, 40};
+    Cycles memLatency = 200;
+};
+
+/**
+ * A three-level inclusive hierarchy. An access probes L1→L2→LLC and on
+ * a full miss installs the line at every level.
+ */
+class CacheHierarchy
+{
+  public:
+    CacheHierarchy(const HierarchyParams &params, stats::StatGroup *parent);
+
+    /** Access @p paddr, returning the total latency. */
+    Cycles access(PAddr paddr, bool write);
+
+    /** Which level would service @p paddr, also performing the access. */
+    HitLevel accessLevel(PAddr paddr, bool write);
+
+    /** Latency of a hit at @p level. */
+    Cycles levelLatency(HitLevel level) const;
+
+    void flush();
+
+    stats::StatGroup &statGroup() { return stats_; }
+
+  private:
+    HierarchyParams params_;
+    stats::StatGroup stats_;
+    Cache l1_;
+    Cache l2_;
+    Cache llc_;
+    stats::Scalar &memAccesses_;
+};
+
+} // namespace mixtlb::cache
+
+#endif // MIXTLB_CACHE_CACHE_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Small integer math helpers used throughout the simulator.
+ */
+
+#ifndef MIXTLB_COMMON_INTMATH_HH
+#define MIXTLB_COMMON_INTMATH_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace mixtlb
+{
+
+/** True if @p n is a (nonzero) power of two. */
+constexpr bool
+isPowerOf2(std::uint64_t n)
+{
+    return n != 0 && (n & (n - 1)) == 0;
+}
+
+/** floor(log2(n)); @p n must be nonzero. */
+constexpr unsigned
+floorLog2(std::uint64_t n)
+{
+    return 63u - static_cast<unsigned>(std::countl_zero(n));
+}
+
+/** ceil(log2(n)); @p n must be nonzero. */
+constexpr unsigned
+ceilLog2(std::uint64_t n)
+{
+    return n <= 1 ? 0 : floorLog2(n - 1) + 1;
+}
+
+/** ceil(a / b) for positive integers. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Round @p a down to a multiple of power-of-two @p align. */
+constexpr std::uint64_t
+alignDown(std::uint64_t a, std::uint64_t align)
+{
+    return a & ~(align - 1);
+}
+
+/** Round @p a up to a multiple of power-of-two @p align. */
+constexpr std::uint64_t
+alignUp(std::uint64_t a, std::uint64_t align)
+{
+    return (a + align - 1) & ~(align - 1);
+}
+
+/** Extract bits [hi:lo] (inclusive) of @p val. */
+constexpr std::uint64_t
+bits(std::uint64_t val, unsigned hi, unsigned lo)
+{
+    return (val >> lo) & ((hi - lo >= 63) ? ~0ULL
+                                          : ((1ULL << (hi - lo + 1)) - 1));
+}
+
+/** Insert @p src into bits [hi:lo] of @p dst. */
+constexpr std::uint64_t
+insertBits(std::uint64_t dst, unsigned hi, unsigned lo, std::uint64_t src)
+{
+    std::uint64_t mask = ((hi - lo >= 63) ? ~0ULL
+                                          : ((1ULL << (hi - lo + 1)) - 1))
+                         << lo;
+    return (dst & ~mask) | ((src << lo) & mask);
+}
+
+} // namespace mixtlb
+
+#endif // MIXTLB_COMMON_INTMATH_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * gem5-style status and error reporting.
+ *
+ * panic()  — a simulator bug; aborts (may dump core).
+ * fatal()  — a user/configuration error; exits with code 1.
+ * warn()   — something works well enough but deserves attention.
+ * inform() — status messages without any connotation of error.
+ */
+
+#ifndef MIXTLB_COMMON_LOGGING_HH
+#define MIXTLB_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace mixtlb
+{
+
+namespace logging_detail
+{
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** printf-style formatting into a std::string. */
+std::string vformat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace logging_detail
+
+} // namespace mixtlb
+
+/** Report an internal simulator bug and abort. */
+#define panic(...)                                                        \
+    ::mixtlb::logging_detail::panicImpl(                                  \
+        __FILE__, __LINE__, ::mixtlb::logging_detail::vformat(__VA_ARGS__))
+
+/** Report an unrecoverable user/configuration error and exit(1). */
+#define fatal(...)                                                        \
+    ::mixtlb::logging_detail::fatalImpl(                                  \
+        __FILE__, __LINE__, ::mixtlb::logging_detail::vformat(__VA_ARGS__))
+
+/** Report a condition if it is false, as a panic. */
+#define panic_if(cond, ...)                                               \
+    do {                                                                  \
+        if (cond)                                                         \
+            panic(__VA_ARGS__);                                           \
+    } while (0)
+
+#define fatal_if(cond, ...)                                               \
+    do {                                                                  \
+        if (cond)                                                         \
+            fatal(__VA_ARGS__);                                           \
+    } while (0)
+
+/** Warn about questionable but survivable behaviour. */
+#define warn(...)                                                         \
+    ::mixtlb::logging_detail::warnImpl(                                   \
+        ::mixtlb::logging_detail::vformat(__VA_ARGS__))
+
+/** Print an informational status message. */
+#define inform(...)                                                       \
+    ::mixtlb::logging_detail::informImpl(                                 \
+        ::mixtlb::logging_detail::vformat(__VA_ARGS__))
+
+#endif // MIXTLB_COMMON_LOGGING_HH

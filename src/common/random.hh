@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * A xoshiro256** core plus the distributions the workload generators need
+ * (uniform integers, doubles, and a Zipfian sampler for key-value
+ * workloads). All generators are seeded explicitly so every experiment is
+ * reproducible.
+ */
+
+#ifndef MIXTLB_COMMON_RANDOM_HH
+#define MIXTLB_COMMON_RANDOM_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace mixtlb
+{
+
+/** xoshiro256** pseudo-random generator (public-domain algorithm). */
+class Rng
+{
+  public:
+    /** Seed via splitmix64 expansion of @p seed. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound); @p bound must be nonzero. */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t nextRange(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli trial with probability @p p. */
+    bool chance(double p);
+
+  private:
+    std::uint64_t s[4];
+
+    static std::uint64_t rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+};
+
+/**
+ * Zipfian sampler over [0, n) with skew parameter theta, using the
+ * Gray et al. rejection-free method (as popularised by YCSB). Heavier
+ * items get lower ranks.
+ */
+class ZipfSampler
+{
+  public:
+    ZipfSampler(std::uint64_t n, double theta, std::uint64_t seed);
+
+    /** Draw one Zipf-distributed rank in [0, n). */
+    std::uint64_t sample();
+
+    std::uint64_t itemCount() const { return n_; }
+
+  private:
+    std::uint64_t n_;
+    double theta_;
+    double alpha_;
+    double zetan_;
+    double eta_;
+    Rng rng_;
+
+    static double zeta(std::uint64_t n, double theta);
+};
+
+} // namespace mixtlb
+
+#endif // MIXTLB_COMMON_RANDOM_HH

@@ -1,0 +1,62 @@
+#include "gpu_system.hh"
+
+#include "common/logging.hh"
+
+namespace mixtlb::gpu
+{
+
+GpuSystem::GpuSystem(const GpuParams &params, stats::StatGroup *parent,
+                     const L1TlbFactory &l1_factory,
+                     std::shared_ptr<tlb::BaseTlb> l2,
+                     tlb::WalkSource &source,
+                     cache::CacheHierarchy &caches)
+    : params_(params), stats_("gpu", parent),
+      totalRefs_(stats_.addScalar("refs", "references issued")),
+      translationCycles_(stats_.addScalar("translation_cycles",
+          "translation cycles across all cores"))
+{
+    fatal_if(params.numCores == 0, "GPU with zero shader cores");
+    for (unsigned core = 0; core < params.numCores; core++) {
+        cores_.push_back(std::make_unique<tlb::TlbHierarchy>(
+            "core" + std::to_string(core), &stats_,
+            l1_factory(core, &stats_), l2, source, caches,
+            params.tlbLatency));
+    }
+}
+
+Cycles
+GpuSystem::run(
+    std::vector<std::unique_ptr<workload::TraceGenerator>> &per_core,
+    std::uint64_t total_refs)
+{
+    fatal_if(per_core.size() != cores_.size(),
+             "one generator per shader core required");
+    Cycles cycles = 0;
+    std::uint64_t issued = 0;
+    while (issued < total_refs) {
+        for (unsigned core = 0; core < cores_.size() &&
+                                issued < total_refs; core++) {
+            for (unsigned i = 0; i < params_.warpRefs &&
+                                 issued < total_refs; i++) {
+                MemRef ref = per_core[core]->next();
+                auto result = cores_[core]->access(
+                    ref.vaddr, ref.type == AccessType::Write);
+                fatal_if(!result.ok, "GPU access failed (host OOM?)");
+                cycles += result.cycles;
+                issued++;
+            }
+        }
+    }
+    totalRefs_ += static_cast<double>(issued);
+    translationCycles_ += static_cast<double>(cycles);
+    return cycles;
+}
+
+void
+GpuSystem::invalidatePage(VAddr vbase, PageSize size)
+{
+    for (auto &core : cores_)
+        core->invalidatePage(vbase, size);
+}
+
+} // namespace mixtlb::gpu

@@ -1,0 +1,202 @@
+#include "buddy_allocator.hh"
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace mixtlb::mem
+{
+
+BuddyAllocator::BuddyAllocator(std::uint64_t total_frames)
+    : totalFrames_(total_frames), freeFrames_(total_frames),
+      freeLists_(MaxOrder + 1)
+{
+    panic_if(total_frames == 0, "empty physical memory");
+    // Seed the free lists with maximal naturally aligned blocks, as a
+    // real buddy system would after boot.
+    Pfn pfn = 0;
+    std::uint64_t remaining = total_frames;
+    while (remaining > 0) {
+        unsigned order = MaxOrder;
+        while (order > 0 &&
+               ((pfn & ((1ULL << order) - 1)) != 0 ||
+                (1ULL << order) > remaining)) {
+            order--;
+        }
+        freeLists_[order].insert(pfn);
+        pfn += 1ULL << order;
+        remaining -= 1ULL << order;
+    }
+}
+
+std::optional<Pfn>
+BuddyAllocator::alloc(unsigned order)
+{
+    panic_if(order > MaxOrder, "alloc order %u too large", order);
+
+    // Find the lowest-address block among all orders >= requested that
+    // could satisfy this request; preferring the lowest *address* (not
+    // the smallest sufficient order) is what generates physically
+    // contiguous consecutive allocations.
+    unsigned best_order = 0;
+    Pfn best_pfn = 0;
+    bool found = false;
+    for (unsigned o = order; o <= MaxOrder; o++) {
+        if (freeLists_[o].empty())
+            continue;
+        Pfn candidate = *freeLists_[o].begin();
+        if (!found || candidate < best_pfn) {
+            found = true;
+            best_pfn = candidate;
+            best_order = o;
+        }
+    }
+    if (!found)
+        return std::nullopt;
+
+    freeLists_[best_order].erase(best_pfn);
+    // Split down, keeping the low half each time and freeing the high
+    // half, so the returned block sits at the lowest address.
+    for (unsigned o = best_order; o > order; o--) {
+        Pfn high = best_pfn + (1ULL << (o - 1));
+        freeLists_[o - 1].insert(high);
+    }
+    freeFrames_ -= 1ULL << order;
+    return best_pfn;
+}
+
+bool
+BuddyAllocator::allocRegion(Pfn pfn, unsigned order)
+{
+    panic_if(order > MaxOrder, "allocRegion order %u too large", order);
+    panic_if((pfn & ((1ULL << order) - 1)) != 0,
+             "allocRegion misaligned pfn");
+    if (!isRegionFree(pfn, order))
+        return false;
+
+    // Carve the region out of whichever free blocks cover it. Because
+    // blocks are naturally aligned, a covering block either contains the
+    // whole region or is contained by it.
+    std::uint64_t want_lo = pfn;
+    std::uint64_t want_hi = pfn + (1ULL << order);
+    for (unsigned o = 0; o <= MaxOrder; o++) {
+        auto &list = freeLists_[o];
+        auto it = list.lower_bound(
+            want_lo >= (1ULL << o) ? want_lo - (1ULL << o) + 1 : 0);
+        while (it != list.end() && *it < want_hi) {
+            Pfn blk = *it;
+            std::uint64_t blk_hi = blk + (1ULL << o);
+            if (blk_hi <= want_lo) {
+                ++it;
+                continue;
+            }
+            it = list.erase(it);
+            if (blk >= want_lo && blk_hi <= want_hi) {
+                // fully consumed
+                continue;
+            }
+            // The block contains the region: split off the parts outside.
+            // Keep splitting the covering block; re-add children outside
+            // the wanted range.
+            unsigned co = o;
+            Pfn cur = blk;
+            while (co > order) {
+                co--;
+                Pfn low = cur;
+                Pfn high = cur + (1ULL << co);
+                if (want_lo >= high) {
+                    freeLists_[co].insert(low);
+                    cur = high;
+                } else {
+                    freeLists_[co].insert(high);
+                    cur = low;
+                }
+                // Re-fetch iterator invalidation safety: we only touch
+                // freeLists_[co] with co < o here and `it` points into
+                // freeLists_[o], which erase() already advanced.
+            }
+            break;
+        }
+    }
+    freeFrames_ -= 1ULL << order;
+    return true;
+}
+
+void
+BuddyAllocator::free(Pfn pfn, unsigned order)
+{
+    panic_if(order > MaxOrder, "free order %u too large", order);
+    panic_if((pfn & ((1ULL << order) - 1)) != 0, "free misaligned pfn");
+    insertAndMerge(pfn, order);
+    freeFrames_ += 1ULL << order;
+}
+
+void
+BuddyAllocator::insertAndMerge(Pfn pfn, unsigned order)
+{
+    while (order < MaxOrder) {
+        Pfn buddy = pfn ^ (1ULL << order);
+        auto it = freeLists_[order].find(buddy);
+        if (it == freeLists_[order].end())
+            break;
+        freeLists_[order].erase(it);
+        pfn = pfn & buddy; // the lower of the two
+        order++;
+    }
+    auto [it, inserted] = freeLists_[order].insert(pfn);
+    panic_if(!inserted, "double free of pfn 0x%llx",
+             (unsigned long long)pfn);
+}
+
+bool
+BuddyAllocator::isRegionFree(Pfn pfn, unsigned order) const
+{
+    std::uint64_t want_lo = pfn;
+    std::uint64_t want_hi = pfn + (1ULL << order);
+    std::uint64_t covered = 0;
+    for (unsigned o = 0; o <= MaxOrder; o++) {
+        const auto &list = freeLists_[o];
+        auto it = list.lower_bound(
+            want_lo >= (1ULL << o) ? want_lo - (1ULL << o) + 1 : 0);
+        for (; it != list.end() && *it < want_hi; ++it) {
+            std::uint64_t blk_lo = *it;
+            std::uint64_t blk_hi = blk_lo + (1ULL << o);
+            if (blk_hi <= want_lo)
+                continue;
+            std::uint64_t lo = blk_lo > want_lo ? blk_lo : want_lo;
+            std::uint64_t hi = blk_hi < want_hi ? blk_hi : want_hi;
+            covered += hi - lo;
+        }
+    }
+    return covered == want_hi - want_lo;
+}
+
+std::optional<unsigned>
+BuddyAllocator::largestFreeOrder() const
+{
+    for (unsigned o = MaxOrder + 1; o-- > 0;) {
+        if (!freeLists_[o].empty())
+            return o;
+    }
+    return std::nullopt;
+}
+
+std::uint64_t
+BuddyAllocator::freeBlocksAt(unsigned order) const
+{
+    panic_if(order > MaxOrder, "order %u too large", order);
+    return freeLists_[order].size();
+}
+
+double
+BuddyAllocator::fragmentationIndex(unsigned order) const
+{
+    if (freeFrames_ == 0)
+        return 0.0;
+    std::uint64_t usable = 0;
+    for (unsigned o = order; o <= MaxOrder; o++)
+        usable += freeLists_[o].size() << o;
+    return 1.0 - static_cast<double>(usable)
+                 / static_cast<double>(freeFrames_);
+}
+
+} // namespace mixtlb::mem

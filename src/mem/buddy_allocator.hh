@@ -1,0 +1,98 @@
+/**
+ * @file
+ * A binary buddy allocator over 4KB physical frames.
+ *
+ * This is the substrate from which the OS model's page-size distribution
+ * emerges: 2MB superpages are order-9 blocks and 1GB superpages are
+ * order-18 blocks. Allocation is lowest-address-first, which (like
+ * Linux's free-list ordering plus ascending fault order) is the mechanism
+ * that makes consecutively allocated superpages physically contiguous —
+ * the property MIX TLB coalescing relies on (Sec. 7.1 of the paper).
+ */
+
+#ifndef MIXTLB_MEM_BUDDY_ALLOCATOR_HH
+#define MIXTLB_MEM_BUDDY_ALLOCATOR_HH
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mixtlb::mem
+{
+
+/** Buddy order of a 2MB block (512 frames). */
+constexpr unsigned Order2M = PageShift2M - PageShift4K;
+/** Buddy order of a 1GB block (262144 frames). */
+constexpr unsigned Order1G = PageShift1G - PageShift4K;
+
+class BuddyAllocator
+{
+  public:
+    /** Highest block order we track (1GB blocks). */
+    static constexpr unsigned MaxOrder = Order1G;
+
+    /**
+     * Manage @p total_frames 4KB frames, all initially free.
+     * The frame count need not be a power of two.
+     */
+    explicit BuddyAllocator(std::uint64_t total_frames);
+
+    /**
+     * Allocate a naturally aligned block of 2^order frames at the lowest
+     * available address.
+     *
+     * @return the first frame number, or nullopt if no block exists.
+     */
+    std::optional<Pfn> alloc(unsigned order);
+
+    /**
+     * Claim the specific (naturally aligned) block starting at @p pfn if
+     * every frame in it is currently free.
+     *
+     * @retval true the block was free and is now allocated.
+     */
+    bool allocRegion(Pfn pfn, unsigned order);
+
+    /** Return a previously allocated block. */
+    void free(Pfn pfn, unsigned order);
+
+    /** True if the aligned block at @p pfn is entirely free. */
+    bool isRegionFree(Pfn pfn, unsigned order) const;
+
+    /** Total frames currently free. */
+    std::uint64_t freeFrames() const { return freeFrames_; }
+
+    /** Total frames managed. */
+    std::uint64_t totalFrames() const { return totalFrames_; }
+
+    /** Largest order with at least one free block, or nullopt if full. */
+    std::optional<unsigned> largestFreeOrder() const;
+
+    /** Number of free blocks at exactly @p order. */
+    std::uint64_t freeBlocksAt(unsigned order) const;
+
+    /**
+     * Fraction of free memory unusable for blocks of @p order, i.e. the
+     * standard external-fragmentation index for that order.
+     */
+    double fragmentationIndex(unsigned order) const;
+
+  private:
+    std::uint64_t totalFrames_;
+    std::uint64_t freeFrames_;
+    /** Per-order ordered free lists (lowest address first). */
+    std::vector<std::set<Pfn>> freeLists_;
+
+    /** Insert a free block, merging with its buddy where possible. */
+    void insertAndMerge(Pfn pfn, unsigned order);
+
+    /** Split one free block of @p from down to produce one of @p to. */
+    void splitTo(unsigned from, unsigned to);
+};
+
+} // namespace mixtlb::mem
+
+#endif // MIXTLB_MEM_BUDDY_ALLOCATOR_HH

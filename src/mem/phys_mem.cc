@@ -1,0 +1,96 @@
+#include "phys_mem.hh"
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace mixtlb::mem
+{
+
+PhysMem::PhysMem(std::uint64_t bytes)
+    : bytes_(bytes), buddy_(bytes >> PageShift4K),
+      frameUse_(bytes >> PageShift4K, FrameUse::Free)
+{
+    fatal_if(bytes == 0 || (bytes & (PageBytes4K - 1)) != 0,
+             "physical memory size must be a nonzero multiple of 4KB");
+}
+
+std::optional<Pfn>
+PhysMem::allocFrames(unsigned order, FrameUse use)
+{
+    auto pfn = buddy_.alloc(order);
+    if (pfn)
+        tagFrames(*pfn, order, use);
+    return pfn;
+}
+
+bool
+PhysMem::allocFramesAt(Pfn pfn, unsigned order, FrameUse use)
+{
+    if (!buddy_.allocRegion(pfn, order))
+        return false;
+    tagFrames(pfn, order, use);
+    return true;
+}
+
+void
+PhysMem::freeFrames(Pfn pfn, unsigned order)
+{
+    tagFrames(pfn, order, FrameUse::Free);
+    for (std::uint64_t i = 0; i < (1ULL << order); i++)
+        data_.erase(pfn + i);
+    buddy_.free(pfn, order);
+}
+
+void
+PhysMem::retagFrames(Pfn pfn, unsigned order, FrameUse use)
+{
+    for (std::uint64_t i = 0; i < (1ULL << order); i++) {
+        panic_if(frameUse_[pfn + i] == FrameUse::Free,
+                 "retagFrames over a free frame");
+    }
+    tagFrames(pfn, order, use);
+}
+
+void
+PhysMem::tagFrames(Pfn pfn, unsigned order, FrameUse use)
+{
+    panic_if(pfn + (1ULL << order) > frameUse_.size(),
+             "frame range out of bounds");
+    for (std::uint64_t i = 0; i < (1ULL << order); i++)
+        frameUse_[pfn + i] = use;
+}
+
+FrameUse
+PhysMem::frameUse(Pfn pfn) const
+{
+    panic_if(pfn >= frameUse_.size(), "pfn out of bounds");
+    return frameUse_[pfn];
+}
+
+std::uint64_t
+PhysMem::read64(PAddr paddr) const
+{
+    panic_if(paddr & 7, "unaligned read64");
+    Pfn pfn = paddr >> PageShift4K;
+    auto it = data_.find(pfn);
+    if (it == data_.end())
+        return 0;
+    return (*it->second)[(paddr & (PageBytes4K - 1)) >> 3];
+}
+
+void
+PhysMem::write64(PAddr paddr, std::uint64_t value)
+{
+    panic_if(paddr & 7, "unaligned write64");
+    Pfn pfn = paddr >> PageShift4K;
+    panic_if(pfn >= frameUse_.size(), "write64 past end of memory");
+    auto it = data_.find(pfn);
+    if (it == data_.end()) {
+        auto frame = std::make_unique<FrameData>();
+        frame->fill(0);
+        it = data_.emplace(pfn, std::move(frame)).first;
+    }
+    (*it->second)[(paddr & (PageBytes4K - 1)) >> 3] = value;
+}
+
+} // namespace mixtlb::mem

@@ -1,0 +1,107 @@
+#include "memhog.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "mem/buddy_allocator.hh"
+
+namespace mixtlb::os
+{
+
+void
+Memhog::fragment(double fraction, std::uint64_t seed)
+{
+    fatal_if(fraction < 0.0 || fraction > 1.0,
+             "memhog fraction must be in [0,1]");
+    release();
+    if (fraction == 0.0)
+        return;
+
+    auto &mem = mm_.phys();
+    Rng rng(seed);
+
+    const auto want_total = static_cast<std::uint64_t>(
+        fraction * static_cast<double>(mem.totalFrames()));
+
+    // Unmovable slice first: whole 2MB pageblocks in *clusters* — the
+    // anti-fragmentation subsystem groups unmovable allocations into
+    // runs of pageblocks rather than sprinkling them, which is what
+    // leaves the long movable stretches whose contiguity Sec. 7.1
+    // measures.
+    const auto want_unmovable = static_cast<std::uint64_t>(
+        unmovableShare_ * static_cast<double>(want_total));
+    const std::uint64_t num_blocks = mem.totalFrames() >> mem::Order2M;
+    constexpr unsigned ClusterBlocks = 16;
+    std::uint64_t unmovable_frames = 0;
+    unsigned attempts = 0;
+    while (unmovable_frames + (1ULL << mem::Order2M) <= want_unmovable &&
+           attempts < 4 * num_blocks) {
+        attempts++;
+        Pfn start = rng.nextBounded(num_blocks) << mem::Order2M;
+        for (unsigned i = 0;
+             i < ClusterBlocks &&
+             unmovable_frames + (1ULL << mem::Order2M) <= want_unmovable;
+             i++) {
+            Pfn block = start + (static_cast<Pfn>(i) << mem::Order2M);
+            if (block + (1ULL << mem::Order2M) > mem.totalFrames())
+                break;
+            if (mem.allocFramesAt(block, mem::Order2M,
+                                  mem::FrameUse::Pinned)) {
+                unmovable_.push_back(block);
+                unmovable_frames += 1ULL << mem::Order2M;
+            }
+        }
+    }
+
+    // Movable bulk: claim all free memory, then keep a random subset of
+    // single frames pinned, freeing the rest. The survivors are
+    // uniformly scattered, which is exactly the free-list shape a
+    // random long-running allocation mix produces.
+    std::vector<std::pair<Pfn, unsigned>> claimed;
+    for (unsigned order = mem::BuddyAllocator::MaxOrder + 1; order-- > 0;) {
+        while (auto pfn = mem.allocFrames(order, mem::FrameUse::AppSmall))
+            claimed.emplace_back(*pfn, order);
+    }
+    std::vector<Pfn> frames;
+    for (auto [base, order] : claimed) {
+        for (std::uint64_t i = 0; i < (1ULL << order); i++)
+            frames.push_back(base + i);
+    }
+    for (std::uint64_t i = frames.size(); i > 1; i--)
+        std::swap(frames[i - 1], frames[rng.nextBounded(i)]);
+
+    std::uint64_t want_movable =
+        want_total > unmovable_frames ? want_total - unmovable_frames : 0;
+    if (want_movable > frames.size())
+        want_movable = frames.size();
+
+    movable_.assign(frames.begin(), frames.begin() + want_movable);
+    for (std::uint64_t i = want_movable; i < frames.size(); i++)
+        mem.freeFrames(frames[i], 0);
+    for (std::uint64_t tag = 0; tag < movable_.size(); tag++)
+        mm_.registerMovable(movable_[tag], this, tag);
+}
+
+void
+Memhog::release()
+{
+    auto &mem = mm_.phys();
+    for (std::uint64_t tag = 0; tag < movable_.size(); tag++) {
+        mm_.unregisterMovable(movable_[tag]);
+        mem.freeFrames(movable_[tag], 0);
+    }
+    movable_.clear();
+    for (Pfn block : unmovable_)
+        mem.freeFrames(block, mem::Order2M);
+    unmovable_.clear();
+}
+
+void
+Memhog::relocate(std::uint64_t tag, Pfn from, Pfn to)
+{
+    panic_if(tag >= movable_.size() || movable_[tag] != from,
+             "memhog relocate tag/pfn mismatch");
+    movable_[tag] = to;
+}
+
+} // namespace mixtlb::os

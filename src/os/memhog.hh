@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The memhog fragmentation driver used throughout Sec. 7 of the paper,
+ * at the OS level.
+ *
+ * Two kinds of pressure are modelled, mirroring a loaded Linux system:
+ *
+ *  - The bulk of memhog's memory is ordinary *movable* anonymous
+ *    memory, scattered as single 4KB frames. It destroys free-list
+ *    contiguity but compaction can migrate it.
+ *  - A configurable slice is *unmovable* (standing in for kernel slab
+ *    and page-table growth under load). Linux's anti-fragmentation
+ *    groups unmovable allocations into whole 2MB pageblocks, so the
+ *    slice claims whole blocks; those regions can never host a
+ *    superpage again.
+ */
+
+#ifndef MIXTLB_OS_MEMHOG_HH
+#define MIXTLB_OS_MEMHOG_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.hh"
+#include "os/memory_manager.hh"
+
+namespace mixtlb::os
+{
+
+class Memhog : public MovableOwner
+{
+  public:
+    /**
+     * @param unmovable_share fraction of the hogged memory claimed as
+     *        unmovable whole pageblocks.
+     */
+    Memhog(MemoryManager &mm, double unmovable_share = 0.2)
+        : mm_(mm), unmovableShare_(unmovable_share)
+    {}
+
+    ~Memhog() override { release(); }
+
+    Memhog(const Memhog &) = delete;
+    Memhog &operator=(const Memhog &) = delete;
+
+    /** Hog @p fraction of total memory; see the file comment. */
+    void fragment(double fraction, std::uint64_t seed = 1);
+
+    /** Release everything. */
+    void release();
+
+    std::uint64_t movableFrames() const { return movable_.size(); }
+    std::uint64_t unmovableBlocks() const { return unmovable_.size(); }
+
+    // MovableOwner: compaction moved one of our frames.
+    void relocate(std::uint64_t tag, Pfn from, Pfn to) override;
+
+  private:
+    MemoryManager &mm_;
+    double unmovableShare_;
+
+    /** Movable hogged frames: tag -> pfn (tags are dense indices). */
+    std::vector<Pfn> movable_;
+    /** Unmovable 2MB pageblocks. */
+    std::vector<Pfn> unmovable_;
+};
+
+} // namespace mixtlb::os
+
+#endif // MIXTLB_OS_MEMHOG_HH

@@ -1,0 +1,223 @@
+#include "memory_manager.hh"
+
+#include "common/logging.hh"
+
+namespace mixtlb::os
+{
+
+MemoryManager::MemoryManager(mem::PhysMem &mem, stats::StatGroup *parent,
+                             CompactionParams params)
+    : mem_(mem), params_(params), rng_(params.seed),
+      stats_("mm", parent),
+      directAllocs_(stats_.addScalar("direct_allocs",
+          "contiguous allocations satisfied without compaction")),
+      compactionAttempts_(stats_.addScalar("compaction_attempts",
+          "compaction scans started")),
+      compactionSuccesses_(stats_.addScalar("compaction_successes",
+          "compaction scans that produced a free region")),
+      compactionDeferred_(stats_.addScalar("compaction_deferred",
+          "allocations that skipped compaction due to backoff")),
+      pagesMigrated_(stats_.addScalar("pages_migrated",
+          "movable pages migrated by compaction"))
+{
+}
+
+void
+MemoryManager::registerMovable(Pfn pfn, MovableOwner *owner,
+                               std::uint64_t tag)
+{
+    auto [it, inserted] = movable_.try_emplace(pfn, Movable{owner, tag});
+    panic_if(!inserted, "frame 0x%llx already registered movable",
+             (unsigned long long)pfn);
+}
+
+void
+MemoryManager::unregisterMovable(Pfn pfn)
+{
+    auto erased = movable_.erase(pfn);
+    panic_if(erased == 0, "frame 0x%llx was not movable",
+             (unsigned long long)pfn);
+}
+
+double
+MemoryManager::freeFraction() const
+{
+    return static_cast<double>(mem_.buddy().freeFrames())
+           / static_cast<double>(mem_.totalFrames());
+}
+
+std::optional<Pfn>
+MemoryManager::allocContiguous(unsigned order, mem::FrameUse use,
+                               bool allow_compaction)
+{
+    if (order == 0 || mem_.buddy().freeBlocksAt(order) > 0 ||
+        (mem_.buddy().largestFreeOrder().value_or(0) >= order)) {
+        auto pfn = mem_.allocFrames(order, use);
+        if (pfn) {
+            ++directAllocs_;
+            return pfn;
+        }
+    }
+    if (order == 0 || !allow_compaction)
+        return std::nullopt;
+
+    // Watermark check: compaction needs migration destinations, and a
+    // nearly full machine should fall back to small pages quickly.
+    std::uint64_t region = 1ULL << order;
+    double free_frac = freeFraction();
+    if (mem_.buddy().freeFrames() < region ||
+        free_frac < params_.minFreeFraction) {
+        return std::nullopt;
+    }
+
+    // Pressure-gated willingness (Linux skips direct compaction for
+    // THP allocations as the watermarks tighten): always compact with
+    // plentiful free memory, increasingly fall back to small pages as
+    // it shrinks toward the minimum. The gate is *streaky*, like the
+    // real deferred-compaction machinery: once compaction is working
+    // it keeps working for a stretch, and once deferred it stays
+    // deferred for a stretch. Streaks are what keep the superpages
+    // that do form contiguous (Sec. 7.1) instead of interleaving 4KB
+    // fallbacks through them.
+    if (free_frac < params_.fullEffortFreeFraction) {
+        double p = (free_frac - params_.minFreeFraction)
+                   / (params_.fullEffortFreeFraction
+                      - params_.minFreeFraction);
+        if (gateStreak_ == 0) {
+            gateWilling_ = rng_.chance(p);
+            gateStreak_ = 32 + rng_.nextBounded(96);
+        }
+        gateStreak_--;
+        if (!gateWilling_) {
+            ++compactionDeferred_;
+            return std::nullopt;
+        }
+    } else {
+        gateStreak_ = 0;
+    }
+
+    // Deferred compaction: after repeated failures, skip 2^deferShift
+    // attempts before trying again (Linux compaction_deferred()).
+    if (params_.deferOnFailure && deferCount_ > 0) {
+        deferCount_--;
+        ++compactionDeferred_;
+        return std::nullopt;
+    }
+
+    auto pfn = compact(order, use);
+    if (pfn) {
+        deferShift_ = 0;
+        deferCount_ = 0;
+    } else if (params_.deferOnFailure) {
+        if (deferShift_ < 6)
+            deferShift_++;
+        deferCount_ = 1u << deferShift_;
+    }
+    return pfn;
+}
+
+bool
+MemoryManager::regionMigratable(Pfn base, unsigned order,
+                                std::uint64_t *allocated_out) const
+{
+    std::uint64_t allocated = 0;
+    for (std::uint64_t i = 0; i < (1ULL << order); i++) {
+        switch (mem_.frameUse(base + i)) {
+          case mem::FrameUse::Free:
+            break;
+          case mem::FrameUse::AppSmall:
+            // Movable iff registered (it always should be).
+            if (!movable_.count(base + i))
+                return false;
+            allocated++;
+            break;
+          default:
+            return false; // page tables, pinned, superpage frames
+        }
+    }
+    *allocated_out = allocated;
+    return true;
+}
+
+std::optional<Pfn>
+MemoryManager::compact(unsigned order, mem::FrameUse use)
+{
+    ++compactionAttempts_;
+    const std::uint64_t region = 1ULL << order;
+    const std::uint64_t num_regions = mem_.totalFrames() >> order;
+    if (num_regions == 0)
+        return std::nullopt;
+
+    std::uint64_t start = scanCursor_ >> order;
+    for (unsigned cand = 0; cand < params_.maxCandidates &&
+                            cand < num_regions; cand++) {
+        std::uint64_t region_idx = (start + cand) % num_regions;
+        Pfn base = region_idx << order;
+        scanCursor_ = ((region_idx + 1) % num_regions) << order;
+
+        std::uint64_t allocated = 0;
+        if (!regionMigratable(base, order, &allocated))
+            continue;
+        // Migration destinations must exist outside this region. Free
+        // frames inside it don't help, so be conservative.
+        if (mem_.buddy().freeFrames() < region)
+            continue;
+
+        // 1. Claim the free holes so migration destinations can't land
+        //    inside the region we're trying to empty.
+        for (std::uint64_t i = 0; i < region; i++) {
+            if (mem_.frameUse(base + i) == mem::FrameUse::Free) {
+                bool ok = mem_.allocFramesAt(base + i, 0,
+                                             mem::FrameUse::Pinned);
+                panic_if(!ok, "free frame could not be claimed");
+            }
+        }
+
+        // 2. Migrate each movable frame out; ownership of the old frame
+        //    transfers to us without a buddy round-trip. The watermark
+        //    check above guarantees destinations exist, but handle
+        //    failure defensively anyway.
+        bool failed = false;
+        for (std::uint64_t i = 0; i < region && !failed; i++) {
+            Pfn old_pfn = base + i;
+            auto it = movable_.find(old_pfn);
+            if (it == movable_.end())
+                continue; // was free, already claimed
+            auto dest = mem_.allocFrames(0, mem::FrameUse::AppSmall);
+            if (!dest) {
+                failed = true;
+                break;
+            }
+            panic_if(*dest >= base && *dest < base + region,
+                     "migration destination inside the region");
+            Movable entry = it->second;
+            movable_.erase(it);
+            registerMovable(*dest, entry.owner, entry.tag);
+            entry.owner->relocate(entry.tag, old_pfn, *dest);
+            // The vacated frame is now ours; mark it like the holes.
+            mem_.retagFrames(old_pfn, 0, mem::FrameUse::Pinned);
+            ++pagesMigrated_;
+        }
+
+        if (failed) {
+            // Roll back everything we claimed (holes and vacated
+            // frames); already-migrated pages stay where they moved.
+            for (std::uint64_t i = 0; i < region; i++) {
+                if (mem_.frameUse(base + i) == mem::FrameUse::Pinned)
+                    mem_.freeFrames(base + i, 0);
+            }
+            return std::nullopt;
+        }
+
+        // 3. The whole region is now ours (claimed holes plus vacated
+        //    frames). Retag it as one block and hand it out; the buddy
+        //    allocator needs no fixup because every frame is allocated
+        //    from its perspective.
+        mem_.retagFrames(base, order, use);
+        ++compactionSuccesses_;
+        return base;
+    }
+    return std::nullopt;
+}
+
+} // namespace mixtlb::os

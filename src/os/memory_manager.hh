@@ -1,0 +1,140 @@
+/**
+ * @file
+ * OS physical-memory management: movable-page tracking and
+ * khugepaged-style compaction.
+ *
+ * Superpage allocation in the paper's experiments (Sec. 7.1) depends on
+ * the OS's ability to defragment physical memory. We model the Linux
+ * mechanism: movable pages can be migrated to carve out free 2MB/1GB
+ * regions, compaction effort is bounded, and repeated failures defer
+ * future attempts exponentially (Linux's deferred compaction).
+ */
+
+#ifndef MIXTLB_OS_MEMORY_MANAGER_HH
+#define MIXTLB_OS_MEMORY_MANAGER_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/phys_mem.hh"
+
+namespace mixtlb::os
+{
+
+/**
+ * Receives relocation callbacks when compaction migrates a movable
+ * frame. Implemented by Process (remaps the page, fires TLB shootdown)
+ * and Memhog (updates its pin list).
+ */
+class MovableOwner
+{
+  public:
+    virtual ~MovableOwner() = default;
+
+    /**
+     * The frame backing @p tag moved from @p from to @p to. The owner
+     * must update its mapping; the physical copy is implicit.
+     */
+    virtual void relocate(std::uint64_t tag, Pfn from, Pfn to) = 0;
+};
+
+struct CompactionParams
+{
+    /** Candidate regions examined per compaction attempt. */
+    unsigned maxCandidates = 64;
+    /** Exponential backoff after failed attempts (deferred compaction). */
+    bool deferOnFailure = true;
+    /** Never compact when free memory falls below this fraction. */
+    double minFreeFraction = 0.10;
+    /**
+     * Free-memory fraction above which compaction is always attempted.
+     * Between minFreeFraction and this knee the willingness to do the
+     * (expensive) compaction work scales linearly — the analogue of
+     * Linux skipping direct compaction for THP allocations as the
+     * watermarks come under pressure. This produces the three page-
+     * size-distribution regimes of Figure 9.
+     */
+    double fullEffortFreeFraction = 0.35;
+    /** Seed for the (deterministic) willingness draw. */
+    std::uint64_t seed = 12345;
+};
+
+class MemoryManager
+{
+  public:
+    MemoryManager(mem::PhysMem &mem, stats::StatGroup *parent,
+                  CompactionParams params = {});
+
+    mem::PhysMem &phys() { return mem_; }
+
+    /** Register an allocated frame as movable. */
+    void registerMovable(Pfn pfn, MovableOwner *owner, std::uint64_t tag);
+
+    /** Remove a frame from the movable registry (before freeing it). */
+    void unregisterMovable(Pfn pfn);
+
+    /**
+     * Allocate a naturally aligned block of 2^order frames, migrating
+     * movable pages if the buddy allocator cannot satisfy the request
+     * directly.
+     *
+     * @param use tag applied to the frames on success
+     * @param allow_compaction permit migration (THS "defrag" setting)
+     * @return the first frame, or nullopt.
+     */
+    std::optional<Pfn> allocContiguous(unsigned order, mem::FrameUse use,
+                                       bool allow_compaction);
+
+    /** Free memory as a fraction of total memory. */
+    double freeFraction() const;
+
+    stats::StatGroup &statGroup() { return stats_; }
+
+  private:
+    struct Movable
+    {
+        MovableOwner *owner;
+        std::uint64_t tag;
+    };
+
+    mem::PhysMem &mem_;
+    CompactionParams params_;
+    std::unordered_map<Pfn, Movable> movable_;
+
+    /** Rotating scan cursor so successive compactions sweep memory. */
+    Pfn scanCursor_ = 0;
+    /** Deterministic willingness draws for pressure-gated compaction. */
+    Rng rng_;
+    /** Streaky willingness state (bursty deferred compaction). */
+    unsigned gateStreak_ = 0;
+    bool gateWilling_ = true;
+    /** Deferred-compaction state (mirrors Linux's defer counters). */
+    unsigned deferShift_ = 0;
+    unsigned deferCount_ = 0;
+
+    stats::StatGroup stats_;
+    stats::Scalar &directAllocs_;
+    stats::Scalar &compactionAttempts_;
+    stats::Scalar &compactionSuccesses_;
+    stats::Scalar &compactionDeferred_;
+    stats::Scalar &pagesMigrated_;
+
+    /**
+     * Try to empty one aligned region of 2^order frames by migrating
+     * its movable pages, then claim it.
+     */
+    std::optional<Pfn> compact(unsigned order, mem::FrameUse use);
+
+    /** Can every allocated frame in the region be migrated away? */
+    bool regionMigratable(Pfn base, unsigned order,
+                          std::uint64_t *allocated_out) const;
+};
+
+} // namespace mixtlb::os
+
+#endif // MIXTLB_OS_MEMORY_MANAGER_HH

@@ -1,0 +1,317 @@
+#include "process.hh"
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace mixtlb::os
+{
+
+const char *
+pagePolicyName(PagePolicy policy)
+{
+    switch (policy) {
+      case PagePolicy::SmallOnly: return "4K";
+      case PagePolicy::Huge2M: return "2M";
+      case PagePolicy::Huge1G: return "1G";
+      case PagePolicy::Thp: return "THS";
+      case PagePolicy::Reservation: return "reservation";
+    }
+    return "?";
+}
+
+Process::Process(MemoryManager &mm, const ProcessParams &params,
+                 stats::StatGroup *parent)
+    : mm_(mm), params_(params), pageTable_(mm.phys()),
+      nextMmap_(alignUp(params.mmapBase, PageBytes1G)),
+      stats_(params.name, parent),
+      faults4k_(stats_.addScalar("faults_4k", "4KB page faults")),
+      faults2m_(stats_.addScalar("faults_2m", "2MB page faults")),
+      faults1g_(stats_.addScalar("faults_1g", "1GB page faults")),
+      thpFallbacks_(stats_.addScalar("thp_fallbacks",
+          "THS faults that fell back to 4KB pages")),
+      migrations_(stats_.addScalar("migrations",
+          "pages migrated away by compaction"))
+{
+    reservePools();
+}
+
+Process::~Process()
+{
+    // Free every owned frame; unregister movable small pages first.
+    for (auto [pfn, order] : ownedFrames_) {
+        if (order == 0 &&
+            mm_.phys().frameUse(pfn) == mem::FrameUse::AppSmall) {
+            mm_.unregisterMovable(pfn);
+        }
+        mm_.phys().freeFrames(pfn, order);
+    }
+    for (Pfn pfn : pool2m_)
+        mm_.phys().freeFrames(pfn, mem::Order2M);
+    for (Pfn pfn : pool1g_)
+        mm_.phys().freeFrames(pfn, mem::Order1G);
+}
+
+void
+Process::reservePools()
+{
+    // libhugetlbfs reserves its pool up front; superpages come from the
+    // pool at fault time and the pool's blocks are not movable.
+    for (std::uint64_t i = 0; i < params_.pool2mPages; i++) {
+        auto pfn = mm_.allocContiguous(mem::Order2M,
+                                       mem::FrameUse::AppHuge, true);
+        if (!pfn)
+            break;
+        pool2m_.push_back(*pfn);
+    }
+    for (std::uint64_t i = 0; i < params_.pool1gPages; i++) {
+        auto pfn = mm_.allocContiguous(mem::Order1G,
+                                       mem::FrameUse::AppHuge, true);
+        if (!pfn)
+            break;
+        pool1g_.push_back(*pfn);
+    }
+}
+
+VAddr
+Process::mmap(std::uint64_t bytes)
+{
+    fatal_if(bytes == 0, "mmap of zero bytes");
+    VAddr base = nextMmap_;
+    std::uint64_t span = alignUp(bytes, PageBytes1G);
+    nextMmap_ += span;
+    vmas_.push_back(Vma{base, bytes});
+    return base;
+}
+
+bool
+Process::inVma(VAddr vaddr) const
+{
+    for (const auto &vma : vmas_) {
+        if (vaddr >= vma.base && vaddr < vma.base + vma.bytes)
+            return true;
+    }
+    return false;
+}
+
+void
+Process::addInvalidateListener(
+    std::function<void(VAddr, PageSize)> listener)
+{
+    invalidateListeners_.push_back(std::move(listener));
+}
+
+void
+Process::fireInvalidate(VAddr vbase, PageSize size)
+{
+    for (const auto &listener : invalidateListeners_)
+        listener(vbase, size);
+}
+
+std::uint64_t
+Process::residentBytes(PageSize size) const
+{
+    switch (size) {
+      case PageSize::Size4K:
+        return static_cast<std::uint64_t>(faults4k_.value())
+               * PageBytes4K;
+      case PageSize::Size2M:
+        return static_cast<std::uint64_t>(faults2m_.value()) * PageBytes2M;
+      case PageSize::Size1G:
+        return static_cast<std::uint64_t>(faults1g_.value()) * PageBytes1G;
+    }
+    return 0;
+}
+
+std::uint64_t
+Process::residentBytes() const
+{
+    return residentBytes(PageSize::Size4K)
+           + residentBytes(PageSize::Size2M)
+           + residentBytes(PageSize::Size1G);
+}
+
+TouchResult
+Process::touch(VAddr vaddr, bool is_store)
+{
+    (void)is_store; // A/D bits are the walker's job (Sec. 4.4)
+    if (pageTable_.translate(vaddr))
+        return TouchResult::Mapped;
+    panic_if(!inVma(vaddr), "touch outside any VMA: 0x%llx",
+             (unsigned long long)vaddr);
+
+    switch (params_.policy) {
+      case PagePolicy::SmallOnly:
+        return faultSmall(vaddr);
+      case PagePolicy::Thp:
+        return faultThp(vaddr);
+      case PagePolicy::Huge2M:
+        return faultPool2m(vaddr);
+      case PagePolicy::Huge1G:
+        return faultPool1g(vaddr);
+      case PagePolicy::Reservation:
+        return faultReservation(vaddr);
+    }
+    panic("unreachable");
+}
+
+TouchResult
+Process::faultSmall(VAddr vaddr)
+{
+    // Keep headroom for the page-table frames map() may allocate, so a
+    // data-frame success is never followed by a fatal PT-frame OOM.
+    if (mm_.phys().buddy().freeFrames() < 8)
+        return TouchResult::OutOfMemory;
+    auto pfn = mm_.phys().allocFrames(0, mem::FrameUse::AppSmall);
+    if (!pfn)
+        return TouchResult::OutOfMemory;
+    VAddr vbase = pageBase(vaddr, PageSize::Size4K);
+    mm_.registerMovable(*pfn, this, vbase);
+    ownedFrames_.emplace(*pfn, 0);
+    pageTable_.map(vbase, *pfn << PageShift4K, PageSize::Size4K);
+    ++faults4k_;
+    return TouchResult::Faulted;
+}
+
+TouchResult
+Process::faultThp(VAddr vaddr)
+{
+    // THS maps whole 2MB regions on first touch when the region is
+    // fully inside the VMA and no 4KB page in it is already mapped.
+    VAddr region = pageBase(vaddr, PageSize::Size2M);
+    bool eligible = inVma(region) && inVma(region + PageBytes2M - 1)
+                    && smallIn2m_.find(region) == smallIn2m_.end();
+    if (eligible) {
+        auto pfn = mm_.allocContiguous(mem::Order2M,
+                                       mem::FrameUse::AppHuge,
+                                       params_.thpDefrag);
+        if (pfn) {
+            ownedFrames_.emplace(*pfn, mem::Order2M);
+            pageTable_.map(region, *pfn << PageShift4K, PageSize::Size2M);
+            ++faults2m_;
+            return TouchResult::Faulted;
+        }
+        ++thpFallbacks_;
+    }
+    auto result = faultSmall(vaddr);
+    if (result == TouchResult::Faulted)
+        smallIn2m_[region]++;
+    return result;
+}
+
+TouchResult
+Process::faultPool2m(VAddr vaddr)
+{
+    VAddr region = pageBase(vaddr, PageSize::Size2M);
+    bool eligible = inVma(region) && inVma(region + PageBytes2M - 1)
+                    && smallIn2m_.find(region) == smallIn2m_.end();
+    if (eligible && !pool2m_.empty()) {
+        Pfn pfn = pool2m_.front();
+        pool2m_.pop_front();
+        ownedFrames_.emplace(pfn, mem::Order2M);
+        pageTable_.map(region, pfn << PageShift4K, PageSize::Size2M);
+        ++faults2m_;
+        return TouchResult::Faulted;
+    }
+    auto result = faultSmall(vaddr);
+    if (result == TouchResult::Faulted)
+        smallIn2m_[region]++;
+    return result;
+}
+
+TouchResult
+Process::faultPool1g(VAddr vaddr)
+{
+    VAddr region = pageBase(vaddr, PageSize::Size1G);
+    bool eligible = inVma(region) && inVma(region + PageBytes1G - 1)
+                    && subIn1g_.find(region) == subIn1g_.end();
+    if (eligible && !pool1g_.empty()) {
+        Pfn pfn = pool1g_.front();
+        pool1g_.pop_front();
+        ownedFrames_.emplace(pfn, mem::Order1G);
+        pageTable_.map(region, pfn << PageShift4K, PageSize::Size1G);
+        ++faults1g_;
+        return TouchResult::Faulted;
+    }
+    auto result = faultSmall(vaddr);
+    if (result == TouchResult::Faulted) {
+        subIn1g_[region]++;
+        smallIn2m_[pageBase(vaddr, PageSize::Size2M)]++;
+    }
+    return result;
+}
+
+TouchResult
+Process::faultReservation(VAddr vaddr)
+{
+    // FreeBSD-style reservations (Navarro et al., OSDI 2002): the
+    // first touch of a 2MB region reserves a whole 2MB frame block,
+    // 4KB pages are backed from their natural slot within it, and the
+    // region is promoted to a superpage once every slot is mapped.
+    VAddr region = pageBase(vaddr, PageSize::Size2M);
+    VAddr vbase = pageBase(vaddr, PageSize::Size4K);
+    auto it = reservations_.find(region);
+    if (it == reservations_.end()) {
+        bool eligible = inVma(region) && inVma(region + PageBytes2M - 1)
+                        && smallIn2m_.find(region) == smallIn2m_.end();
+        if (eligible) {
+            auto block = mm_.allocContiguous(
+                mem::Order2M, mem::FrameUse::AppHuge, params_.thpDefrag);
+            if (block) {
+                ownedFrames_.emplace(*block, mem::Order2M);
+                it = reservations_
+                         .emplace(region, Reservation{*block, 0})
+                         .first;
+            }
+        }
+        if (it == reservations_.end()) {
+            auto result = faultSmall(vaddr);
+            if (result == TouchResult::Faulted)
+                smallIn2m_[region]++;
+            return result;
+        }
+    }
+
+    auto slot = (vbase - region) >> PageShift4K;
+    pageTable_.map(vbase,
+                   (it->second.block + slot) << PageShift4K,
+                   PageSize::Size4K);
+    ++faults4k_;
+    it->second.touched++;
+    if (it->second.touched == Frames2M) {
+        promoteReservation(region, it->second);
+        reservations_.erase(it);
+    }
+    return TouchResult::Faulted;
+}
+
+void
+Process::promoteReservation(VAddr region, const Reservation &res)
+{
+    // Swap 512 4KB PTEs for one 2MB PTE. The 4KB translations change
+    // (size-wise), so each must be shot down from the TLBs.
+    for (std::uint64_t i = 0; i < Frames2M; i++) {
+        VAddr vbase = region + i * PageBytes4K;
+        bool removed = pageTable_.unmap(vbase);
+        panic_if(!removed, "promotion found an unmapped slot");
+        fireInvalidate(vbase, PageSize::Size4K);
+    }
+    // Retire the (now empty) PT so the PD slot can hold the leaf.
+    pageTable_.clearLevelEntry(region, pt::leafLevel(PageSize::Size2M));
+    pageTable_.map(region, res.block << PageShift4K, PageSize::Size2M);
+    faults4k_ += -static_cast<double>(Frames2M);
+    ++faults2m_;
+}
+
+void
+Process::relocate(std::uint64_t tag, Pfn from, Pfn to)
+{
+    VAddr vbase = tag;
+    pageTable_.remap(vbase, to << PageShift4K);
+    auto erased = ownedFrames_.erase(from);
+    panic_if(erased == 0, "relocate of frame we do not own");
+    ownedFrames_.emplace(to, 0);
+    ++migrations_;
+    fireInvalidate(vbase, PageSize::Size4K);
+}
+
+} // namespace mixtlb::os

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * A simulated process: virtual memory areas, lazy page-fault-driven
+ * physical allocation, and the page-size policies the paper evaluates
+ * (Sec. 7.1) — fixed 4KB, libhugetlbfs 2MB/1GB pools, and transparent
+ * hugepage support (THS).
+ */
+
+#ifndef MIXTLB_OS_PROCESS_HH
+#define MIXTLB_OS_PROCESS_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "os/memory_manager.hh"
+#include "pt/page_table.hh"
+
+namespace mixtlb::os
+{
+
+/** The page-size policies of Sec. 7.1 (plus FreeBSD's reservations). */
+enum class PagePolicy : std::uint8_t
+{
+    SmallOnly,   ///< force 4KB pages everywhere
+    Huge2M,      ///< libhugetlbfs with a 2MB page pool
+    Huge1G,      ///< libhugetlbfs with a 1GB page pool
+    Thp,         ///< transparent hugepage support: 2MB when possible
+    Reservation, ///< FreeBSD-style: reserve a 2MB frame on first touch,
+                 ///< back 4KB pages from it, promote when fully built
+};
+
+const char *pagePolicyName(PagePolicy policy);
+
+struct ProcessParams
+{
+    std::string name = "proc";
+    PagePolicy policy = PagePolicy::Thp;
+    /** THS: permit compaction when direct allocation fails. */
+    bool thpDefrag = true;
+    /** libhugetlbfs pool sizes, in superpages, reserved at "link time". */
+    std::uint64_t pool2mPages = 0;
+    std::uint64_t pool1gPages = 0;
+    /** Bottom of the mmap region. */
+    VAddr mmapBase = 1ULL << 32;
+};
+
+/** Outcome of touching a virtual address. */
+enum class TouchResult : std::uint8_t
+{
+    Mapped,      ///< already backed; nothing happened
+    Faulted,     ///< page fault serviced, now backed
+    OutOfMemory, ///< no physical memory left to back the page
+};
+
+class Process : public MovableOwner
+{
+  public:
+    Process(MemoryManager &mm, const ProcessParams &params,
+            stats::StatGroup *parent);
+    ~Process() override;
+
+    Process(const Process &) = delete;
+    Process &operator=(const Process &) = delete;
+
+    /**
+     * Reserve @p bytes of virtual address space (rounded up to 1GB
+     * alignment so any page size can back it).
+     */
+    VAddr mmap(std::uint64_t bytes);
+
+    /** Demand-fault @p vaddr if it is not yet backed. */
+    TouchResult touch(VAddr vaddr, bool is_store = false);
+
+    /** True if @p vaddr lies in a reserved VMA. */
+    bool inVma(VAddr vaddr) const;
+
+    pt::PageTable &pageTable() { return pageTable_; }
+    const pt::PageTable &pageTable() const { return pageTable_; }
+
+    MemoryManager &memoryManager() { return mm_; }
+
+    /**
+     * Register a TLB-shootdown callback, fired whenever an existing
+     * translation changes (page migration, unmap).
+     */
+    void addInvalidateListener(
+        std::function<void(VAddr, PageSize)> listener);
+
+    /** Bytes currently backed by each page size. */
+    std::uint64_t residentBytes(PageSize size) const;
+    std::uint64_t residentBytes() const;
+
+    // MovableOwner: compaction moved one of our small pages.
+    void relocate(std::uint64_t tag, Pfn from, Pfn to) override;
+
+    stats::StatGroup &statGroup() { return stats_; }
+
+  private:
+    struct Vma
+    {
+        VAddr base;
+        std::uint64_t bytes;
+    };
+
+    MemoryManager &mm_;
+    ProcessParams params_;
+    pt::PageTable pageTable_;
+
+    std::vector<Vma> vmas_;
+    VAddr nextMmap_;
+
+    /** hugetlbfs pools reserved at construction. */
+    std::deque<Pfn> pool2m_;
+    std::deque<Pfn> pool1g_;
+
+    /** Frames we own, so teardown can free them: pfn -> order. */
+    std::unordered_map<Pfn, unsigned> ownedFrames_;
+
+    /** 4KB mappings per 2MB-aligned region (blocks THS collapse). */
+    std::unordered_map<VAddr, std::uint32_t> smallIn2m_;
+    /** Sub-1GB mappings per 1GB-aligned region. */
+    std::unordered_map<VAddr, std::uint32_t> subIn1g_;
+
+    /** FreeBSD-style reservation state for one 2MB region. */
+    struct Reservation
+    {
+        Pfn block;              ///< reserved 2MB frame block
+        std::uint32_t touched;  ///< 4KB pages mapped so far
+    };
+    std::unordered_map<VAddr, Reservation> reservations_;
+
+    std::vector<std::function<void(VAddr, PageSize)>> invalidateListeners_;
+
+    stats::StatGroup stats_;
+    stats::Scalar &faults4k_;
+    stats::Scalar &faults2m_;
+    stats::Scalar &faults1g_;
+    stats::Scalar &thpFallbacks_;
+    stats::Scalar &migrations_;
+
+    TouchResult faultSmall(VAddr vaddr);
+    TouchResult faultThp(VAddr vaddr);
+    TouchResult faultPool2m(VAddr vaddr);
+    TouchResult faultPool1g(VAddr vaddr);
+    TouchResult faultReservation(VAddr vaddr);
+
+    /** Replace a fully built reservation's 4KB PTEs with one 2MB PTE. */
+    void promoteReservation(VAddr region, const Reservation &res);
+
+    void fireInvalidate(VAddr vbase, PageSize size);
+    void reservePools();
+};
+
+} // namespace mixtlb::os
+
+#endif // MIXTLB_OS_PROCESS_HH

@@ -1,0 +1,85 @@
+#include "scan.hh"
+
+#include <algorithm>
+#include <map>
+
+namespace mixtlb::os
+{
+
+PageSizeDistribution
+scanDistribution(const pt::PageTable &table)
+{
+    PageSizeDistribution dist;
+    table.forEachLeaf([&](const pt::Translation &t) {
+        switch (t.size) {
+          case PageSize::Size4K: dist.bytes4k += PageBytes4K; break;
+          case PageSize::Size2M: dist.bytes2m += PageBytes2M; break;
+          case PageSize::Size1G: dist.bytes1g += PageBytes1G; break;
+        }
+    });
+    return dist;
+}
+
+std::vector<std::uint64_t>
+contiguityRuns(const pt::PageTable &table, PageSize size)
+{
+    std::vector<std::uint64_t> runs;
+    bool have_prev = false;
+    pt::Translation prev{};
+    std::uint64_t run = 0;
+
+    // forEachLeaf visits in ascending virtual order, so a run extends
+    // while both VA and PA advance by exactly one superpage.
+    table.forEachLeaf([&](const pt::Translation &t) {
+        if (t.size != size)
+            return;
+        if (have_prev &&
+            t.vbase == prev.vbase + pageBytes(size) &&
+            t.pbase == prev.pbase + pageBytes(size)) {
+            run++;
+        } else {
+            if (run > 0)
+                runs.push_back(run);
+            run = 1;
+        }
+        prev = t;
+        have_prev = true;
+    });
+    if (run > 0)
+        runs.push_back(run);
+    return runs;
+}
+
+double
+averageContiguity(const std::vector<std::uint64_t> &runs)
+{
+    std::uint64_t translations = 0;
+    double weighted = 0.0;
+    for (auto len : runs) {
+        translations += len;
+        weighted += static_cast<double>(len) * static_cast<double>(len);
+    }
+    return translations ? weighted / static_cast<double>(translations)
+                        : 0.0;
+}
+
+std::vector<std::pair<std::uint64_t, double>>
+contiguityCdf(const std::vector<std::uint64_t> &runs)
+{
+    std::map<std::uint64_t, std::uint64_t> by_len;
+    std::uint64_t translations = 0;
+    for (auto len : runs) {
+        by_len[len] += len; // len translations live in this run
+        translations += len;
+    }
+    std::vector<std::pair<std::uint64_t, double>> cdf;
+    std::uint64_t cum = 0;
+    for (auto [len, count] : by_len) {
+        cum += count;
+        cdf.emplace_back(len, static_cast<double>(cum)
+                                  / static_cast<double>(translations));
+    }
+    return cdf;
+}
+
+} // namespace mixtlb::os

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Page-table scanners reproducing the Sec. 7.1 methodology: page-size
+ * distributions (Figures 9-10) and superpage-contiguity statistics
+ * (Figures 11-13).
+ */
+
+#ifndef MIXTLB_OS_SCAN_HH
+#define MIXTLB_OS_SCAN_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/types.hh"
+#include "pt/page_table.hh"
+
+namespace mixtlb::os
+{
+
+/** Bytes of resident memory backed by each page size. */
+struct PageSizeDistribution
+{
+    std::uint64_t bytes4k = 0;
+    std::uint64_t bytes2m = 0;
+    std::uint64_t bytes1g = 0;
+
+    std::uint64_t total() const { return bytes4k + bytes2m + bytes1g; }
+
+    /** Fraction of the footprint backed by superpages (Figure 9's y). */
+    double
+    superpageFraction() const
+    {
+        auto t = total();
+        return t ? static_cast<double>(bytes2m + bytes1g)
+                       / static_cast<double>(t)
+                 : 0.0;
+    }
+};
+
+/** Tally resident bytes per page size by walking the page table. */
+PageSizeDistribution scanDistribution(const pt::PageTable &table);
+
+/**
+ * Find runs of superpages of @p size that are contiguous in BOTH
+ * virtual and physical address (the property MIX TLBs coalesce on).
+ * Each element is one run's length in superpages; singleton superpages
+ * produce runs of length 1.
+ */
+std::vector<std::uint64_t> contiguityRuns(const pt::PageTable &table,
+                                          PageSize size);
+
+/**
+ * Average contiguity as defined in Sec. 7.1: each translation counts
+ * the length of the run it belongs to, averaged over translations —
+ * i.e. sum(len^2) / sum(len). The paper's example: runs {1,1,2} give
+ * (1 + 1 + 2*2) / 4 = 1.5.
+ */
+double averageContiguity(const std::vector<std::uint64_t> &runs);
+
+/**
+ * Contiguity CDF over translations (Figures 12-13): point (x, y) means
+ * a fraction y of superpage translations live in runs of length <= x.
+ * Returned sorted by x.
+ */
+std::vector<std::pair<std::uint64_t, double>>
+contiguityCdf(const std::vector<std::uint64_t> &runs);
+
+} // namespace mixtlb::os
+
+#endif // MIXTLB_OS_SCAN_HH

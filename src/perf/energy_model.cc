@@ -1,0 +1,58 @@
+#include "energy_model.hh"
+
+#include <cmath>
+
+namespace mixtlb::perf
+{
+
+double
+EnergyModel::perRead(std::uint64_t entries) const
+{
+    // CACTI first-order: access energy ~ sqrt(capacity), normalised so
+    // a 64-entry structure reads at tlbReadUnit.
+    if (entries == 0)
+        return 0.0;
+    return params_.tlbReadUnit
+           * std::sqrt(static_cast<double>(entries) / 64.0);
+}
+
+double
+EnergyModel::perWrite(std::uint64_t entries) const
+{
+    return perRead(entries) * params_.writeFactor;
+}
+
+EnergyBreakdown
+EnergyModel::compute(const EnergyInputs &inputs) const
+{
+    EnergyBreakdown out;
+
+    double l1_read = perRead(inputs.l1Entries);
+    double l2_read = perRead(inputs.l2Entries);
+    out.lookup = inputs.l1WaysRead * l1_read
+                 + inputs.l2WaysRead * l2_read;
+    if (inputs.skewTimestamps) {
+        out.lookup += (inputs.l1WaysRead * l1_read
+                       + inputs.l2WaysRead * l2_read)
+                      * params_.timestampFactor;
+    }
+
+    out.fill = (inputs.l1Fills * perWrite(inputs.l1Entries)
+                + inputs.l2Fills * perWrite(inputs.l2Entries))
+               * inputs.fillBurstFactor;
+
+    out.walk = inputs.walkAccesses * params_.cacheAccess
+               + inputs.walkDramAccesses * params_.dramAccess;
+
+    out.other = inputs.dirtyOps * params_.cacheAccess
+                + inputs.invalidations * perWrite(inputs.l1Entries)
+                + inputs.predictorLookups * params_.predictorRead;
+
+    out.leakage = inputs.totalCycles
+                  * static_cast<double>(inputs.l1Entries
+                                        + inputs.l2Entries)
+                  * params_.leakPerCyclePerEntry;
+    return out;
+}
+
+} // namespace mixtlb::perf

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * A CACTI-flavoured analytic energy model (Sec. 4.5 and Figures 16-17).
+ *
+ * Absolute joules are not the point — the paper argues *relative*
+ * energy between designs of known relative geometry. Per-access energy
+ * scales with the square root of structure capacity (wordline/bitline
+ * scaling, the standard CACTI first-order result); walks cost cache-
+ * and DRAM-level access energies; skew TLBs pay a timestamp overhead
+ * on every probe and predictor designs pay a predictor read.
+ */
+
+#ifndef MIXTLB_PERF_ENERGY_MODEL_HH
+#define MIXTLB_PERF_ENERGY_MODEL_HH
+
+#include <cstdint>
+
+namespace mixtlb::perf
+{
+
+struct EnergyParams
+{
+    /** Energy per way-read of a 64-entry structure (arbitrary units). */
+    double tlbReadUnit = 1.0;
+    /** Entry writes cost this multiple of a read. */
+    double writeFactor = 1.2;
+    /** Cache access energy per page-walk reference (avg across levels). */
+    double cacheAccess = 4.0;
+    /** DRAM access energy (per walk reference that misses the LLC). */
+    double dramAccess = 60.0;
+    /** Predictor read energy (per lookup of predictor designs). */
+    double predictorRead = 0.5;
+    /** Extra per-probe energy for skew timestamp maintenance. */
+    double timestampFactor = 0.2;
+    /** Static leakage per cycle per entry (ties energy to runtime). */
+    double leakPerCyclePerEntry = 2e-5;
+};
+
+/** Raw event counts harvested from a run's statistics. */
+struct EnergyInputs
+{
+    // Lookup path.
+    double l1WaysRead = 0;   ///< entries read over all L1 lookups
+    double l2WaysRead = 0;
+    std::uint64_t l1Entries = 0;
+    std::uint64_t l2Entries = 0;
+    // Fill path (mirror copies included by the TLB's own accounting).
+    double l1Fills = 0;
+    double l2Fills = 0;
+    /**
+     * Energy discount on entry writes for designs that burst-write the
+     * same content into many sets (MIX mirroring): row decode and data
+     * drive amortise across the burst. 1.0 for conventional fills.
+     */
+    double fillBurstFactor = 1.0;
+    // Walks.
+    double walkAccesses = 0;    ///< cacheline refs issued by walks
+    double walkDramAccesses = 0;///< of those, how many reached DRAM
+    // Misc.
+    double dirtyOps = 0;
+    double invalidations = 0;
+    double predictorLookups = 0; ///< 0 for designs without predictors
+    bool skewTimestamps = false;
+    double totalCycles = 0;      ///< for leakage
+};
+
+/** Figure 17's categories. */
+struct EnergyBreakdown
+{
+    double lookup = 0;
+    double walk = 0;
+    double fill = 0;
+    double other = 0; ///< dirty micro-ops, invalidations, predictor
+    double leakage = 0;
+
+    double
+    total() const
+    {
+        return lookup + walk + fill + other + leakage;
+    }
+};
+
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(EnergyParams params = {}) : params_(params) {}
+
+    /** Per way-read energy of a structure with @p entries entries. */
+    double perRead(std::uint64_t entries) const;
+
+    /** Per entry-write energy. */
+    double perWrite(std::uint64_t entries) const;
+
+    /** Full dynamic + leakage breakdown for one run. */
+    EnergyBreakdown compute(const EnergyInputs &inputs) const;
+
+  private:
+    EnergyParams params_;
+};
+
+} // namespace mixtlb::perf
+
+#endif // MIXTLB_PERF_ENERGY_MODEL_HH

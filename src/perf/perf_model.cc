@@ -1,0 +1,33 @@
+#include "perf_model.hh"
+
+namespace mixtlb::perf
+{
+
+RunMetrics
+computeMetrics(std::uint64_t refs, double translation_cycles,
+               double data_cycles, const PerfParams &params)
+{
+    RunMetrics metrics;
+    metrics.refs = refs;
+    metrics.translationCycles = translation_cycles;
+    metrics.baseCycles = static_cast<double>(refs)
+                             * params.baseCyclesPerRef
+                         + data_cycles;
+    double free_cycles = static_cast<double>(refs)
+                         * static_cast<double>(params.freeL1HitLatency);
+    metrics.overheadCycles = translation_cycles > free_cycles
+                                 ? translation_cycles - free_cycles
+                                 : 0.0;
+    metrics.totalCycles = metrics.baseCycles + metrics.overheadCycles;
+    return metrics;
+}
+
+double
+improvementPercent(const RunMetrics &baseline, const RunMetrics &faster)
+{
+    if (faster.totalCycles <= 0)
+        return 0.0;
+    return 100.0 * (baseline.totalCycles / faster.totalCycles - 1.0);
+}
+
+} // namespace mixtlb::perf

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The analytical performance model of Sec. 6.2: functional-simulation
+ * hit rates are combined with per-event costs to estimate runtime and
+ * the share of it spent on address translation.
+ *
+ * runtime = refs * base_cpr + translation overhead, where base_cpr is
+ * the non-translation work per memory reference and the overhead is
+ * every translation cycle beyond the pipelined L1 TLB hit.
+ */
+
+#ifndef MIXTLB_PERF_PERF_MODEL_HH
+#define MIXTLB_PERF_PERF_MODEL_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace mixtlb::perf
+{
+
+struct PerfParams
+{
+    /**
+     * Core (non-memory) cycles per memory reference. Data-cache time
+     * is measured by the functional cache simulation and passed in
+     * separately, so this covers only the instruction-execution share.
+     */
+    double baseCyclesPerRef = 1.0;
+    /** The pipelined L1 TLB hit latency that costs nothing extra. */
+    Cycles freeL1HitLatency = 1;
+};
+
+struct RunMetrics
+{
+    std::uint64_t refs = 0;
+    double translationCycles = 0; ///< total, incl. pipelined L1 hits
+    double baseCycles = 0;
+    double overheadCycles = 0;    ///< translation beyond free L1 hits
+    double totalCycles = 0;
+
+    /** Fraction of runtime devoted to translation (Figures 1, 15R). */
+    double
+    overheadFraction() const
+    {
+        return totalCycles > 0 ? overheadCycles / totalCycles : 0.0;
+    }
+};
+
+/**
+ * Build metrics from a run's counts.
+ * @param data_cycles measured data-access cycles (cache simulation);
+ *        becomes part of the translation-independent base time.
+ */
+RunMetrics computeMetrics(std::uint64_t refs, double translation_cycles,
+                          double data_cycles = 0.0,
+                          const PerfParams &params = {});
+
+/**
+ * Percent performance improvement of @p faster over @p baseline
+ * (Figure 14's metric): 100 * (T_baseline / T_faster - 1).
+ */
+double improvementPercent(const RunMetrics &baseline,
+                          const RunMetrics &faster);
+
+} // namespace mixtlb::perf
+
+#endif // MIXTLB_PERF_PERF_MODEL_HH

@@ -1,0 +1,219 @@
+#include "page_table.hh"
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace mixtlb::pt
+{
+
+PageTable::PageTable(mem::PhysMem &mem) : mem_(mem)
+{
+    root_ = allocTable();
+}
+
+PageTable::~PageTable()
+{
+    for (Pfn pfn : tableFrames_)
+        mem_.freeFrames(pfn, 0);
+}
+
+PAddr
+PageTable::allocTable()
+{
+    auto pfn = mem_.allocFrames(0, mem::FrameUse::PageTable);
+    fatal_if(!pfn, "out of physical memory allocating a page table");
+    tableFrames_.push_back(*pfn);
+    return *pfn << PageShift4K;
+}
+
+namespace
+{
+
+/** Physical address of entry @p index in the table at @p table. */
+PAddr
+entryAddr(PAddr table, unsigned index)
+{
+    return table + 8ULL * index;
+}
+
+} // anonymous namespace
+
+std::optional<PAddr>
+PageTable::walkToLevel(VAddr vaddr, unsigned target_level, bool create,
+                       unsigned *leaf_level_out) const
+{
+    PAddr table = root_;
+    for (unsigned level = NumLevels - 1; level > target_level; level--) {
+        PAddr pte_addr = entryAddr(table, levelIndex(vaddr, level));
+        std::uint64_t raw = mem_.read64(pte_addr);
+        if (pte::present(raw) && pte::pageSizeBit(raw)) {
+            // Hit a superpage leaf above the target level.
+            if (leaf_level_out)
+                *leaf_level_out = level;
+            return pte_addr;
+        }
+        if (!pte::present(raw)) {
+            if (!create)
+                return std::nullopt;
+            // Creating intermediate levels mutates the backing store but
+            // not this object's logical constness guarantees; only the
+            // non-const map() path passes create = true.
+            PAddr next = const_cast<PageTable *>(this)->allocTable();
+            mem_.write64(pte_addr, pte::make(next, Perms{}, false));
+            table = next;
+        } else {
+            table = pte::frame(raw);
+        }
+    }
+    if (leaf_level_out)
+        *leaf_level_out = target_level;
+    return entryAddr(table, levelIndex(vaddr, target_level));
+}
+
+void
+PageTable::map(VAddr vaddr, PAddr paddr, PageSize size, Perms perms)
+{
+    const std::uint64_t bytes = pageBytes(size);
+    panic_if(vaddr & (bytes - 1), "map: vaddr misaligned for %s page",
+             pageSizeName(size));
+    panic_if(paddr & (bytes - 1), "map: paddr misaligned for %s page",
+             pageSizeName(size));
+
+    unsigned level = leafLevel(size);
+    unsigned found_level = 0;
+    auto pte_addr = walkToLevel(vaddr, level, true, &found_level);
+    panic_if(!pte_addr, "walkToLevel(create) failed");
+    panic_if(found_level != level,
+             "map: conflicting superpage leaf at level %u", found_level);
+    std::uint64_t old = mem_.read64(*pte_addr);
+    panic_if(pte::present(old), "map: vaddr 0x%llx already mapped",
+             (unsigned long long)vaddr);
+    mem_.write64(*pte_addr, pte::make(paddr, perms, level > 0));
+    numMappings_++;
+}
+
+bool
+PageTable::unmap(VAddr vaddr)
+{
+    unsigned found_level = 0;
+    auto pte_addr = walkToLevel(vaddr, 0, false, &found_level);
+    if (!pte_addr)
+        return false;
+    std::uint64_t raw = mem_.read64(*pte_addr);
+    if (!pte::present(raw))
+        return false;
+    mem_.write64(*pte_addr, 0);
+    numMappings_--;
+    return true;
+}
+
+void
+PageTable::remap(VAddr vaddr, PAddr new_paddr)
+{
+    auto pte_addr = leafPteAddr(vaddr);
+    panic_if(!pte_addr, "remap of unmapped vaddr 0x%llx",
+             (unsigned long long)vaddr);
+    std::uint64_t raw = mem_.read64(*pte_addr);
+    mem_.write64(*pte_addr,
+                 (raw & ~pte::FrameMask) | (new_paddr & pte::FrameMask));
+}
+
+void
+PageTable::clearLevelEntry(VAddr vaddr, unsigned level)
+{
+    unsigned found_level = 0;
+    auto pte_addr = walkToLevel(vaddr, level, false, &found_level);
+    panic_if(!pte_addr || found_level != level,
+             "clearLevelEntry: no entry at level %u", level);
+    mem_.write64(*pte_addr, 0);
+}
+
+std::optional<Translation>
+PageTable::translate(VAddr vaddr) const
+{
+    unsigned found_level = 0;
+    auto pte_addr = walkToLevel(vaddr, 0, false, &found_level);
+    if (!pte_addr)
+        return std::nullopt;
+    std::uint64_t raw = mem_.read64(*pte_addr);
+    if (!pte::present(raw))
+        return std::nullopt;
+
+    PageSize size = found_level == 2 ? PageSize::Size1G
+                    : found_level == 1 ? PageSize::Size2M
+                                       : PageSize::Size4K;
+    Translation xlate;
+    xlate.vbase = pageBase(vaddr, size);
+    xlate.pbase = pte::frame(raw);
+    xlate.size = size;
+    xlate.perms = pte::perms(raw);
+    xlate.accessed = pte::accessed(raw);
+    xlate.dirty = pte::dirty(raw);
+    return xlate;
+}
+
+std::optional<PAddr>
+PageTable::leafPteAddr(VAddr vaddr) const
+{
+    unsigned found_level = 0;
+    auto pte_addr = walkToLevel(vaddr, 0, false, &found_level);
+    if (!pte_addr)
+        return std::nullopt;
+    if (!pte::present(mem_.read64(*pte_addr)))
+        return std::nullopt;
+    return pte_addr;
+}
+
+void
+PageTable::setAccessed(VAddr vaddr)
+{
+    auto pte_addr = leafPteAddr(vaddr);
+    panic_if(!pte_addr, "setAccessed on unmapped vaddr");
+    mem_.write64(*pte_addr, mem_.read64(*pte_addr) | pte::A);
+}
+
+void
+PageTable::setDirty(VAddr vaddr)
+{
+    auto pte_addr = leafPteAddr(vaddr);
+    panic_if(!pte_addr, "setDirty on unmapped vaddr");
+    mem_.write64(*pte_addr, mem_.read64(*pte_addr) | pte::A | pte::D);
+}
+
+void
+PageTable::forEachLeaf(
+    const std::function<void(const Translation &)> &fn) const
+{
+    forEachLeafRec(root_, NumLevels - 1, 0, fn);
+}
+
+void
+PageTable::forEachLeafRec(
+    PAddr table, unsigned level, VAddr vbase,
+    const std::function<void(const Translation &)> &fn) const
+{
+    for (unsigned idx = 0; idx < 512; idx++) {
+        std::uint64_t raw = mem_.read64(entryAddr(table, idx));
+        if (!pte::present(raw))
+            continue;
+        VAddr entry_vbase = vbase + (static_cast<VAddr>(idx)
+                                     << levelShift(level));
+        if (level == 0 || pte::pageSizeBit(raw)) {
+            PageSize size = level == 2 ? PageSize::Size1G
+                            : level == 1 ? PageSize::Size2M
+                                         : PageSize::Size4K;
+            Translation xlate;
+            xlate.vbase = entry_vbase;
+            xlate.pbase = pte::frame(raw);
+            xlate.size = size;
+            xlate.perms = pte::perms(raw);
+            xlate.accessed = pte::accessed(raw);
+            xlate.dirty = pte::dirty(raw);
+            fn(xlate);
+        } else {
+            forEachLeafRec(pte::frame(raw), level - 1, entry_vbase, fn);
+        }
+    }
+}
+
+} // namespace mixtlb::pt

@@ -1,0 +1,81 @@
+#include "pwc.hh"
+
+#include <algorithm>
+
+#include "pt/page_table.hh"
+
+namespace mixtlb::pt
+{
+
+PagingStructureCache::PagingStructureCache(const PwcParams &params,
+                                           stats::StatGroup *parent)
+    : params_(params), stats_("pwc", parent),
+      hits_(stats_.addScalar("hits", "paging-structure cache hits")),
+      misses_(stats_.addScalar("misses",
+                               "walks that started at the root"))
+{
+}
+
+std::optional<std::pair<unsigned, PAddr>>
+PagingStructureCache::probe(VAddr vaddr)
+{
+    if (!enabled())
+        return std::nullopt;
+    // Prefer the deepest (lowest-level) shortcut.
+    auto best = lru_.end();
+    for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+        if ((vaddr >> levelShift(it->level + 1)) != it->prefix)
+            continue;
+        if (best == lru_.end() || it->level < best->level)
+            best = it;
+    }
+    if (best == lru_.end()) {
+        ++misses_;
+        return std::nullopt;
+    }
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, best);
+    return std::make_pair(best->level, best->tableBase);
+}
+
+void
+PagingStructureCache::insert(unsigned level, VAddr vaddr,
+                             PAddr table_base)
+{
+    if (!enabled() || level >= NumLevels - 1)
+        return; // never cache the root itself
+    std::uint64_t prefix = vaddr >> levelShift(level + 1);
+    auto it = std::find_if(lru_.begin(), lru_.end(), [&](const Entry &e) {
+        return e.level == level && e.prefix == prefix;
+    });
+    if (it != lru_.end()) {
+        it->tableBase = table_base;
+        lru_.splice(lru_.begin(), lru_, it);
+        return;
+    }
+    lru_.push_front(Entry{level, prefix, table_base});
+    if (lru_.size() > params_.entries)
+        lru_.pop_back();
+}
+
+void
+PagingStructureCache::invalidate(VAddr vbase, PageSize size)
+{
+    // Conservative: drop any entry whose covered VA range intersects
+    // the invalidated page (shootdowns also flush paging-structure
+    // caches on real hardware).
+    std::uint64_t span = pageBytes(size);
+    lru_.remove_if([&](const Entry &e) {
+        VAddr lo = e.prefix << levelShift(e.level + 1);
+        VAddr hi = lo + (1ULL << levelShift(e.level + 1));
+        return vbase < hi && vbase + span > lo;
+    });
+}
+
+void
+PagingStructureCache::invalidateAll()
+{
+    lru_.clear();
+}
+
+} // namespace mixtlb::pt

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * A paging-structure cache (MMU cache), as in Intel's PML4E/PDPTE/PDE
+ * caches and the large-reach MMU cache literature the paper cites
+ * [19]. Caches intermediate page-table entries by virtual-address
+ * prefix so a walk can start below the root, shortening 4-level walks
+ * to as little as one leaf access.
+ *
+ * Disabled by default in the benches (the paper's walker model does
+ * not include one); provided as the natural extension and exercised
+ * by its own tests/ablation.
+ */
+
+#ifndef MIXTLB_PT_PWC_HH
+#define MIXTLB_PT_PWC_HH
+
+#include <cstdint>
+#include <list>
+#include <optional>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace mixtlb::pt
+{
+
+struct PwcParams
+{
+    /** Entries shared by all cached levels; 0 disables the cache. */
+    unsigned entries = 0;
+};
+
+/**
+ * Fully-associative LRU cache of intermediate paging-structure
+ * entries: key = (level, VA prefix at that level), value = physical
+ * base of the *next lower* table.
+ */
+class PagingStructureCache
+{
+  public:
+    PagingStructureCache(const PwcParams &params,
+                         stats::StatGroup *parent);
+
+    bool enabled() const { return params_.entries > 0; }
+
+    /**
+     * Deepest cached starting point for a walk to @p vaddr.
+     * @return (level to continue from, physical table base), where the
+     *         returned level is the level whose entry should be read
+     *         next; nullopt = start from the root.
+     */
+    std::optional<std::pair<unsigned, PAddr>> probe(VAddr vaddr);
+
+    /**
+     * Record that the table for @p level's lookup (i.e. the table
+     * containing the level-@p level entry of @p vaddr) lives at
+     * @p table_base.
+     */
+    void insert(unsigned level, VAddr vaddr, PAddr table_base);
+
+    /** Invalidate every entry overlapping the page at @p vbase. */
+    void invalidate(VAddr vbase, PageSize size);
+
+    void invalidateAll();
+
+  private:
+    struct Entry
+    {
+        unsigned level;       ///< table level this entry shortcuts to
+        std::uint64_t prefix; ///< VA >> levelShift(level + 1)
+        PAddr tableBase;
+    };
+
+    PwcParams params_;
+    std::list<Entry> lru_; ///< front = MRU
+
+    stats::StatGroup stats_;
+    stats::Scalar &hits_;
+    stats::Scalar &misses_;
+};
+
+} // namespace mixtlb::pt
+
+#endif // MIXTLB_PT_PWC_HH

@@ -1,0 +1,153 @@
+#include "walker.hh"
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace mixtlb::pt
+{
+
+Walker::Walker(const PageTable &table, stats::StatGroup *parent,
+               unsigned scan_lines, PwcParams pwc)
+    : table_(table), scanLines_(scan_lines), stats_("walker", parent),
+      pwc_(pwc, &stats_),
+      walks_(stats_.addScalar("walks", "page table walks performed")),
+      pageFaults_(stats_.addScalar("page_faults",
+                                   "walks that found no mapping")),
+      memAccesses_(stats_.addScalar("mem_accesses",
+                                    "memory accesses issued by walks")),
+      dirtyUpdates_(stats_.addScalar("dirty_updates",
+                                     "dirty-bit update micro-ops"))
+{
+}
+
+WalkResult
+Walker::walk(VAddr vaddr, bool is_store)
+{
+    ++walks_;
+    WalkResult result;
+    auto &mem = table_.mem();
+
+    PAddr table = table_.root();
+    unsigned start_level = NumLevels - 1;
+    if (auto shortcut = pwc_.probe(vaddr)) {
+        start_level = shortcut->first;
+        table = shortcut->second;
+    }
+    for (unsigned level = start_level + 1; level-- > 0;) {
+        PAddr pte_addr = table + 8ULL * levelIndex(vaddr, level);
+        result.accesses.push_back(alignDown(pte_addr, CacheLineBytes));
+        ++memAccesses_;
+        std::uint64_t raw = mem.read64(pte_addr);
+        if (!pte::present(raw)) {
+            ++pageFaults_;
+            return result;
+        }
+        if (level == 0 || pte::pageSizeBit(raw)) {
+            // Leaf: apply the A/D protocol, then decode the line.
+            std::uint64_t updated = raw | pte::A;
+            if (is_store) {
+                updated |= pte::D;
+                if (!pte::dirty(raw))
+                    ++dirtyUpdates_;
+            }
+            if (updated != raw)
+                mem.write64(pte_addr, updated);
+            fillLine(vaddr, pte_addr, level, result);
+            return result;
+        }
+        table = pte::frame(raw);
+        // Remember this intermediate table for future walks.
+        pwc_.insert(level - 1, vaddr, table);
+    }
+    panic("walk fell off the radix tree");
+}
+
+std::optional<WalkResult>
+Walker::readLeafLine(VAddr vaddr, bool is_store)
+{
+    // A functional probe to find the leaf, then one line read. The MMU
+    // charges only the single line access this returns.
+    auto pte_addr = table_.leafPteAddr(vaddr);
+    if (!pte_addr)
+        return std::nullopt;
+
+    auto &mem = table_.mem();
+    std::uint64_t raw = mem.read64(*pte_addr);
+    std::uint64_t updated = raw | pte::A;
+    if (is_store) {
+        updated |= pte::D;
+        if (!pte::dirty(raw))
+            ++dirtyUpdates_;
+    }
+    if (updated != raw)
+        mem.write64(*pte_addr, updated);
+
+    auto xlate = table_.translate(vaddr);
+    panic_if(!xlate, "leafPteAddr/translate disagree");
+    WalkResult result;
+    result.accesses.push_back(alignDown(*pte_addr, CacheLineBytes));
+    ++memAccesses_;
+    fillLine(vaddr, *pte_addr, leafLevel(xlate->size), result);
+    return result;
+}
+
+void
+Walker::fillLine(VAddr vaddr, PAddr pte_addr, unsigned level,
+                 WalkResult &result)
+{
+    auto &mem = table_.mem();
+    // Superpage leaves may use the wide scan; 4KB fills never do (the
+    // TLB windows for small pages are at most a few entries).
+    const unsigned lines = level > 0 ? scanLines_ : 1;
+    const unsigned slots = lines * PtesPerCacheLine;
+    const PAddr scan_base =
+        alignDown(pte_addr, lines * CacheLineBytes);
+    const auto slot =
+        static_cast<unsigned>((pte_addr - scan_base) / 8);
+    result.leafSlot = slot;
+    result.lineGranularity = level == 2 ? PageSize::Size1G
+                             : level == 1 ? PageSize::Size2M
+                                          : PageSize::Size4K;
+    result.line.assign(slots, LinePte{});
+
+    // The extra cache lines are read by the (off-critical-path)
+    // coalescing logic; the leaf's own line was already charged by the
+    // walk itself.
+    const PAddr leaf_line = alignDown(pte_addr, CacheLineBytes);
+    for (unsigned l = 0; l < lines; l++) {
+        PAddr line_addr = scan_base + static_cast<PAddr>(l)
+                                          * CacheLineBytes;
+        if (line_addr != leaf_line) {
+            result.fillAccesses.push_back(line_addr);
+            ++memAccesses_;
+        }
+    }
+
+    // Virtual base covered by slot 0 of the scan group: the entries
+    // span an aligned group of `slots` pages at this level's
+    // granularity.
+    const std::uint64_t entry_span = 1ULL << levelShift(level);
+    const VAddr group_base = alignDown(vaddr, entry_span * slots);
+
+    for (unsigned i = 0; i < slots; i++) {
+        std::uint64_t raw = mem.read64(scan_base + 8ULL * i);
+        LinePte &entry = result.line[i];
+        // An entry only describes a leaf at this granularity if it is
+        // present and is a page (not a pointer to a lower-level table).
+        bool is_leaf = pte::present(raw)
+                       && (level == 0 || pte::pageSizeBit(raw));
+        if (!is_leaf)
+            continue;
+        entry.present = true;
+        entry.xlate.vbase = group_base + i * entry_span;
+        entry.xlate.pbase = pte::frame(raw);
+        entry.xlate.size = result.lineGranularity;
+        entry.xlate.perms = pte::perms(raw);
+        entry.xlate.accessed = pte::accessed(raw);
+        entry.xlate.dirty = pte::dirty(raw);
+    }
+
+    result.leaf = result.line[slot].xlate;
+}
+
+} // namespace mixtlb::pt

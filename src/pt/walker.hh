@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Hardware page-table walker model.
+ *
+ * A walk returns (a) the leaf translation, (b) the physical addresses
+ * touched at each radix level — which the MMU pushes through the cache
+ * hierarchy to cost the walk — and (c) the decoded contents of the leaf
+ * PTE's whole cache line (8 entries), which is exactly what the MIX TLB
+ * coalescing logic scans for contiguous superpages on a fill (Sec. 3).
+ *
+ * The walker implements the x86 A/D-bit protocol: it sets the Accessed
+ * bit of the leaf on every successful walk and sets the Dirty bit when
+ * the walk was triggered by a store (Sec. 4.4).
+ */
+
+#ifndef MIXTLB_PT_WALKER_HH
+#define MIXTLB_PT_WALKER_HH
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "pt/page_table.hh"
+#include "pt/pte.hh"
+#include "pt/pwc.hh"
+
+namespace mixtlb::pt
+{
+
+/** One decoded slot of the leaf PTE's cache line. */
+struct LinePte
+{
+    bool present = false;
+    Translation xlate{};
+};
+
+/** Everything a TLB fill needs to know about one walk. */
+struct WalkResult
+{
+    /** The leaf translation; empty on a page fault. */
+    std::optional<Translation> leaf;
+
+    /** Cacheline-aligned physical addresses touched, root first. */
+    std::vector<PAddr> accesses;
+
+    /**
+     * Additional accesses issued by the fill/coalescing logic off the
+     * walk's critical path (wide PTE scans). They consume bandwidth
+     * and energy and perturb the caches, but add no translation
+     * latency (Sec. 4.5).
+     */
+    std::vector<PAddr> fillAccesses;
+
+    /**
+     * The PTE slots around the leaf, in ascending virtual-address
+     * order, and the slot index of the requested leaf. A plain walker
+     * scans the leaf's own cache line (8 slots); a wide-scanning
+     * walker (used in front of L2 MIX TLBs, Sec. 4.2's "scan
+     * additional cache lines" option) returns an aligned group of
+     * several lines, each extra line charged as a memory access.
+     * Only populated on a successful walk.
+     */
+    std::vector<LinePte> line;
+    unsigned leafSlot = 0;
+
+    /** Page size of each slot's granularity (all slots share a level). */
+    PageSize lineGranularity = PageSize::Size4K;
+
+    bool pageFault() const { return !leaf.has_value(); }
+};
+
+class Walker
+{
+  public:
+    /**
+     * @param table the page table to walk
+     * @param parent stat group to hang walker statistics off
+     * @param scan_lines PTE cache lines decoded per leaf (power of
+     *        two): 1 models the paper's base design; 8 models the
+     *        wide-scanning fill used in front of L2 MIX TLBs. Lines
+     *        beyond the first are charged as memory accesses but only
+     *        for superpage leaves (small-page fills never benefit).
+     */
+    Walker(const PageTable &table, stats::StatGroup *parent,
+           unsigned scan_lines = 1, PwcParams pwc = {});
+
+    /**
+     * Perform a full walk for @p vaddr.
+     * @param is_store sets the dirty bit on the leaf (x86 micro-op).
+     */
+    WalkResult walk(VAddr vaddr, bool is_store);
+
+    /**
+     * Re-read the cache line holding the leaf PTE of @p vaddr without a
+     * full walk. Used when a MIX TLB extends an existing coalesced
+     * bundle with newly demanded neighbours (Sec. 4.2, "capacity
+     * strategies"). Returns nullopt if @p vaddr is unmapped.
+     */
+    std::optional<WalkResult> readLeafLine(VAddr vaddr, bool is_store);
+
+    stats::StatGroup &statGroup() { return stats_; }
+
+    /** The MMU's paging-structure cache (may be disabled). */
+    PagingStructureCache &pwc() { return pwc_; }
+
+  private:
+    const PageTable &table_;
+    unsigned scanLines_;
+
+    stats::StatGroup stats_;
+    PagingStructureCache pwc_;
+    stats::Scalar &walks_;
+    stats::Scalar &pageFaults_;
+    stats::Scalar &memAccesses_;
+    stats::Scalar &dirtyUpdates_;
+
+    /** Decode the leaf line(s) around @p pte_addr into @p result. */
+    void fillLine(VAddr vaddr, PAddr pte_addr, unsigned level,
+                  WalkResult &result);
+};
+
+} // namespace mixtlb::pt
+
+#endif // MIXTLB_PT_WALKER_HH

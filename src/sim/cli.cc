@@ -1,0 +1,106 @@
+#include "cli.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace mixtlb::sim
+{
+
+CliArgs::CliArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            fatal("unexpected argument '%s' (flags are --key [value])",
+                  arg.c_str());
+        }
+        std::string key = arg.substr(2);
+        if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+            values_[key] = argv[++i];
+        } else {
+            values_[key] = "";
+        }
+    }
+}
+
+std::uint64_t
+CliArgs::getU64(const std::string &key, std::uint64_t def) const
+{
+    auto it = values_.find(key);
+    return it == values_.end() ? def
+                               : std::strtoull(it->second.c_str(),
+                                               nullptr, 0);
+}
+
+double
+CliArgs::getDouble(const std::string &key, double def) const
+{
+    auto it = values_.find(key);
+    return it == values_.end() ? def
+                               : std::strtod(it->second.c_str(), nullptr);
+}
+
+std::string
+CliArgs::getString(const std::string &key, const std::string &def) const
+{
+    auto it = values_.find(key);
+    return it == values_.end() ? def : it->second;
+}
+
+bool
+CliArgs::has(const std::string &key) const
+{
+    return values_.count(key) > 0;
+}
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    panic_if(cells.size() != headers_.size(),
+             "row has %zu cells, table has %zu columns", cells.size(),
+             headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::fmt(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+void
+Table::print() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); c++)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); c++)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto print_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); c++)
+            std::printf("%-*s  ", static_cast<int>(widths[c]),
+                        cells[c].c_str());
+        std::printf("\n");
+    };
+    print_row(headers_);
+    std::size_t total = 0;
+    for (auto w : widths)
+        total += w + 2;
+    std::printf("%s\n", std::string(total, '-').c_str());
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+} // namespace mixtlb::sim

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Tiny command-line and table-printing helpers shared by the examples
+ * and the per-figure benchmark binaries.
+ */
+
+#ifndef MIXTLB_SIM_CLI_HH
+#define MIXTLB_SIM_CLI_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mixtlb::sim
+{
+
+/** "--key value" and "--flag" parser with typed lookups. */
+class CliArgs
+{
+  public:
+    CliArgs(int argc, char **argv);
+
+    std::uint64_t getU64(const std::string &key,
+                         std::uint64_t def) const;
+    double getDouble(const std::string &key, double def) const;
+    std::string getString(const std::string &key,
+                          const std::string &def) const;
+    bool has(const std::string &key) const;
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+/** Fixed-width text table, printed like the paper's result rows. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+    void print() const;
+
+    static std::string fmt(double value, int precision = 2);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace mixtlb::sim
+
+#endif // MIXTLB_SIM_CLI_HH

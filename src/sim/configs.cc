@@ -1,0 +1,311 @@
+#include "configs.hh"
+
+#include "common/logging.hh"
+#include "tlb/colt.hh"
+#include "tlb/hash_rehash.hh"
+#include "tlb/ideal.hh"
+#include "tlb/mix.hh"
+#include "tlb/set_assoc.hh"
+#include "tlb/skew.hh"
+#include "tlb/split.hh"
+
+namespace mixtlb::sim
+{
+
+using namespace tlb;
+
+const char *
+designName(TlbDesign design)
+{
+    switch (design) {
+      case TlbDesign::Split: return "split";
+      case TlbDesign::Mix: return "mix";
+      case TlbDesign::MixColt: return "mix+colt";
+      case TlbDesign::MixSuperIndex: return "mix-spidx";
+      case TlbDesign::HashRehash: return "hash-rehash";
+      case TlbDesign::HashRehashPred: return "hash-rehash+pred";
+      case TlbDesign::Skew: return "skew";
+      case TlbDesign::SkewPred: return "skew+pred";
+      case TlbDesign::Colt: return "colt";
+      case TlbDesign::ColtPlusPlus: return "colt++";
+      case TlbDesign::Ideal: return "ideal";
+    }
+    return "?";
+}
+
+unsigned
+walkerScanLines(TlbDesign design)
+{
+    switch (design) {
+      case TlbDesign::Mix:
+      case TlbDesign::MixColt:
+      case TlbDesign::MixSuperIndex:
+        return 8;
+      default:
+        return 1;
+    }
+}
+
+namespace
+{
+
+std::unique_ptr<BaseTlb>
+makeSplitL1(const std::string &name, stats::StatGroup *parent,
+            unsigned scale, bool colt_4k, bool colt_super)
+{
+    auto split = std::make_unique<SplitTlb>(name, parent);
+    auto *group = &split->statGroup();
+    if (colt_4k) {
+        split->addComponent(std::make_unique<ColtTlb>(
+            "t4k", group, 64 * scale, 4, PageSize::Size4K, 4));
+    } else {
+        split->addComponent(std::make_unique<SetAssocTlb>(
+            "t4k", group, 64 * scale, 4, PageSize::Size4K));
+    }
+    if (colt_super) {
+        split->addComponent(std::make_unique<ColtTlb>(
+            "t2m", group, 32 * scale, 4, PageSize::Size2M, 4));
+    } else {
+        split->addComponent(std::make_unique<SetAssocTlb>(
+            "t2m", group, 32 * scale, 4, PageSize::Size2M));
+    }
+    split->addComponent(std::make_unique<FullyAssocTlb>(
+        "t1g", group, 4 * scale,
+        std::initializer_list<PageSize>{PageSize::Size1G}));
+    return split;
+}
+
+std::shared_ptr<BaseTlb>
+makeSplitL2(const std::string &name, stats::StatGroup *parent,
+            unsigned scale, bool colt_4k, bool colt_super)
+{
+    auto split = std::make_shared<SplitTlb>(name, parent);
+    auto *group = &split->statGroup();
+    if (!colt_4k && !colt_super) {
+        // The actual Haswell organisation: a hash-rehash structure for
+        // 4KB+2MB plus a separate 1GB TLB.
+        HashRehashParams hr;
+        hr.entries = 512ULL * scale;
+        hr.assoc = 8;
+        hr.sizes = {PageSize::Size4K, PageSize::Size2M};
+        split->addComponent(
+            std::make_unique<HashRehashTlb>("t4k2m", group, hr));
+        split->addComponent(std::make_unique<SetAssocTlb>(
+            "t1g", group, 32 * scale, 4, PageSize::Size1G));
+        return split;
+    }
+    // COLT variants need per-size components so each structure can
+    // coalesce its own size. The Haswell L2 shares 512 entries between
+    // 4KB and 2MB; the per-size stand-in splits that budget evenly so
+    // neither size is starved relative to the baseline.
+    if (colt_4k) {
+        split->addComponent(std::make_unique<ColtTlb>(
+            "t4k", group, 256 * scale, 8, PageSize::Size4K, 4));
+    } else {
+        split->addComponent(std::make_unique<SetAssocTlb>(
+            "t4k", group, 256 * scale, 8, PageSize::Size4K));
+    }
+    if (colt_super) {
+        split->addComponent(std::make_unique<ColtTlb>(
+            "t2m", group, 256 * scale, 8, PageSize::Size2M, 4));
+        split->addComponent(std::make_unique<ColtTlb>(
+            "t1g", group, 32 * scale, 4, PageSize::Size1G, 4));
+    } else {
+        split->addComponent(std::make_unique<SetAssocTlb>(
+            "t2m", group, 256 * scale, 8, PageSize::Size2M));
+        split->addComponent(std::make_unique<SetAssocTlb>(
+            "t1g", group, 32 * scale, 4, PageSize::Size1G));
+    }
+    return split;
+}
+
+MixTlbParams
+mixL1Params(unsigned scale, bool colt, bool super_index)
+{
+    MixTlbParams params;
+    params.entries = 96ULL * scale; // area-equivalent to 100 split
+    params.assoc = 6;
+    params.mode = CoalesceMode::Bitmap;
+    params.colt4k = colt ? 4 : 1;
+    params.superpageIndexBits = super_index;
+    return params;
+}
+
+MixTlbParams
+mixL2Params(unsigned scale, bool colt, bool super_index)
+{
+    MixTlbParams params;
+    params.entries = 544ULL * scale; // area-equivalent to 512 + 32
+    params.assoc = 8;
+    params.mode = CoalesceMode::Length;
+    // Window matched to the walker's 8-line wide scan (64 PTEs), so a
+    // single fill can rebuild a whole bundle.
+    params.maxCoalesce = 64;
+    params.colt4k = colt ? 4 : 1;
+    params.superpageIndexBits = super_index;
+    return params;
+}
+
+} // anonymous namespace
+
+std::unique_ptr<BaseTlb>
+makeCpuL1(TlbDesign design, stats::StatGroup *parent,
+          const pt::PageTable *table, ConfigScale scale)
+{
+    const unsigned s = scale.scale;
+    switch (design) {
+      case TlbDesign::Split:
+        return makeSplitL1("l1", parent, s, false, false);
+      case TlbDesign::Colt:
+        return makeSplitL1("l1", parent, s, true, false);
+      case TlbDesign::ColtPlusPlus:
+        return makeSplitL1("l1", parent, s, true, true);
+      case TlbDesign::Mix:
+        return std::make_unique<MixTlb>("l1", parent,
+                                        mixL1Params(s, false, false));
+      case TlbDesign::MixColt:
+        return std::make_unique<MixTlb>("l1", parent,
+                                        mixL1Params(s, true, false));
+      case TlbDesign::MixSuperIndex:
+        return std::make_unique<MixTlb>("l1", parent,
+                                        mixL1Params(s, false, true));
+      case TlbDesign::HashRehash:
+      case TlbDesign::HashRehashPred: {
+        HashRehashParams params;
+        params.entries = 96ULL * s;
+        params.assoc = 6;
+        params.usePredictor = design == TlbDesign::HashRehashPred;
+        return std::make_unique<HashRehashTlb>("l1", parent, params);
+      }
+      case TlbDesign::Skew:
+      case TlbDesign::SkewPred: {
+        SkewTlbParams params;
+        // ~15% area docked for timestamp storage: 84 entries, 6 ways.
+        params.setsPerWay = 14ULL * s;
+        params.usePredictor = design == TlbDesign::SkewPred;
+        return std::make_unique<SkewTlb>("l1", parent, params);
+      }
+      case TlbDesign::Ideal:
+        fatal_if(!table, "ideal TLB needs a page table");
+        return std::make_unique<IdealTlb>("l1", parent, *table);
+    }
+    panic("unreachable");
+}
+
+std::shared_ptr<BaseTlb>
+makeCpuL2(TlbDesign design, stats::StatGroup *parent,
+          const pt::PageTable *table, ConfigScale scale)
+{
+    const unsigned s = scale.scale;
+    switch (design) {
+      case TlbDesign::Split:
+        return makeSplitL2("l2", parent, s, false, false);
+      case TlbDesign::Colt:
+        return makeSplitL2("l2", parent, s, true, false);
+      case TlbDesign::ColtPlusPlus:
+        return makeSplitL2("l2", parent, s, true, true);
+      case TlbDesign::Mix:
+        return std::make_shared<MixTlb>("l2", parent,
+                                        mixL2Params(s, false, false));
+      case TlbDesign::MixColt:
+        return std::make_shared<MixTlb>("l2", parent,
+                                        mixL2Params(s, true, false));
+      case TlbDesign::MixSuperIndex:
+        return std::make_shared<MixTlb>("l2", parent,
+                                        mixL2Params(s, false, true));
+      case TlbDesign::HashRehash:
+      case TlbDesign::HashRehashPred: {
+        HashRehashParams params;
+        params.entries = 544ULL * s;
+        params.assoc = 8;
+        params.usePredictor = design == TlbDesign::HashRehashPred;
+        return std::make_shared<HashRehashTlb>("l2", parent, params);
+      }
+      case TlbDesign::Skew:
+      case TlbDesign::SkewPred: {
+        SkewTlbParams params;
+        params.setsPerWay = 76ULL * s; // 456 entries after the dock
+        params.usePredictor = design == TlbDesign::SkewPred;
+        return std::make_shared<SkewTlb>("l2", parent, params);
+      }
+      case TlbDesign::Ideal:
+        fatal_if(!table, "ideal TLB needs a page table");
+        return std::make_shared<IdealTlb>("l2", parent, *table);
+    }
+    panic("unreachable");
+}
+
+std::unique_ptr<BaseTlb>
+makeGpuCoreL1(TlbDesign design, unsigned core, stats::StatGroup *parent,
+              const pt::PageTable *table)
+{
+    const std::string name = "l1c" + std::to_string(core);
+    switch (design) {
+      case TlbDesign::Split:
+      case TlbDesign::Colt:
+      case TlbDesign::ColtPlusPlus: {
+        auto split = std::make_unique<SplitTlb>(name, parent);
+        auto *group = &split->statGroup();
+        bool colt_4k = design != TlbDesign::Split;
+        bool colt_super = design == TlbDesign::ColtPlusPlus;
+        if (colt_4k) {
+            split->addComponent(std::make_unique<ColtTlb>(
+                "t4k", group, 128, 4, PageSize::Size4K, 4));
+        } else {
+            split->addComponent(std::make_unique<SetAssocTlb>(
+                "t4k", group, 128, 4, PageSize::Size4K));
+        }
+        if (colt_super) {
+            split->addComponent(std::make_unique<ColtTlb>(
+                "t2m", group, 32, 4, PageSize::Size2M, 4));
+        } else {
+            split->addComponent(std::make_unique<SetAssocTlb>(
+                "t2m", group, 32, 4, PageSize::Size2M));
+        }
+        split->addComponent(std::make_unique<FullyAssocTlb>(
+            "t1g", group, 4,
+            std::initializer_list<PageSize>{PageSize::Size1G}));
+        return split;
+      }
+      case TlbDesign::Mix:
+      case TlbDesign::MixColt:
+      case TlbDesign::MixSuperIndex: {
+        MixTlbParams params;
+        params.entries = 160; // area-equivalent to 164
+        params.assoc = 4;
+        params.mode = CoalesceMode::Bitmap;
+        params.colt4k = design == TlbDesign::MixColt ? 4 : 1;
+        params.superpageIndexBits = design == TlbDesign::MixSuperIndex;
+        return std::make_unique<MixTlb>(name, parent, params);
+      }
+      case TlbDesign::HashRehash:
+      case TlbDesign::HashRehashPred: {
+        HashRehashParams params;
+        params.entries = 160;
+        params.assoc = 4;
+        params.usePredictor = design == TlbDesign::HashRehashPred;
+        return std::make_unique<HashRehashTlb>(name, parent, params);
+      }
+      case TlbDesign::Skew:
+      case TlbDesign::SkewPred: {
+        SkewTlbParams params;
+        params.setsPerWay = 23; // 138 entries after the dock
+        params.usePredictor = design == TlbDesign::SkewPred;
+        return std::make_unique<SkewTlb>(name, parent, params);
+      }
+      case TlbDesign::Ideal:
+        fatal_if(!table, "ideal TLB needs a page table");
+        return std::make_unique<IdealTlb>(name, parent, *table);
+    }
+    panic("unreachable");
+}
+
+std::shared_ptr<BaseTlb>
+makeGpuL2(TlbDesign design, stats::StatGroup *parent,
+          const pt::PageTable *table)
+{
+    // GPU L2 geometry mirrors the CPU's shared L2.
+    return makeCpuL2(design, parent, table, ConfigScale{});
+}
+
+} // namespace mixtlb::sim

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Area-equivalent TLB configurations for every design the paper
+ * evaluates, at Haswell-class geometry (Sec. 6.1):
+ *
+ *   Split L1: 64-entry 4-way 4KB + 32-entry 4-way 2MB + 4-entry FA 1GB
+ *   Split L2: 512-entry 8-way hash-rehash {4KB,2MB} + 32-entry 4-way 1GB
+ *
+ * Every alternative gets the same entry budget (L1: 100 entries,
+ * L2: 544 entries), with skew-associative designs docked ~15% for
+ * their timestamp storage (Sec. 7.2, Figure 16 discussion).
+ */
+
+#ifndef MIXTLB_SIM_CONFIGS_HH
+#define MIXTLB_SIM_CONFIGS_HH
+
+#include <memory>
+#include <string>
+
+#include "pt/page_table.hh"
+#include "tlb/base.hh"
+
+namespace mixtlb::sim
+{
+
+/** Every TLB organisation the evaluation compares. */
+enum class TlbDesign : std::uint8_t
+{
+    Split,         ///< Haswell-style baseline
+    Mix,           ///< the paper's contribution
+    MixColt,       ///< MIX + COLT small-page coalescing (Figure 18)
+    MixSuperIndex, ///< ablation: superpage index bits (Sec. 3)
+    HashRehash,    ///< multi-probe, fixed order
+    HashRehashPred,///< multi-probe with a size predictor
+    Skew,          ///< skew-associative, per-size ways
+    SkewPred,      ///< skew-associative with a size predictor
+    Colt,          ///< split TLBs with COLT 4KB coalescing
+    ColtPlusPlus,  ///< split TLBs coalescing every page size
+    Ideal,         ///< never misses (upper bound)
+};
+
+const char *designName(TlbDesign design);
+
+/**
+ * PTE cache lines the page-table walker scans per superpage leaf for
+ * this design: MIX variants use the 8-line wide scan that feeds their
+ * L2 coalescing windows (Sec. 4.2); everything else reads 1 line.
+ */
+unsigned walkerScanLines(TlbDesign design);
+
+/** Number of L1 TLB sets to build MIX designs with (default 16). */
+struct ConfigScale
+{
+    /** Multiplier on every structure's entry count (set scaling
+     *  studies use this; 1 = Haswell-class). */
+    unsigned scale = 1;
+};
+
+/**
+ * Build the CPU L1 TLB for @p design.
+ * @param table needed only by TlbDesign::Ideal.
+ */
+std::unique_ptr<tlb::BaseTlb>
+makeCpuL1(TlbDesign design, stats::StatGroup *parent,
+          const pt::PageTable *table, ConfigScale scale = {});
+
+/** Build the CPU L2 TLB for @p design. */
+std::shared_ptr<tlb::BaseTlb>
+makeCpuL2(TlbDesign design, stats::StatGroup *parent,
+          const pt::PageTable *table, ConfigScale scale = {});
+
+/**
+ * Build one GPU shader core's L1 TLB (128-entry 4-way 4KB splits per
+ * Sec. 6.3, with the same area-equivalence rules).
+ */
+std::unique_ptr<tlb::BaseTlb>
+makeGpuCoreL1(TlbDesign design, unsigned core, stats::StatGroup *parent,
+              const pt::PageTable *table);
+
+/** Build the GPU's shared L2 TLB. */
+std::shared_ptr<tlb::BaseTlb>
+makeGpuL2(TlbDesign design, stats::StatGroup *parent,
+          const pt::PageTable *table);
+
+} // namespace mixtlb::sim
+
+#endif // MIXTLB_SIM_CONFIGS_HH

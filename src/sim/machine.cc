@@ -1,0 +1,362 @@
+#include "machine.hh"
+
+#include "common/logging.hh"
+
+namespace mixtlb::sim
+{
+
+Machine::Machine(const MachineParams &params)
+    : params_(params), root_(params.name), mem_(params.memBytes),
+      mm_(mem_, &root_,
+          [&params] {
+              os::CompactionParams compaction;
+              compaction.seed = params.seed * 0x9e3779b9ULL + 17;
+              return compaction;
+          }()),
+      memhog_(mm_, params.memhogUnmovableShare),
+      caches_(params.caches, &root_)
+{
+    if (params.memhogFraction > 0.0)
+        memhog_.fragment(params.memhogFraction, params.seed);
+
+    proc_ = std::make_unique<os::Process>(mm_, params.proc, &root_);
+
+    source_ = std::make_unique<tlb::NativeWalkSource>(
+        proc_->pageTable(), &root_,
+        [this](VAddr va, bool store) {
+            return proc_->touch(va, store)
+                   != os::TouchResult::OutOfMemory;
+        },
+        walkerScanLines(params.design),
+        pt::PwcParams{params.pwcEntries});
+
+    const pt::PageTable *table = &proc_->pageTable();
+    hier_ = std::make_unique<tlb::TlbHierarchy>(
+        "tlb", &root_,
+        makeCpuL1(params.design, &root_, table, params.scale),
+        makeCpuL2(params.design, &root_, table, params.scale),
+        *source_, caches_, params.tlbLatency);
+
+    proc_->addInvalidateListener([this](VAddr vbase, PageSize size) {
+        hier_->invalidatePage(vbase, size);
+    });
+}
+
+VAddr
+Machine::mapArena(std::uint64_t bytes)
+{
+    return proc_->mmap(bytes);
+}
+
+std::uint64_t
+Machine::run(workload::TraceGenerator &gen, std::uint64_t refs)
+{
+    std::uint64_t done = 0;
+    for (; done < refs; done++) {
+        MemRef ref = gen.next();
+        auto result = hier_->access(ref.vaddr,
+                                    ref.type == AccessType::Write);
+        if (!result.ok) {
+            warn("machine %s out of memory after %llu refs",
+                 params_.name.c_str(), (unsigned long long)done);
+            break;
+        }
+        if (params_.dataRefsThroughCaches) {
+            dataCycles_ += static_cast<double>(caches_.access(
+                result.paddr, ref.type == AccessType::Write));
+        }
+    }
+    refs_ += done;
+    return done;
+}
+
+void
+Machine::touchSequential(VAddr base, std::uint64_t bytes,
+                         std::uint64_t step)
+{
+    for (std::uint64_t off = 0; off < bytes; off += step) {
+        if (proc_->touch(base + off) == os::TouchResult::OutOfMemory)
+            fatal("touchSequential ran out of memory");
+    }
+}
+
+void
+Machine::warmup(VAddr base, std::uint64_t bytes, std::uint64_t step)
+{
+    for (std::uint64_t off = 0; off < bytes; off += step) {
+        auto result = hier_->access(base + off, true);
+        if (!result.ok)
+            fatal("warmup ran out of memory");
+    }
+}
+
+void
+Machine::startMeasurement()
+{
+    root_.resetStats();
+    refs_ = 0;
+    dataCycles_ = 0.0;
+}
+
+perf::RunMetrics
+Machine::metrics(const perf::PerfParams &params) const
+{
+    return perf::computeMetrics(refs_, hier_->translationCycleCount(),
+                                dataCycles_, params);
+}
+
+perf::EnergyInputs
+Machine::energyInputs() const
+{
+    auto metrics_now = metrics();
+    return harvestEnergyInputs(root_, *hier_, params_.design,
+                               metrics_now.totalCycles);
+}
+
+os::PageSizeDistribution
+Machine::distribution() const
+{
+    return os::scanDistribution(proc_->pageTable());
+}
+
+std::vector<std::uint64_t>
+Machine::contiguityRuns(PageSize size) const
+{
+    return os::contiguityRuns(proc_->pageTable(), size);
+}
+
+perf::EnergyInputs
+harvestEnergyInputs(const stats::StatGroup &root,
+                    const tlb::TlbHierarchy &hier, TlbDesign design,
+                    double total_cycles)
+{
+    (void)root;
+    perf::EnergyInputs inputs;
+    const auto &l1 = hier.l1();
+    const auto &l2 = hier.l2();
+    inputs.l1WaysRead = l1.waysReadCount();
+    inputs.l2WaysRead = l2.waysReadCount();
+    inputs.l1Entries = l1.numEntries();
+    inputs.l2Entries = l2.numEntries();
+    inputs.l1Fills = l1.fillCount();
+    inputs.l2Fills = l2.fillCount();
+    inputs.walkAccesses = hier.walkAccessCount();
+    inputs.walkDramAccesses = hier.walkDramAccessCount();
+    inputs.dirtyOps = hier.dirtyMicroOpCount();
+    inputs.invalidations =
+        l1.invalidationCount() + l2.invalidationCount();
+    const bool mirroring = design == TlbDesign::Mix ||
+                           design == TlbDesign::MixColt ||
+                           design == TlbDesign::MixSuperIndex;
+    inputs.fillBurstFactor = mirroring ? 0.25 : 1.0;
+    const bool predictor = design == TlbDesign::HashRehashPred ||
+                           design == TlbDesign::SkewPred;
+    inputs.predictorLookups =
+        predictor ? l1.hits() + l1.misses() + l2.hits() + l2.misses()
+                  : 0.0;
+    inputs.skewTimestamps = design == TlbDesign::Skew ||
+                            design == TlbDesign::SkewPred;
+    inputs.totalCycles = total_cycles;
+    return inputs;
+}
+
+VirtMachine::VirtMachine(const VirtMachineParams &params)
+    : params_(params), root_(params.name), hostMem_(params.hostMemBytes),
+      hostMm_(hostMem_, &root_), caches_(params.caches, &root_)
+{
+    fatal_if(params.numVms == 0, "virtual machine count is zero");
+    std::uint64_t vm_bytes = params.vmMemBytes
+                                 ? params.vmMemBytes
+                                 : params.hostMemBytes / params.numVms;
+
+    for (unsigned i = 0; i < params.numVms; i++) {
+        virt::VmParams vm_params;
+        vm_params.name = "vm" + std::to_string(i);
+        vm_params.guestMemBytes = vm_bytes;
+        vm_params.hostPolicy = params.hostPolicy;
+        vms_.push_back(std::make_unique<virt::Vm>(hostMm_, vm_params,
+                                                  &root_));
+
+        if (params.guestMemhogFraction > 0.0) {
+            auto hog = std::make_unique<os::Memhog>(vms_[i]->guestMm());
+            hog->fragment(params.guestMemhogFraction,
+                          params.seed + 100 + i);
+            guestMemhogs_.push_back(std::move(hog));
+        }
+
+        os::ProcessParams proc_params = params.guestProc;
+        proc_params.name = "guest" + std::to_string(i);
+        guestProcs_.push_back(std::make_unique<os::Process>(
+            vms_[i]->guestMm(), proc_params, &root_));
+
+        sources_.push_back(std::make_unique<virt::NestedWalkSource>(
+            *vms_[i], *guestProcs_[i], &vms_[i]->statGroup(),
+            walkerScanLines(params.design)));
+
+        const pt::PageTable *table = &guestProcs_[i]->pageTable();
+        hiers_.push_back(std::make_unique<tlb::TlbHierarchy>(
+            "tlb" + std::to_string(i), &root_,
+            makeCpuL1(params.design, &vms_[i]->statGroup(), table,
+                      params.scale),
+            makeCpuL2(params.design, &vms_[i]->statGroup(), table,
+                      params.scale),
+            *sources_[i], caches_, params.tlbLatency));
+
+        guestProcs_[i]->addInvalidateListener(
+            [this, i](VAddr vbase, PageSize size) {
+                hiers_[i]->invalidatePage(vbase, size);
+            });
+    }
+}
+
+VirtMachine::~VirtMachine()
+{
+    // Guest processes reference their VM's memory manager; destroy the
+    // dependents before the VMs (vector order would do the reverse).
+    hiers_.clear();
+    sources_.clear();
+    guestProcs_.clear();
+    guestMemhogs_.clear();
+    vms_.clear();
+}
+
+VAddr
+VirtMachine::mapArena(unsigned vm, std::uint64_t bytes)
+{
+    return guestProcs_.at(vm)->mmap(bytes);
+}
+
+std::uint64_t
+VirtMachine::run(unsigned vm, workload::TraceGenerator &gen,
+                 std::uint64_t refs)
+{
+    auto &hier = *hiers_.at(vm);
+    std::uint64_t done = 0;
+    for (; done < refs; done++) {
+        MemRef ref = gen.next();
+        auto result = hier.access(ref.vaddr,
+                                  ref.type == AccessType::Write);
+        if (!result.ok) {
+            warn("vm %u out of memory after %llu refs", vm,
+                 (unsigned long long)done);
+            break;
+        }
+        if (params_.dataRefsThroughCaches) {
+            dataCycles_ += static_cast<double>(caches_.access(
+                result.paddr, ref.type == AccessType::Write));
+        }
+    }
+    refs_ += done;
+    return done;
+}
+
+void
+VirtMachine::warmup(unsigned vm, VAddr base, std::uint64_t bytes)
+{
+    auto &hier = *hiers_.at(vm);
+    for (std::uint64_t off = 0; off < bytes; off += PageBytes4K) {
+        auto result = hier.access(base + off, true);
+        if (!result.ok)
+            fatal("vm warmup ran out of memory");
+    }
+}
+
+void
+VirtMachine::startMeasurement()
+{
+    root_.resetStats();
+    refs_ = 0;
+    dataCycles_ = 0.0;
+}
+
+os::PageSizeDistribution
+VirtMachine::guestDistribution(unsigned vm) const
+{
+    return os::scanDistribution(guestProcs_.at(vm)->pageTable());
+}
+
+std::vector<std::uint64_t>
+VirtMachine::nestedContiguityRuns(unsigned vm, PageSize size) const
+{
+    // A nested run extends while guest VA and *system* PA both advance
+    // by one superpage; the host must back each guest superpage with a
+    // host page at least as large.
+    std::vector<std::uint64_t> runs;
+    const auto &vmref = *vms_.at(vm);
+    bool have_prev = false;
+    VAddr prev_vbase = 0;
+    PAddr prev_spa = 0;
+    std::uint64_t run = 0;
+
+    guestProcs_.at(vm)->pageTable().forEachLeaf(
+        [&](const pt::Translation &t) {
+            if (t.size != size)
+                return;
+            auto spa = vmref.hostPhysIfMapped(t.pbase);
+            bool backed = spa.has_value();
+            if (backed) {
+                auto host =
+                    vmref.ept().translate(vmref.eptHva(t.pbase));
+                backed = host &&
+                         pageShift(host->size) >= pageShift(size);
+            }
+            if (!backed) {
+                if (run > 0)
+                    runs.push_back(run);
+                run = 0;
+                have_prev = false;
+                return;
+            }
+            if (have_prev &&
+                t.vbase == prev_vbase + pageBytes(size) &&
+                *spa == prev_spa + pageBytes(size)) {
+                run++;
+            } else {
+                if (run > 0)
+                    runs.push_back(run);
+                run = 1;
+            }
+            prev_vbase = t.vbase;
+            prev_spa = *spa;
+            have_prev = true;
+        });
+    if (run > 0)
+        runs.push_back(run);
+    return runs;
+}
+
+perf::RunMetrics
+VirtMachine::metrics(const perf::PerfParams &params) const
+{
+    double cycles = 0;
+    for (const auto &hier : hiers_)
+        cycles += hier->translationCycleCount();
+    return perf::computeMetrics(refs_, cycles, dataCycles_, params);
+}
+
+perf::EnergyInputs
+VirtMachine::energyInputs() const
+{
+    perf::EnergyInputs total;
+    auto metrics_now = metrics();
+    for (const auto &hier : hiers_) {
+        auto inputs = harvestEnergyInputs(root_, *hier, params_.design,
+                                          0.0);
+        total.l1WaysRead += inputs.l1WaysRead;
+        total.l2WaysRead += inputs.l2WaysRead;
+        total.l1Entries = inputs.l1Entries;
+        total.l2Entries = inputs.l2Entries;
+        total.l1Fills += inputs.l1Fills;
+        total.l2Fills += inputs.l2Fills;
+        total.walkAccesses += inputs.walkAccesses;
+        total.walkDramAccesses += inputs.walkDramAccesses;
+        total.dirtyOps += inputs.dirtyOps;
+        total.invalidations += inputs.invalidations;
+        total.predictorLookups += inputs.predictorLookups;
+        total.skewTimestamps = inputs.skewTimestamps;
+    }
+    total.totalCycles = metrics_now.totalCycles;
+    return total;
+}
+
+} // namespace mixtlb::sim

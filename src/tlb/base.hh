@@ -1,0 +1,154 @@
+/**
+ * @file
+ * The common TLB interface shared by every design the paper evaluates:
+ * classic split set-associative TLBs, MIX TLBs, hash-rehash and
+ * skew-associative multi-indexing TLBs, COLT variants, and the
+ * never-miss ideal TLB.
+ */
+
+#ifndef MIXTLB_TLB_BASE_HH
+#define MIXTLB_TLB_BASE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "pt/pte.hh"
+#include "pt/walker.hh"
+
+namespace mixtlb::tlb
+{
+
+/**
+ * A run of coalesced, contiguous translations, as carried by a MIX or
+ * COLT entry. Lower TLB levels can fill from a bundle directly when an
+ * upper level hits, preserving coalescing without a page-table walk.
+ */
+struct BundleInfo
+{
+    VAddr vbase = 0;  ///< base of the first page in the run
+    PAddr pbase = 0;  ///< physical base of the first page
+    PageSize size = PageSize::Size4K;
+    std::uint64_t count = 1; ///< contiguous pages in the run
+    pt::Perms perms{};
+    bool dirty = false;
+
+    bool
+    covers(VAddr vaddr) const
+    {
+        return vaddr >= vbase && vaddr < vbase + count * pageBytes(size);
+    }
+
+    PAddr translate(VAddr vaddr) const { return pbase + (vaddr - vbase); }
+};
+
+/** Outcome of a TLB lookup. */
+struct TlbLookup
+{
+    bool hit = false;
+    /** Synthesized translation for the probed address (valid on hit). */
+    pt::Translation xlate{};
+    /** Sequential probe rounds performed (1 for single-index designs). */
+    unsigned probes = 1;
+    /** Entries read across all probes (dynamic lookup energy). */
+    unsigned waysRead = 0;
+    /** Dirty bit of the hit entry/bundle (drives the store micro-op). */
+    bool entryDirty = false;
+    /** Coalescing info of the hit entry, for lower-level fills. */
+    std::optional<BundleInfo> bundle;
+};
+
+/** Everything a fill might use. */
+struct FillInfo
+{
+    /** The demanded leaf translation. */
+    pt::Translation leaf{};
+    /**
+     * The address whose miss triggered this fill (0 = use leaf.vbase).
+     * MIX TLBs merge into existing bundles only in the set this address
+     * probes; other sets are blindly mirrored (Sec. 4.3).
+     */
+    VAddr vaddr = 0;
+    /**
+     * The walker result (leaf PTE cache line) when the fill follows a
+     * walk; nullptr when filling from an upper-level TLB hit.
+     */
+    const pt::WalkResult *walk = nullptr;
+    /** Bundle from an upper-level coalesced hit. */
+    std::optional<BundleInfo> bundle;
+};
+
+/** Abstract TLB. */
+class BaseTlb
+{
+  public:
+    BaseTlb(const std::string &name, stats::StatGroup *parent);
+    virtual ~BaseTlb() = default;
+
+    BaseTlb(const BaseTlb &) = delete;
+    BaseTlb &operator=(const BaseTlb &) = delete;
+
+    /** Probe for @p vaddr. Never fills. */
+    virtual TlbLookup lookup(VAddr vaddr, bool is_store) = 0;
+
+    /** Install (and possibly coalesce) a translation. */
+    virtual void fill(const FillInfo &fill) = 0;
+
+    /** Invalidate any entry covering the page at @p vbase. */
+    virtual void invalidate(VAddr vbase, PageSize size) = 0;
+
+    /** Invalidate everything (context switch / full shootdown). */
+    virtual void invalidateAll() = 0;
+
+    /**
+     * A store hit a clean entry and the dirty micro-op completed: set
+     * the entry's dirty bit where the design allows it (Sec. 4.4).
+     */
+    virtual void markDirty(VAddr vaddr) = 0;
+
+    /** Can this structure hold pages of @p size? */
+    virtual bool supports(PageSize size) const = 0;
+
+    /** Total entry capacity (area/energy model input). */
+    virtual std::uint64_t numEntries() const = 0;
+
+    /** Ways read by one parallel probe (lookup energy model input). */
+    virtual unsigned numWays() const = 0;
+
+    stats::StatGroup &statGroup() { return stats_; }
+
+    double hits() const { return hits_.value(); }
+    double misses() const { return misses_.value(); }
+    double fillCount() const { return fills_.value(); }
+    double coalesceCount() const { return coalesces_.value(); }
+    double invalidationCount() const { return invalidations_.value(); }
+    double probeCount() const { return probesTotal_.value(); }
+    double waysReadCount() const { return waysReadTotal_.value(); }
+
+  protected:
+    stats::StatGroup stats_;
+    stats::Scalar &hits_;
+    stats::Scalar &misses_;
+    stats::Scalar &fills_;        ///< entry writes, incl. every mirror
+    stats::Scalar &coalesces_;    ///< fills merged into existing entries
+    stats::Scalar &invalidations_;
+    stats::Scalar &probesTotal_;  ///< probe rounds summed over lookups
+    stats::Scalar &waysReadTotal_;///< entries read summed over lookups
+
+    void
+    recordLookup(const TlbLookup &result)
+    {
+        if (result.hit)
+            ++hits_;
+        else
+            ++misses_;
+        probesTotal_ += result.probes;
+        waysReadTotal_ += result.waysRead;
+    }
+};
+
+} // namespace mixtlb::tlb
+
+#endif // MIXTLB_TLB_BASE_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * COLT-style coalescing set-associative TLB (Pham et al., MICRO 2012;
+ * Sec. 5.2 of the paper).
+ *
+ * A single-page-size TLB whose entries cover an aligned group of
+ * `group` pages; contiguous (VA and PA) translations found in the leaf
+ * PTE cache line coalesce into one entry via a per-slot bitmap. The
+ * index drops log2(group) VPN bits so the whole group maps to one set.
+ *
+ * COLT   = this structure with 4KB pages, group 4 (the original work).
+ * COLT++ = split TLBs where every per-size component coalesces its own
+ *          page size (the extension evaluated in Figure 18).
+ */
+
+#ifndef MIXTLB_TLB_COLT_HH
+#define MIXTLB_TLB_COLT_HH
+
+#include <list>
+#include <vector>
+
+#include "tlb/base.hh"
+
+namespace mixtlb::tlb
+{
+
+class ColtTlb : public BaseTlb
+{
+  public:
+    ColtTlb(const std::string &name, stats::StatGroup *parent,
+            std::uint64_t entries, unsigned assoc, PageSize size,
+            unsigned group = 4);
+
+    TlbLookup lookup(VAddr vaddr, bool is_store) override;
+    void fill(const FillInfo &fill) override;
+    void invalidate(VAddr vbase, PageSize size) override;
+    void invalidateAll() override;
+    void markDirty(VAddr vaddr) override;
+
+    bool supports(PageSize size) const override { return size == size_; }
+    std::uint64_t numEntries() const override { return entries_; }
+    unsigned numWays() const override { return assoc_; }
+
+  private:
+    struct Entry
+    {
+        VAddr wbase;   ///< group window base VA
+        PAddr wpbase;  ///< physical anchor (slot 0's would-be PA)
+        std::uint32_t bitmap;
+        pt::Perms perms;
+        bool dirty;
+    };
+
+    std::uint64_t entries_;
+    unsigned assoc_;
+    PageSize size_;
+    unsigned group_;
+    std::uint64_t numSets_;
+    std::vector<std::list<Entry>> sets_;
+
+    std::uint64_t
+    setOf(VAddr vaddr) const
+    {
+        return (vpnOf(vaddr, size_) / group_) % numSets_;
+    }
+
+    VAddr
+    windowBase(VAddr vbase) const
+    {
+        std::uint64_t span =
+            static_cast<std::uint64_t>(group_) * pageBytes(size_);
+        return vbase - (vbase % span);
+    }
+};
+
+} // namespace mixtlb::tlb
+
+#endif // MIXTLB_TLB_COLT_HH

@@ -1,0 +1,146 @@
+#include "hash_rehash.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mixtlb::tlb
+{
+
+HashRehashTlb::HashRehashTlb(const std::string &name,
+                             stats::StatGroup *parent,
+                             const HashRehashParams &params)
+    : BaseTlb(name, parent), params_(params)
+{
+    fatal_if(params.assoc == 0 || params.entries == 0 ||
+             params.entries % params.assoc != 0,
+             "hash-rehash TLB geometry does not divide evenly");
+    fatal_if(params.sizes.empty(), "hash-rehash TLB with no page sizes");
+    numSets_ = params.entries / params.assoc;
+    sets_.resize(numSets_);
+    if (params.usePredictor) {
+        predictor_ = std::make_unique<SizePredictor>(
+            "predictor", &stats_, params.predictorEntries);
+    }
+}
+
+bool
+HashRehashTlb::supports(PageSize size) const
+{
+    return std::find(params_.sizes.begin(), params_.sizes.end(), size)
+           != params_.sizes.end();
+}
+
+HashRehashTlb::Entry *
+HashRehashTlb::probe(VAddr vaddr, PageSize size)
+{
+    auto &set = sets_[setOf(vaddr, size)];
+    std::uint64_t vpn = vpnOf(vaddr, size);
+    auto it = std::find_if(set.begin(), set.end(), [&](const Entry &e) {
+        return e.size == size && e.vpn == vpn;
+    });
+    if (it == set.end())
+        return nullptr;
+    set.splice(set.begin(), set, it);
+    return &set.front();
+}
+
+TlbLookup
+HashRehashTlb::lookup(VAddr vaddr, bool is_store)
+{
+    (void)is_store;
+    TlbLookup result;
+    result.probes = 0;
+    result.waysRead = 0;
+
+    // Build the probe order: predicted size first, then the rest.
+    std::vector<PageSize> order = params_.sizes;
+    if (predictor_) {
+        PageSize predicted = predictor_->predict(vaddr);
+        auto it = std::find(order.begin(), order.end(), predicted);
+        if (it != order.end())
+            std::rotate(order.begin(), it, it + 1);
+    }
+
+    for (PageSize size : order) {
+        result.probes++;
+        result.waysRead += params_.assoc;
+        Entry *entry = probe(vaddr, size);
+        if (!entry)
+            continue;
+        result.hit = true;
+        result.xlate = entry->xlate;
+        result.entryDirty = entry->dirty;
+        if (predictor_) {
+            predictor_->recordOutcome(result.probes == 1);
+            predictor_->update(vaddr, size);
+        }
+        break;
+    }
+    // A miss after exhausting all sizes resolves only via the walker;
+    // the predictor trains in fill().
+    recordLookup(result);
+    return result;
+}
+
+void
+HashRehashTlb::fill(const FillInfo &fill)
+{
+    panic_if(!supports(fill.leaf.size),
+             "hash-rehash TLB does not cache %s pages",
+             pageSizeName(fill.leaf.size));
+    std::uint64_t vpn = fill.leaf.vpn();
+    auto &set = sets_[setOf(fill.leaf.vbase, fill.leaf.size)];
+    auto it = std::find_if(set.begin(), set.end(), [&](const Entry &e) {
+        return e.size == fill.leaf.size && e.vpn == vpn;
+    });
+    if (it != set.end()) {
+        it->xlate = fill.leaf;
+        it->dirty = fill.leaf.dirty;
+        set.splice(set.begin(), set, it);
+    } else {
+        set.push_front(Entry{fill.leaf.size, vpn, fill.leaf,
+                             fill.leaf.dirty});
+        if (set.size() > params_.assoc)
+            set.pop_back();
+        ++fills_;
+    }
+    if (predictor_)
+        predictor_->update(fill.leaf.vbase, fill.leaf.size);
+}
+
+void
+HashRehashTlb::invalidate(VAddr vbase, PageSize size)
+{
+    if (!supports(size))
+        return;
+    ++invalidations_;
+    std::uint64_t vpn = vpnOf(vbase, size);
+    auto &set = sets_[setOf(vbase, size)];
+    set.remove_if([&](const Entry &e) {
+        return e.size == size && e.vpn == vpn;
+    });
+}
+
+void
+HashRehashTlb::invalidateAll()
+{
+    ++invalidations_;
+    for (auto &set : sets_)
+        set.clear();
+}
+
+void
+HashRehashTlb::markDirty(VAddr vaddr)
+{
+    for (PageSize size : params_.sizes) {
+        auto &set = sets_[setOf(vaddr, size)];
+        std::uint64_t vpn = vpnOf(vaddr, size);
+        for (auto &entry : set) {
+            if (entry.size == size && entry.vpn == vpn)
+                entry.dirty = true;
+        }
+    }
+}
+
+} // namespace mixtlb::tlb

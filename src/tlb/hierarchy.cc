@@ -1,0 +1,167 @@
+#include "hierarchy.hh"
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace mixtlb::tlb
+{
+
+TlbHierarchy::TlbHierarchy(const std::string &name,
+                           stats::StatGroup *parent,
+                           std::unique_ptr<BaseTlb> l1,
+                           std::shared_ptr<BaseTlb> l2,
+                           WalkSource &source,
+                           cache::CacheHierarchy &caches,
+                           TlbHierarchyParams params)
+    : stats_(name, parent), l1_(std::move(l1)), l2_(std::move(l2)),
+      source_(source), caches_(caches), params_(params),
+      accesses_(stats_.addScalar("accesses", "translated references")),
+      l1Hits_(stats_.addScalar("l1_hits", "L1 TLB hits")),
+      l2Hits_(stats_.addScalar("l2_hits", "L2 TLB hits")),
+      walks_(stats_.addScalar("walks", "page table walks")),
+      walkCycles_(stats_.addScalar("walk_cycles",
+                                   "cycles spent in walks")),
+      walkAccesses_(stats_.addScalar("walk_accesses",
+          "memory references issued by walks")),
+      walkDramAccesses_(stats_.addScalar("walk_dram_accesses",
+          "walk references that reached DRAM")),
+      pageFaults_(stats_.addScalar("page_faults", "demand page faults")),
+      dirtyMicroOps_(stats_.addScalar("dirty_micro_ops",
+          "dirty-bit update micro-ops injected")),
+      translationCycles_(stats_.addScalar("translation_cycles",
+          "total address translation cycles"))
+{
+    stats_.addFormula("l1_miss_rate", "L1 TLB miss fraction", [this] {
+        double total = accesses_.value();
+        return total > 0 ? 1.0 - l1Hits_.value() / total : 0.0;
+    });
+}
+
+Cycles
+TlbHierarchy::chargeWalk(const pt::WalkResult &walk)
+{
+    Cycles cycles = 0;
+    for (PAddr paddr : walk.accesses) {
+        auto level = caches_.accessLevel(paddr, false);
+        cycles += caches_.levelLatency(level);
+        ++walkAccesses_;
+        if (level == cache::HitLevel::Memory)
+            ++walkDramAccesses_;
+    }
+    // Fill-logic accesses (wide PTE scans) run off the critical path:
+    // they perturb the caches and cost energy but add no latency.
+    for (PAddr paddr : walk.fillAccesses) {
+        auto level = caches_.accessLevel(paddr, false);
+        ++walkAccesses_;
+        if (level == cache::HitLevel::Memory)
+            ++walkDramAccesses_;
+    }
+    return cycles;
+}
+
+Cycles
+TlbHierarchy::dirtyMicroOp(VAddr vaddr)
+{
+    ++dirtyMicroOps_;
+    Cycles cycles = 0;
+    if (auto pte_addr = source_.leafPteAddr(vaddr)) {
+        cycles += caches_.access(alignDown(*pte_addr, CacheLineBytes),
+                                 true);
+    }
+    source_.setDirty(vaddr);
+    l1_->markDirty(vaddr);
+    l2_->markDirty(vaddr);
+    return cycles;
+}
+
+TlbHierarchy::AccessResult
+TlbHierarchy::access(VAddr vaddr, bool is_store)
+{
+    ++accesses_;
+    AccessResult result;
+
+    TlbLookup l1_result = l1_->lookup(vaddr, is_store);
+    if (l1_result.hit) {
+        ++l1Hits_;
+        result.l1Hit = true;
+        result.paddr = l1_result.xlate.translate(vaddr);
+        result.cycles = params_.l1HitLatency;
+        if (is_store && !l1_result.entryDirty)
+            result.cycles += dirtyMicroOp(vaddr);
+        translationCycles_ += result.cycles;
+        return result;
+    }
+
+    TlbLookup l2_result = l2_->lookup(vaddr, is_store);
+    if (l2_result.hit) {
+        ++l2Hits_;
+        result.l2Hit = true;
+        result.paddr = l2_result.xlate.translate(vaddr);
+        result.cycles = params_.l1HitLatency + params_.l2HitLatency;
+        // Refill L1, handing any L2 coalescing bundle down so an L2 MIX
+        // hit preserves L1 MIX coalescing without a walk.
+        FillInfo refill;
+        refill.leaf = l2_result.xlate;
+        refill.vaddr = vaddr;
+        refill.bundle = l2_result.bundle;
+        if (l1_->supports(refill.leaf.size))
+            l1_->fill(refill);
+        if (is_store && !l2_result.entryDirty)
+            result.cycles += dirtyMicroOp(vaddr);
+        translationCycles_ += result.cycles;
+        return result;
+    }
+
+    // Full miss: walk, servicing at most one page fault.
+    result.walked = true;
+    result.cycles = params_.l1HitLatency + params_.l2HitLatency;
+    ++walks_;
+    pt::WalkResult walk = source_.walk(vaddr, is_store);
+    result.cycles += chargeWalk(walk);
+    if (walk.pageFault()) {
+        ++pageFaults_;
+        result.faulted = true;
+        if (!source_.fault(vaddr, is_store)) {
+            result.ok = false;
+            translationCycles_ += result.cycles;
+            return result;
+        }
+        ++walks_;
+        walk = source_.walk(vaddr, is_store);
+        result.cycles += chargeWalk(walk);
+        panic_if(walk.pageFault(), "walk faulted after fault service");
+    }
+    walkCycles_ += static_cast<double>(result.cycles);
+
+    FillInfo fill;
+    fill.leaf = *walk.leaf;
+    fill.vaddr = vaddr;
+    fill.walk = &walk;
+    if (l2_->supports(fill.leaf.size))
+        l2_->fill(fill);
+    if (l1_->supports(fill.leaf.size))
+        l1_->fill(fill);
+
+    result.paddr = walk.leaf->translate(vaddr);
+    // The walker set the dirty bit on a store (x86 protocol), so no
+    // separate micro-op is needed on this path.
+    translationCycles_ += result.cycles;
+    return result;
+}
+
+void
+TlbHierarchy::invalidatePage(VAddr vbase, PageSize size)
+{
+    l1_->invalidate(vbase, size);
+    l2_->invalidate(vbase, size);
+    source_.invalidate(vbase, size);
+}
+
+void
+TlbHierarchy::invalidateAll()
+{
+    l1_->invalidateAll();
+    l2_->invalidateAll();
+}
+
+} // namespace mixtlb::tlb

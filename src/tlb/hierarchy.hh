@@ -1,0 +1,144 @@
+/**
+ * @file
+ * A two-level TLB hierarchy in front of a page-table walker and the
+ * cache hierarchy — the structure of the paper's functional simulator
+ * (Sec. 6.2). Handles lookup, fill (propagating coalescing bundles
+ * from L2 hits into L1 fills), page faults via the OS, the x86 dirty-
+ * bit micro-op protocol, and TLB shootdowns.
+ */
+
+#ifndef MIXTLB_TLB_HIERARCHY_HH
+#define MIXTLB_TLB_HIERARCHY_HH
+
+#include <functional>
+#include <memory>
+
+#include "cache/cache.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "tlb/base.hh"
+
+namespace mixtlb::tlb
+{
+
+/**
+ * Where walks come from. Native systems wrap a Walker + Process; the
+ * virtualization module provides a nested (2-D) implementation.
+ */
+class WalkSource
+{
+  public:
+    virtual ~WalkSource() = default;
+
+    /** Full hardware walk (memory accesses in the result). */
+    virtual pt::WalkResult walk(VAddr vaddr, bool is_store) = 0;
+
+    /**
+     * Service a page fault for @p vaddr (OS/hypervisor work).
+     * @retval false the fault cannot be serviced (OOM / bad address).
+     */
+    virtual bool fault(VAddr vaddr, bool is_store) = 0;
+
+    /** Physical address of the leaf PTE (dirty micro-op target). */
+    virtual std::optional<PAddr> leafPteAddr(VAddr vaddr) = 0;
+
+    /** Set the leaf PTE's dirty (and accessed) bits. */
+    virtual void setDirty(VAddr vaddr) = 0;
+
+    /** A shootdown hit @p vbase: flush any walker-side caches. */
+    virtual void invalidate(VAddr vbase, PageSize size)
+    {
+        (void)vbase;
+        (void)size;
+    }
+};
+
+struct TlbHierarchyParams
+{
+    Cycles l1HitLatency = 1;
+    Cycles l2HitLatency = 7;
+};
+
+class TlbHierarchy
+{
+  public:
+    /**
+     * @param l2 may be shared between hierarchies (GPU shader cores
+     *           share an L2 TLB).
+     */
+    TlbHierarchy(const std::string &name, stats::StatGroup *parent,
+                 std::unique_ptr<BaseTlb> l1, std::shared_ptr<BaseTlb> l2,
+                 WalkSource &source, cache::CacheHierarchy &caches,
+                 TlbHierarchyParams params = {});
+
+    struct AccessResult
+    {
+        bool ok = true;       ///< false on unserviceable fault
+        PAddr paddr = 0;
+        Cycles cycles = 0;    ///< total address-translation cycles
+        bool l1Hit = false;
+        bool l2Hit = false;
+        bool walked = false;
+        bool faulted = false;
+    };
+
+    /** Translate one reference, modelling all side effects. */
+    AccessResult access(VAddr vaddr, bool is_store);
+
+    /** Shoot down a page (wire to Process::addInvalidateListener). */
+    void invalidatePage(VAddr vbase, PageSize size);
+
+    /** Full flush. */
+    void invalidateAll();
+
+    BaseTlb &l1() { return *l1_; }
+    BaseTlb &l2() { return *l2_; }
+    const BaseTlb &l1() const { return *l1_; }
+    const BaseTlb &l2() const { return *l2_; }
+
+    double accessCount() const { return accesses_.value(); }
+    double l1HitCount() const { return l1Hits_.value(); }
+    double l2HitCount() const { return l2Hits_.value(); }
+    double walkCount() const { return walks_.value(); }
+    double translationCycleCount() const
+    {
+        return translationCycles_.value();
+    }
+    double walkAccessCount() const { return walkAccesses_.value(); }
+    double walkDramAccessCount() const
+    {
+        return walkDramAccesses_.value();
+    }
+    double dirtyMicroOpCount() const { return dirtyMicroOps_.value(); }
+
+    stats::StatGroup &statGroup() { return stats_; }
+
+  private:
+    stats::StatGroup stats_;
+    std::unique_ptr<BaseTlb> l1_;
+    std::shared_ptr<BaseTlb> l2_;
+    WalkSource &source_;
+    cache::CacheHierarchy &caches_;
+    TlbHierarchyParams params_;
+
+    stats::Scalar &accesses_;
+    stats::Scalar &l1Hits_;
+    stats::Scalar &l2Hits_;
+    stats::Scalar &walks_;
+    stats::Scalar &walkCycles_;
+    stats::Scalar &walkAccesses_;
+    stats::Scalar &walkDramAccesses_;
+    stats::Scalar &pageFaults_;
+    stats::Scalar &dirtyMicroOps_;
+    stats::Scalar &translationCycles_;
+
+    /** Charge a walk's memory accesses through the caches. */
+    Cycles chargeWalk(const pt::WalkResult &walk);
+
+    /** Issue the dirty-bit micro-op for a store to a clean entry. */
+    Cycles dirtyMicroOp(VAddr vaddr);
+};
+
+} // namespace mixtlb::tlb
+
+#endif // MIXTLB_TLB_HIERARCHY_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The hypothetical ideal TLB of Figures 1 and 15: it hits on every
+ * mapped translation with no capacity, conflict, or page-size
+ * constraints. Unrealizable in hardware; used as the upper bound.
+ */
+
+#ifndef MIXTLB_TLB_IDEAL_HH
+#define MIXTLB_TLB_IDEAL_HH
+
+#include "pt/page_table.hh"
+#include "tlb/base.hh"
+
+namespace mixtlb::tlb
+{
+
+class IdealTlb : public BaseTlb
+{
+  public:
+    IdealTlb(const std::string &name, stats::StatGroup *parent,
+             const pt::PageTable &table)
+        : BaseTlb(name, parent), table_(table)
+    {}
+
+    TlbLookup
+    lookup(VAddr vaddr, bool is_store) override
+    {
+        (void)is_store;
+        TlbLookup result;
+        result.waysRead = 1;
+        auto xlate = table_.translate(vaddr);
+        if (xlate) {
+            result.hit = true;
+            result.xlate = *xlate;
+            // Never pay dirty micro-ops: this is the no-overhead bound.
+            result.entryDirty = true;
+        }
+        recordLookup(result);
+        return result;
+    }
+
+    void fill(const FillInfo &) override {}
+    void invalidate(VAddr, PageSize) override { ++invalidations_; }
+    void invalidateAll() override { ++invalidations_; }
+    void markDirty(VAddr) override {}
+
+    bool supports(PageSize) const override { return true; }
+    std::uint64_t numEntries() const override { return 0; }
+    unsigned numWays() const override { return 1; }
+
+  private:
+    const pt::PageTable &table_;
+};
+
+} // namespace mixtlb::tlb
+
+#endif // MIXTLB_TLB_IDEAL_HH

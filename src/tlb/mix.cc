@@ -1,0 +1,451 @@
+#include "mix.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace mixtlb::tlb
+{
+
+MixTlb::MixTlb(const std::string &name, stats::StatGroup *parent,
+               const MixTlbParams &params)
+    : BaseTlb(name, parent), params_(params),
+      mirrorWrites_(stats_.addScalar("mirror_writes",
+          "superpage mirror copies written on fills")),
+      duplicatesRemoved_(stats_.addScalar("duplicates_removed",
+          "duplicate mirrors collapsed on probe (Sec. 4.3)")),
+      extensions_(stats_.addScalar("extensions",
+          "existing bundles extended by later fills (Sec. 4.2)"))
+{
+    fatal_if(params.assoc == 0 || params.entries == 0 ||
+             params.entries % params.assoc != 0,
+             "MIX TLB geometry does not divide evenly");
+    fatal_if(params.colt4k == 0 || !isPowerOf2(params.colt4k),
+             "colt4k must be a nonzero power of two");
+    numSets_ = static_cast<unsigned>(params.entries / params.assoc);
+    maxCoalesce_ = params.maxCoalesce ? params.maxCoalesce : numSets_;
+    if (params.mode == CoalesceMode::Bitmap && maxCoalesce_ > 64)
+        maxCoalesce_ = 64; // a 64-bit map is the storage ceiling
+    sets_.resize(numSets_);
+}
+
+bool
+MixTlb::Entry::slotPresent(unsigned slot, CoalesceMode mode) const
+{
+    if (size == PageSize::Size4K || mode == CoalesceMode::Bitmap)
+        return (bitmap >> slot) & 1;
+    return slot >= runStart && slot < runStart + length;
+}
+
+unsigned
+MixTlb::indexOf(VAddr vaddr) const
+{
+    if (params_.superpageIndexBits)
+        return static_cast<unsigned>((vaddr >> PageShift2M) % numSets_);
+    std::uint64_t vpn = vaddr >> PageShift4K;
+    return static_cast<unsigned>((vpn / params_.colt4k) % numSets_);
+}
+
+unsigned
+MixTlb::groupSlots(PageSize size) const
+{
+    return size == PageSize::Size4K ? params_.colt4k : maxCoalesce_;
+}
+
+VAddr
+MixTlb::windowBase(VAddr vbase, PageSize size) const
+{
+    std::uint64_t span =
+        static_cast<std::uint64_t>(groupSlots(size)) * pageBytes(size);
+    return vbase - (vbase % span);
+}
+
+bool
+MixTlb::entryCovers(const Entry &entry, VAddr vaddr) const
+{
+    std::uint64_t span =
+        static_cast<std::uint64_t>(groupSlots(entry.size))
+        * pageBytes(entry.size);
+    if (vaddr < entry.wbase || vaddr >= entry.wbase + span)
+        return false;
+    auto slot = static_cast<unsigned>((vaddr - entry.wbase)
+                                      / pageBytes(entry.size));
+    return entry.slotPresent(slot, params_.mode);
+}
+
+unsigned
+MixTlb::population(const Entry &entry) const
+{
+    if (entry.size == PageSize::Size4K ||
+        params_.mode == CoalesceMode::Bitmap) {
+        return static_cast<unsigned>(std::popcount(entry.bitmap));
+    }
+    return entry.length;
+}
+
+bool
+MixTlb::compatible(const Entry &a, const Entry &b) const
+{
+    if (a.size != b.size || a.wbase != b.wbase ||
+        a.wpbase != b.wpbase || !(a.perms == b.perms)) {
+        return false;
+    }
+    if (a.size == PageSize::Size4K ||
+        params_.mode == CoalesceMode::Bitmap) {
+        return true; // bitmaps always union
+    }
+    // Length mode: only runs that overlap or touch can share an entry;
+    // disjoint runs of the same window coexist as separate entries.
+    std::uint32_t a1 = a.runStart, a2 = a1 + a.length;
+    std::uint32_t b1 = b.runStart, b2 = b1 + b.length;
+    return b1 <= a2 && a1 <= b2;
+}
+
+void
+MixTlb::merge(Entry &existing, const Entry &incoming)
+{
+    if (existing.size == PageSize::Size4K ||
+        params_.mode == CoalesceMode::Bitmap) {
+        existing.bitmap |= incoming.bitmap;
+    } else {
+        std::uint32_t a1 = existing.runStart;
+        std::uint32_t a2 = a1 + existing.length;
+        std::uint32_t b1 = incoming.runStart;
+        std::uint32_t b2 = b1 + incoming.length;
+        existing.runStart = std::min(a1, b1);
+        existing.length = std::max(a2, b2) - existing.runStart;
+    }
+    existing.dirty = existing.dirty && incoming.dirty;
+}
+
+TlbLookup
+MixTlb::lookup(VAddr vaddr, bool is_store)
+{
+    (void)is_store;
+    TlbLookup result;
+    result.waysRead = params_.assoc;
+    auto &set = sets_[indexOf(vaddr)];
+
+    auto it = std::find_if(set.begin(), set.end(), [&](const Entry &e) {
+        return entryCovers(e, vaddr);
+    });
+    if (it != set.end()) {
+        // Sec. 4.3: the probe tag-compares the whole set, so duplicate
+        // mirrors of the matched bundle are visible; collapse them.
+        auto dup = set.begin();
+        while (dup != set.end()) {
+            if (dup != it && compatible(*it, *dup)) {
+                merge(*it, *dup);
+                dup = set.erase(dup);
+                ++duplicatesRemoved_;
+            } else {
+                ++dup;
+            }
+        }
+    }
+    if (it != set.end()) {
+        set.splice(set.begin(), set, it);
+        const Entry &entry = set.front();
+        result.hit = true;
+        result.xlate.size = entry.size;
+        result.xlate.vbase = pageBase(vaddr, entry.size);
+        result.xlate.pbase =
+            entry.wpbase + (result.xlate.vbase - entry.wbase);
+        result.xlate.perms = entry.perms;
+        result.xlate.accessed = true;
+        result.xlate.dirty = entry.dirty;
+        result.entryDirty = entry.dirty;
+        result.bundle = bundleAround(entry, vaddr);
+    }
+    recordLookup(result);
+    return result;
+}
+
+MixTlb::Entry
+MixTlb::buildEntry(const FillInfo &fill) const
+{
+    const pt::Translation &leaf = fill.leaf;
+    const unsigned group = groupSlots(leaf.size);
+    const std::uint64_t page = pageBytes(leaf.size);
+
+    Entry entry{};
+    entry.size = leaf.size;
+    entry.perms = leaf.perms;
+    entry.wbase = params_.alignmentRestricted
+                      ? windowBase(leaf.vbase, leaf.size)
+                      : leaf.vbase; // floating anchor (ablation)
+    const auto leaf_slot =
+        static_cast<unsigned>((leaf.vbase - entry.wbase) / page);
+    entry.wpbase = leaf.pbase - static_cast<std::uint64_t>(leaf_slot)
+                                * page;
+    entry.dirty = leaf.dirty;
+
+    // Candidate membership per window slot, from the walk line and/or
+    // an upper-level bundle. Slot 'leaf_slot' is always present.
+    std::uint64_t present = 1ULL << leaf_slot;
+    std::uint64_t all_dirty = leaf.dirty ? ~0ULL : ~(1ULL << leaf_slot);
+
+    auto consider = [&](VAddr vbase, PAddr pbase, pt::Perms perms,
+                        bool dirty) {
+        if (perms != leaf.perms)
+            return; // Sec. 4.4: equal permissions only
+        if (vbase < entry.wbase)
+            return;
+        std::uint64_t slot64 = (vbase - entry.wbase) / page;
+        if (slot64 >= group)
+            return;
+        auto slot = static_cast<unsigned>(slot64);
+        // PA must sit exactly where window-affine contiguity demands.
+        if (pbase != entry.wpbase + slot64 * page)
+            return;
+        present |= 1ULL << slot;
+        if (!dirty)
+            all_dirty &= ~(1ULL << slot);
+    };
+
+    if (fill.walk && !fill.walk->pageFault() &&
+        fill.walk->lineGranularity == leaf.size) {
+        for (const auto &slot : fill.walk->line) {
+            // Sec. 4.4: only translations with the accessed bit set may
+            // be coalesced at fill time.
+            if (slot.present && slot.xlate.accessed) {
+                consider(slot.xlate.vbase, slot.xlate.pbase,
+                         slot.xlate.perms, slot.xlate.dirty);
+            }
+        }
+    }
+    if (fill.bundle && fill.bundle->size == leaf.size) {
+        const BundleInfo &bundle = *fill.bundle;
+        for (std::uint64_t i = 0; i < bundle.count; i++) {
+            consider(bundle.vbase + i * page, bundle.pbase + i * page,
+                     bundle.perms, bundle.dirty);
+        }
+    }
+
+    if (leaf.size != PageSize::Size4K &&
+        params_.mode == CoalesceMode::Length) {
+        // Contiguous run through the leaf slot, holes excluded.
+        unsigned lo = leaf_slot;
+        while (lo > 0 && ((present >> (lo - 1)) & 1))
+            lo--;
+        unsigned hi = leaf_slot;
+        while (hi + 1 < group && ((present >> (hi + 1)) & 1))
+            hi++;
+        entry.runStart = lo;
+        entry.length = hi - lo + 1;
+        std::uint64_t run_mask =
+            entry.length >= 64 ? ~0ULL
+                               : ((1ULL << entry.length) - 1) << lo;
+        entry.dirty = (all_dirty & run_mask) == run_mask;
+        entry.bitmap = 0;
+    } else {
+        entry.bitmap = present;
+        entry.dirty = (all_dirty & present) == present;
+    }
+    return entry;
+}
+
+void
+MixTlb::insertIntoSet(unsigned set_idx, const Entry &entry)
+{
+    auto &set = sets_[set_idx];
+    auto it = std::find_if(set.begin(), set.end(), [&](const Entry &e) {
+        return compatible(e, entry);
+    });
+    if (it != set.end()) {
+        unsigned before = population(*it);
+        merge(*it, entry);
+        set.splice(set.begin(), set, it);
+        if (population(set.front()) > before)
+            ++extensions_;
+        ++coalesces_;
+        return;
+    }
+    set.push_front(entry);
+    if (set.size() > params_.assoc)
+        set.pop_back();
+    ++fills_;
+    if (entry.size != PageSize::Size4K)
+        ++mirrorWrites_;
+}
+
+void
+MixTlb::blindInsert(unsigned set_idx, const Entry &entry)
+{
+    // Sec. 4.3: non-probed sets are filled without checking for an
+    // existing copy (scanning every set on fill would cost too much
+    // energy); duplicates this creates collapse on a later probe.
+    auto &set = sets_[set_idx];
+    set.push_front(entry);
+    if (set.size() > params_.assoc)
+        set.pop_back();
+    ++fills_;
+    if (entry.size != PageSize::Size4K)
+        ++mirrorWrites_;
+}
+
+void
+MixTlb::fill(const FillInfo &fill)
+{
+    Entry entry = buildEntry(fill);
+    const VAddr demanded = fill.vaddr ? fill.vaddr : fill.leaf.vbase;
+    const unsigned probed = indexOf(demanded);
+
+    if (entry.size == PageSize::Size4K) {
+        // Small pages map to exactly one set (the window's pages share
+        // the index because the index drops log2(colt4k) bits).
+        insertIntoSet(probed, entry);
+        return;
+    }
+
+    if (!params_.superpageIndexBits) {
+        // Small-page index bits: each superpage spans at least
+        // 512 index values, so the bundle mirrors into every set.
+        //
+        // L1 (bitmap) fills follow Sec. 4.3 exactly: only the probed
+        // set merges into an existing bundle; the others are mirrored
+        // blindly and duplicates collapse on later probes. L2 (length)
+        // fills extend a matching bundle in every set — the "slightly
+        // more complex hardware" Sec. 4 grants the L2 level, and what
+        // lets coalescing grow to offset the full mirror count at L2
+        // reach (Sec. 4.2's extension of bundles across cache lines).
+        const bool merge_everywhere = params_.mode == CoalesceMode::Length;
+        for (unsigned s = 0; s < numSets_; s++) {
+            if (s == probed || merge_everywhere)
+                insertIntoSet(s, entry);
+            else
+                blindInsert(s, entry);
+        }
+        return;
+    }
+
+    // Ablation (Sec. 3): superpage index bits. A 2MB page maps to one
+    // set; a 1GB page still spans 512 2MB indices.
+    if (entry.size == PageSize::Size2M) {
+        insertIntoSet(indexOf(fill.leaf.vbase), entry);
+    } else {
+        for (unsigned s = 0; s < numSets_; s++) {
+            if (s == probed)
+                insertIntoSet(s, entry);
+            else
+                blindInsert(s, entry);
+        }
+    }
+}
+
+BundleInfo
+MixTlb::bundleAround(const Entry &entry, VAddr vaddr) const
+{
+    const std::uint64_t page = pageBytes(entry.size);
+    auto slot = static_cast<unsigned>((vaddr - entry.wbase) / page);
+    unsigned lo = slot, hi = slot;
+    if (entry.size == PageSize::Size4K ||
+        params_.mode == CoalesceMode::Bitmap) {
+        while (lo > 0 && ((entry.bitmap >> (lo - 1)) & 1))
+            lo--;
+        while (hi + 1 < groupSlots(entry.size) &&
+               ((entry.bitmap >> (hi + 1)) & 1)) {
+            hi++;
+        }
+    } else {
+        lo = entry.runStart;
+        hi = entry.runStart + entry.length - 1;
+    }
+    BundleInfo bundle;
+    bundle.vbase = entry.wbase + static_cast<std::uint64_t>(lo) * page;
+    bundle.pbase = entry.wpbase + static_cast<std::uint64_t>(lo) * page;
+    bundle.size = entry.size;
+    bundle.count = hi - lo + 1;
+    bundle.perms = entry.perms;
+    bundle.dirty = entry.dirty;
+    return bundle;
+}
+
+void
+MixTlb::invalidate(VAddr vbase, PageSize size)
+{
+    ++invalidations_;
+    const std::uint64_t page = pageBytes(size);
+
+    if (size == PageSize::Size4K && !params_.superpageIndexBits) {
+        // Small-page entries live only in their indexed set.
+        auto &set = sets_[indexOf(vbase)];
+        for (auto it = set.begin(); it != set.end();) {
+            Entry &entry = *it;
+            std::uint64_t span =
+                static_cast<std::uint64_t>(groupSlots(entry.size))
+                * page;
+            if (entry.size != size || vbase < entry.wbase ||
+                vbase >= entry.wbase + span) {
+                ++it;
+                continue;
+            }
+            auto slot =
+                static_cast<unsigned>((vbase - entry.wbase) / page);
+            entry.bitmap &= ~(1ULL << slot);
+            if (entry.bitmap == 0)
+                it = set.erase(it);
+            else
+                ++it;
+        }
+        return;
+    }
+
+    for (auto &set : sets_) {
+        for (auto it = set.begin(); it != set.end();) {
+            Entry &entry = *it;
+            std::uint64_t span =
+                static_cast<std::uint64_t>(groupSlots(entry.size)) * page;
+            if (entry.size != size || vbase < entry.wbase ||
+                vbase >= entry.wbase + span) {
+                ++it;
+                continue;
+            }
+            auto slot =
+                static_cast<unsigned>((vbase - entry.wbase) / page);
+            if (size == PageSize::Size4K ||
+                params_.mode == CoalesceMode::Bitmap) {
+                // Sec. 4.4: clear just this superpage's bit; neighbours
+                // stay cached.
+                entry.bitmap &= ~(1ULL << slot);
+                if (entry.bitmap == 0)
+                    it = set.erase(it);
+                else
+                    ++it;
+            } else {
+                // Length mode: drop the whole bundle (the paper's
+                // simple approach).
+                if (entry.slotPresent(slot, params_.mode))
+                    it = set.erase(it);
+                else
+                    ++it;
+            }
+        }
+    }
+}
+
+void
+MixTlb::invalidateAll()
+{
+    ++invalidations_;
+    for (auto &set : sets_)
+        set.clear();
+}
+
+void
+MixTlb::markDirty(VAddr vaddr)
+{
+    auto &set = sets_[indexOf(vaddr)];
+    for (auto &entry : set) {
+        if (!entryCovers(entry, vaddr))
+            continue;
+        // Sec. 4.4: the bundle dirty bit may only be set when every
+        // member is dirty; hardware only knows that for singletons.
+        if (population(entry) == 1)
+            entry.dirty = true;
+    }
+}
+
+} // namespace mixtlb::tlb

@@ -1,0 +1,178 @@
+#include "set_assoc.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mixtlb::tlb
+{
+
+SetAssocTlb::SetAssocTlb(const std::string &name, stats::StatGroup *parent,
+                         std::uint64_t entries, unsigned assoc,
+                         PageSize size)
+    : BaseTlb(name, parent), entries_(entries), assoc_(assoc), size_(size)
+{
+    fatal_if(assoc == 0 || entries == 0 || entries % assoc != 0,
+             "TLB geometry does not divide evenly");
+    numSets_ = entries / assoc;
+    sets_.resize(numSets_);
+}
+
+TlbLookup
+SetAssocTlb::lookup(VAddr vaddr, bool is_store)
+{
+    (void)is_store;
+    TlbLookup result;
+    result.waysRead = assoc_;
+    std::uint64_t vpn = vpnOf(vaddr, size_);
+    auto &set = sets_[setOf(vpn)];
+    auto it = std::find_if(set.begin(), set.end(), [&](const Entry &e) {
+        return e.vpn == vpn;
+    });
+    if (it != set.end()) {
+        set.splice(set.begin(), set, it);
+        result.hit = true;
+        result.xlate = it->xlate;
+        result.entryDirty = it->dirty;
+    }
+    recordLookup(result);
+    return result;
+}
+
+void
+SetAssocTlb::fill(const FillInfo &fill)
+{
+    panic_if(fill.leaf.size != size_,
+             "filling a %s translation into a %s-only TLB",
+             pageSizeName(fill.leaf.size), pageSizeName(size_));
+    std::uint64_t vpn = fill.leaf.vpn();
+    auto &set = sets_[setOf(vpn)];
+    auto it = std::find_if(set.begin(), set.end(), [&](const Entry &e) {
+        return e.vpn == vpn;
+    });
+    if (it != set.end()) {
+        it->xlate = fill.leaf;
+        it->dirty = fill.leaf.dirty;
+        set.splice(set.begin(), set, it);
+        return;
+    }
+    set.push_front(Entry{vpn, fill.leaf, fill.leaf.dirty});
+    if (set.size() > assoc_)
+        set.pop_back();
+    ++fills_;
+}
+
+void
+SetAssocTlb::invalidate(VAddr vbase, PageSize size)
+{
+    if (size != size_)
+        return;
+    ++invalidations_;
+    std::uint64_t vpn = vpnOf(vbase, size_);
+    auto &set = sets_[setOf(vpn)];
+    set.remove_if([&](const Entry &e) { return e.vpn == vpn; });
+}
+
+void
+SetAssocTlb::invalidateAll()
+{
+    ++invalidations_;
+    for (auto &set : sets_)
+        set.clear();
+}
+
+void
+SetAssocTlb::markDirty(VAddr vaddr)
+{
+    std::uint64_t vpn = vpnOf(vaddr, size_);
+    auto &set = sets_[setOf(vpn)];
+    for (auto &entry : set) {
+        if (entry.vpn == vpn)
+            entry.dirty = true;
+    }
+}
+
+FullyAssocTlb::FullyAssocTlb(const std::string &name,
+                             stats::StatGroup *parent,
+                             std::uint64_t entries,
+                             std::initializer_list<PageSize> sizes)
+    : BaseTlb(name, parent), entries_(entries)
+{
+    fatal_if(entries == 0, "empty fully-associative TLB");
+    for (PageSize size : sizes)
+        sizeMask_[static_cast<unsigned>(size)] = true;
+}
+
+bool
+FullyAssocTlb::supports(PageSize size) const
+{
+    return sizeMask_[static_cast<unsigned>(size)];
+}
+
+TlbLookup
+FullyAssocTlb::lookup(VAddr vaddr, bool is_store)
+{
+    (void)is_store;
+    TlbLookup result;
+    result.waysRead = static_cast<unsigned>(entries_);
+    auto it = std::find_if(lru_.begin(), lru_.end(), [&](const Entry &e) {
+        return e.xlate.covers(vaddr);
+    });
+    if (it != lru_.end()) {
+        lru_.splice(lru_.begin(), lru_, it);
+        result.hit = true;
+        result.xlate = it->xlate;
+        result.entryDirty = it->dirty;
+    }
+    recordLookup(result);
+    return result;
+}
+
+void
+FullyAssocTlb::fill(const FillInfo &fill)
+{
+    panic_if(!supports(fill.leaf.size),
+             "filling unsupported page size %s",
+             pageSizeName(fill.leaf.size));
+    auto it = std::find_if(lru_.begin(), lru_.end(), [&](const Entry &e) {
+        return e.xlate.vbase == fill.leaf.vbase &&
+               e.xlate.size == fill.leaf.size;
+    });
+    if (it != lru_.end()) {
+        it->xlate = fill.leaf;
+        it->dirty = fill.leaf.dirty;
+        lru_.splice(lru_.begin(), lru_, it);
+        return;
+    }
+    lru_.push_front(Entry{fill.leaf, fill.leaf.dirty});
+    if (lru_.size() > entries_)
+        lru_.pop_back();
+    ++fills_;
+}
+
+void
+FullyAssocTlb::invalidate(VAddr vbase, PageSize size)
+{
+    ++invalidations_;
+    lru_.remove_if([&](const Entry &e) {
+        return e.xlate.size == size && e.xlate.vbase == vbase;
+    });
+}
+
+void
+FullyAssocTlb::invalidateAll()
+{
+    ++invalidations_;
+    lru_.clear();
+}
+
+void
+FullyAssocTlb::markDirty(VAddr vaddr)
+{
+    for (auto &entry : lru_) {
+        if (entry.xlate.covers(vaddr))
+            entry.dirty = true;
+    }
+}
+
+} // namespace mixtlb::tlb

@@ -1,0 +1,210 @@
+#include "skew.hh"
+
+#include "common/logging.hh"
+
+namespace mixtlb::tlb
+{
+
+SkewTlb::SkewTlb(const std::string &name, stats::StatGroup *parent,
+                 const SkewTlbParams &params)
+    : BaseTlb(name, parent), params_(params)
+{
+    fatal_if(params.setsPerWay == 0, "skew TLB with zero rows");
+    totalWays_ = 0;
+    for (unsigned s = 0; s < NumPageSizes; s++) {
+        for (unsigned w = 0; w < params.waysPerSize[s]; w++)
+            waySize_.push_back(static_cast<PageSize>(s));
+        totalWays_ += params.waysPerSize[s];
+    }
+    fatal_if(totalWays_ == 0, "skew TLB with zero ways");
+    ways_.assign(totalWays_, std::vector<Entry>(params.setsPerWay));
+    if (params.usePredictor) {
+        predictor_ = std::make_unique<SizePredictor>(
+            "predictor", &stats_, params.predictorEntries);
+    }
+}
+
+bool
+SkewTlb::supports(PageSize size) const
+{
+    return params_.waysPerSize[static_cast<unsigned>(size)] > 0;
+}
+
+std::uint64_t
+SkewTlb::numEntries() const
+{
+    return static_cast<std::uint64_t>(totalWays_) * params_.setsPerWay;
+}
+
+std::uint64_t
+SkewTlb::rowOf(unsigned way, std::uint64_t vpn) const
+{
+    // A different xor-fold per way gives the inter-way skew Seznec's
+    // design relies on: conflicts in one way do not conflict in others.
+    std::uint64_t h = vpn ^ (vpn >> (4 + 3 * way));
+    h *= 0x9e3779b97f4a7c15ULL + 2 * way;
+    h ^= h >> 31;
+    return h % params_.setsPerWay;
+}
+
+int
+SkewTlb::probeSize(VAddr vaddr, PageSize size, unsigned *ways_read)
+{
+    std::uint64_t vpn = vpnOf(vaddr, size);
+    for (unsigned way = 0; way < totalWays_; way++) {
+        if (waySize_[way] != size)
+            continue;
+        (*ways_read)++;
+        Entry &entry = ways_[way][rowOf(way, vpn)];
+        if (entry.valid && entry.vpn == vpn)
+            return static_cast<int>(way);
+    }
+    return -1;
+}
+
+TlbLookup
+SkewTlb::lookup(VAddr vaddr, bool is_store)
+{
+    (void)is_store;
+    TlbLookup result;
+    result.probes = 0;
+    result.waysRead = 0;
+
+    std::vector<PageSize> order;
+    if (predictor_) {
+        PageSize predicted = predictor_->predict(vaddr);
+        order.push_back(predicted);
+        for (unsigned s = 0; s < NumPageSizes; s++) {
+            auto size = static_cast<PageSize>(s);
+            if (size != predicted)
+                order.push_back(size);
+        }
+    } else {
+        // Plain skew TLBs probe every way in one parallel round.
+        order = {PageSize::Size4K, PageSize::Size2M, PageSize::Size1G};
+    }
+
+    int hit_way = -1;
+    PageSize hit_size = PageSize::Size4K;
+    if (predictor_) {
+        for (PageSize size : order) {
+            if (!supports(size))
+                continue;
+            result.probes++;
+            hit_way = probeSize(vaddr, size, &result.waysRead);
+            if (hit_way >= 0) {
+                hit_size = size;
+                break;
+            }
+        }
+        if (result.probes > 0) {
+            // Outcome known after the first probe round.
+            predictor_->recordOutcome(hit_way >= 0 && result.probes == 1);
+        }
+    } else {
+        result.probes = 1;
+        for (PageSize size : order) {
+            if (!supports(size))
+                continue;
+            int way = probeSize(vaddr, size, &result.waysRead);
+            if (way >= 0 && hit_way < 0) {
+                hit_way = way;
+                hit_size = size;
+            }
+        }
+    }
+    if (result.probes == 0)
+        result.probes = 1;
+
+    if (hit_way >= 0) {
+        std::uint64_t vpn = vpnOf(vaddr, hit_size);
+        Entry &entry = ways_[hit_way][rowOf(hit_way, vpn)];
+        entry.timestamp = ++clock_;
+        result.hit = true;
+        result.xlate = entry.xlate;
+        result.entryDirty = entry.dirty;
+        if (predictor_)
+            predictor_->update(vaddr, hit_size);
+    }
+    recordLookup(result);
+    return result;
+}
+
+void
+SkewTlb::fill(const FillInfo &fill)
+{
+    panic_if(!supports(fill.leaf.size),
+             "skew TLB does not cache %s pages",
+             pageSizeName(fill.leaf.size));
+    std::uint64_t vpn = fill.leaf.vpn();
+
+    // Candidate slot per way of this size; prefer invalid, else the
+    // oldest timestamp across candidate slots.
+    int victim_way = -1;
+    std::uint64_t victim_ts = ~0ULL;
+    for (unsigned way = 0; way < totalWays_; way++) {
+        if (waySize_[way] != fill.leaf.size)
+            continue;
+        Entry &entry = ways_[way][rowOf(way, vpn)];
+        if (entry.valid && entry.vpn == vpn) {
+            victim_way = static_cast<int>(way); // refresh in place
+            break;
+        }
+        if (!entry.valid) {
+            victim_way = static_cast<int>(way);
+            victim_ts = 0;
+        } else if (entry.timestamp < victim_ts) {
+            victim_way = static_cast<int>(way);
+            victim_ts = entry.timestamp;
+        }
+    }
+    panic_if(victim_way < 0, "no way available for fill");
+    Entry &entry = ways_[victim_way][rowOf(victim_way, vpn)];
+    entry.valid = true;
+    entry.vpn = vpn;
+    entry.xlate = fill.leaf;
+    entry.dirty = fill.leaf.dirty;
+    entry.timestamp = ++clock_;
+    ++fills_;
+    if (predictor_)
+        predictor_->update(fill.leaf.vbase, fill.leaf.size);
+}
+
+void
+SkewTlb::invalidate(VAddr vbase, PageSize size)
+{
+    if (!supports(size))
+        return;
+    ++invalidations_;
+    std::uint64_t vpn = vpnOf(vbase, size);
+    for (unsigned way = 0; way < totalWays_; way++) {
+        if (waySize_[way] != size)
+            continue;
+        Entry &entry = ways_[way][rowOf(way, vpn)];
+        if (entry.valid && entry.vpn == vpn)
+            entry.valid = false;
+    }
+}
+
+void
+SkewTlb::invalidateAll()
+{
+    ++invalidations_;
+    for (auto &way : ways_) {
+        for (auto &entry : way)
+            entry.valid = false;
+    }
+}
+
+void
+SkewTlb::markDirty(VAddr vaddr)
+{
+    for (unsigned way = 0; way < totalWays_; way++) {
+        std::uint64_t vpn = vpnOf(vaddr, waySize_[way]);
+        Entry &entry = ways_[way][rowOf(way, vpn)];
+        if (entry.valid && entry.vpn == vpn)
+            entry.dirty = true;
+    }
+}
+
+} // namespace mixtlb::tlb

@@ -1,0 +1,109 @@
+#include "split.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mixtlb::tlb
+{
+
+SplitTlb::SplitTlb(const std::string &name, stats::StatGroup *parent)
+    : BaseTlb(name, parent)
+{
+}
+
+BaseTlb &
+SplitTlb::addComponent(std::unique_ptr<BaseTlb> component)
+{
+    components_.push_back(std::move(component));
+    return *components_.back();
+}
+
+TlbLookup
+SplitTlb::lookup(VAddr vaddr, bool is_store)
+{
+    // All components are probed in parallel; at most one can hit (a
+    // page is cached only in the component owning its size).
+    TlbLookup result;
+    result.probes = 0;
+    result.waysRead = 0;
+    for (auto &component : components_) {
+        TlbLookup sub = component->lookup(vaddr, is_store);
+        result.probes = std::max(result.probes, sub.probes);
+        result.waysRead += sub.waysRead;
+        if (sub.hit) {
+            result.hit = true;
+            result.xlate = sub.xlate;
+            result.entryDirty = sub.entryDirty;
+            result.bundle = sub.bundle;
+        }
+    }
+    if (result.probes == 0)
+        result.probes = 1;
+    recordLookup(result);
+    return result;
+}
+
+void
+SplitTlb::fill(const FillInfo &fill)
+{
+    for (auto &component : components_) {
+        if (component->supports(fill.leaf.size)) {
+            component->fill(fill);
+            ++fills_;
+            return;
+        }
+    }
+    panic("no split component supports %s pages",
+          pageSizeName(fill.leaf.size));
+}
+
+void
+SplitTlb::invalidate(VAddr vbase, PageSize size)
+{
+    ++invalidations_;
+    for (auto &component : components_)
+        component->invalidate(vbase, size);
+}
+
+void
+SplitTlb::invalidateAll()
+{
+    ++invalidations_;
+    for (auto &component : components_)
+        component->invalidateAll();
+}
+
+void
+SplitTlb::markDirty(VAddr vaddr)
+{
+    for (auto &component : components_)
+        component->markDirty(vaddr);
+}
+
+bool
+SplitTlb::supports(PageSize size) const
+{
+    return std::any_of(components_.begin(), components_.end(),
+                       [&](const auto &c) { return c->supports(size); });
+}
+
+std::uint64_t
+SplitTlb::numEntries() const
+{
+    std::uint64_t total = 0;
+    for (const auto &component : components_)
+        total += component->numEntries();
+    return total;
+}
+
+unsigned
+SplitTlb::numWays() const
+{
+    unsigned total = 0;
+    for (const auto &component : components_)
+        total += component->numWays();
+    return total;
+}
+
+} // namespace mixtlb::tlb

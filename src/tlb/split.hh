@@ -1,0 +1,43 @@
+/**
+ * @file
+ * A split (partitioned) TLB: one component structure per page size (or
+ * group of page sizes), all probed in parallel — the organisation used
+ * by essentially all commercial processors and the paper's baseline.
+ */
+
+#ifndef MIXTLB_TLB_SPLIT_HH
+#define MIXTLB_TLB_SPLIT_HH
+
+#include <memory>
+#include <vector>
+
+#include "tlb/base.hh"
+
+namespace mixtlb::tlb
+{
+
+class SplitTlb : public BaseTlb
+{
+  public:
+    SplitTlb(const std::string &name, stats::StatGroup *parent);
+
+    /** Add a component; fills route to the first that supports a size. */
+    BaseTlb &addComponent(std::unique_ptr<BaseTlb> component);
+
+    TlbLookup lookup(VAddr vaddr, bool is_store) override;
+    void fill(const FillInfo &fill) override;
+    void invalidate(VAddr vbase, PageSize size) override;
+    void invalidateAll() override;
+    void markDirty(VAddr vaddr) override;
+
+    bool supports(PageSize size) const override;
+    std::uint64_t numEntries() const override;
+    unsigned numWays() const override;
+
+  private:
+    std::vector<std::unique_ptr<BaseTlb>> components_;
+};
+
+} // namespace mixtlb::tlb
+
+#endif // MIXTLB_TLB_SPLIT_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The native (non-virtualized) WalkSource: a hardware walker over one
+ * process's page table, with page faults delegated to a handler (the
+ * OS's Process::touch in practice).
+ */
+
+#ifndef MIXTLB_TLB_WALK_SOURCE_HH
+#define MIXTLB_TLB_WALK_SOURCE_HH
+
+#include <functional>
+
+#include "pt/page_table.hh"
+#include "pt/walker.hh"
+#include "tlb/hierarchy.hh"
+
+namespace mixtlb::tlb
+{
+
+class NativeWalkSource : public WalkSource
+{
+  public:
+    /** Fault handler returns false when the fault cannot be serviced. */
+    using FaultHandler = std::function<bool(VAddr, bool)>;
+
+    NativeWalkSource(pt::PageTable &table, stats::StatGroup *parent,
+                     FaultHandler fault_handler, unsigned scan_lines = 1,
+                     pt::PwcParams pwc = {})
+        : table_(table), walker_(table, parent, scan_lines, pwc),
+          faultHandler_(std::move(fault_handler))
+    {}
+
+    pt::WalkResult
+    walk(VAddr vaddr, bool is_store) override
+    {
+        return walker_.walk(vaddr, is_store);
+    }
+
+    bool
+    fault(VAddr vaddr, bool is_store) override
+    {
+        return faultHandler_ && faultHandler_(vaddr, is_store);
+    }
+
+    std::optional<PAddr>
+    leafPteAddr(VAddr vaddr) override
+    {
+        return table_.leafPteAddr(vaddr);
+    }
+
+    void
+    setDirty(VAddr vaddr) override
+    {
+        table_.setDirty(vaddr);
+    }
+
+    void
+    invalidate(VAddr vbase, PageSize size) override
+    {
+        walker_.pwc().invalidate(vbase, size);
+    }
+
+    pt::Walker &walker() { return walker_; }
+
+  private:
+    pt::PageTable &table_;
+    pt::Walker walker_;
+    FaultHandler faultHandler_;
+};
+
+} // namespace mixtlb::tlb
+
+#endif // MIXTLB_TLB_WALK_SOURCE_HH

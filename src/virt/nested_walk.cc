@@ -1,0 +1,221 @@
+#include "nested_walk.hh"
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace mixtlb::virt
+{
+
+NestedWalkSource::NestedWalkSource(Vm &vm, os::Process &guest_proc,
+                                   stats::StatGroup *parent,
+                                   unsigned scan_lines)
+    : vm_(vm), guestProc_(guest_proc), scanLines_(scan_lines),
+      stats_("nested", parent),
+      eptWalker_(vm.ept(), &stats_),
+      nestedWalks_(stats_.addScalar("walks", "nested 2-D walks")),
+      guestFaultsSeen_(stats_.addScalar("guest_faults",
+                                        "guest page faults observed"))
+{
+}
+
+std::optional<pt::Translation>
+NestedWalkSource::hostWalk(PAddr gpa, bool is_write,
+                           std::vector<PAddr> &accesses)
+{
+    VAddr hva = vm_.eptHva(gpa);
+    pt::WalkResult host = eptWalker_.walk(hva, is_write);
+    if (host.pageFault()) {
+        // EPT violation: the hypervisor backs the page, then the
+        // hardware re-walks. Both walks' accesses are paid.
+        accesses.insert(accesses.end(), host.accesses.begin(),
+                        host.accesses.end());
+        if (!vm_.hostLeaf(gpa, is_write))
+            return std::nullopt; // host OOM
+        host = eptWalker_.walk(hva, is_write);
+        panic_if(host.pageFault(), "EPT fault after backing");
+    }
+    accesses.insert(accesses.end(), host.accesses.begin(),
+                    host.accesses.end());
+    return host.leaf;
+}
+
+pt::Translation
+NestedWalkSource::effectiveLeaf(VAddr gva, const pt::Translation &guest,
+                                const pt::Translation &host,
+                                VAddr ept_base)
+{
+    // The TLB-cacheable page size is the smaller of the two levels.
+    PageSize eff = guest.size;
+    if (pageShift(host.size) < pageShift(eff))
+        eff = host.size;
+
+    pt::Translation leaf;
+    leaf.size = eff;
+    leaf.vbase = pageBase(gva, eff);
+    PAddr gpa_base = guest.translate(leaf.vbase);
+    leaf.pbase = host.translate(ept_base + gpa_base);
+    // End-to-end permissions: the intersection.
+    leaf.perms.writable = guest.perms.writable && host.perms.writable;
+    leaf.perms.user = guest.perms.user;
+    leaf.perms.noExec = guest.perms.noExec || host.perms.noExec;
+    leaf.accessed = guest.accessed;
+    leaf.dirty = guest.dirty;
+    return leaf;
+}
+
+pt::WalkResult
+NestedWalkSource::walk(VAddr gva, bool is_store)
+{
+    ++nestedWalks_;
+    pt::WalkResult result;
+    auto &guest_mem = vm_.guestPhys();
+    const pt::PageTable &guest_table = guestProc_.pageTable();
+
+    PAddr table_gpa = guest_table.root();
+    for (unsigned level = pt::NumLevels; level-- > 0;) {
+        PAddr gpa_pte = table_gpa + 8ULL * pt::levelIndex(gva, level);
+
+        // Host walk to locate the guest PTE in system memory.
+        auto host_pte = hostWalk(gpa_pte, false, result.accesses);
+        if (!host_pte) {
+            ++guestFaultsSeen_;
+            return result; // treated as unserviceable fault upstream
+        }
+        PAddr spa_pte = host_pte->translate(vm_.eptHva(gpa_pte));
+        result.accesses.push_back(alignDown(spa_pte, CacheLineBytes));
+
+        std::uint64_t raw = guest_mem.read64(gpa_pte);
+        if (!pt::pte::present(raw)) {
+            ++guestFaultsSeen_;
+            return result; // guest page fault
+        }
+        if (level == 0 || pt::pte::pageSizeBit(raw)) {
+            // Guest leaf: apply the A/D protocol in the guest PTE.
+            std::uint64_t updated = raw | pt::pte::A;
+            if (is_store)
+                updated |= pt::pte::D;
+            if (updated != raw)
+                guest_mem.write64(gpa_pte, updated);
+            raw = updated;
+
+            pt::Translation guest_leaf;
+            PageSize gsize = level == 2 ? PageSize::Size1G
+                             : level == 1 ? PageSize::Size2M
+                                          : PageSize::Size4K;
+            guest_leaf.vbase = pageBase(gva, gsize);
+            guest_leaf.pbase = pt::pte::frame(raw);
+            guest_leaf.size = gsize;
+            guest_leaf.perms = pt::pte::perms(raw);
+            guest_leaf.accessed = true;
+            guest_leaf.dirty = pt::pte::dirty(raw);
+
+            // Final host walk for the data address.
+            PAddr data_gpa = guest_leaf.translate(gva);
+            auto host_leaf = hostWalk(data_gpa, is_store,
+                                      result.accesses);
+            if (!host_leaf) {
+                ++guestFaultsSeen_;
+                return result;
+            }
+            result.leaf = effectiveLeaf(gva, guest_leaf, *host_leaf,
+                                        vm_.eptHva(0) - 0);
+
+            // Build the guest-granularity line for MIX coalescing, but
+            // only when no splintering shrank the effective size: a
+            // splintered leaf cannot share an entry with its
+            // guest-granularity neighbours anyway.
+            result.lineGranularity = result.leaf->size;
+            if (result.leaf->size == gsize) {
+                // Wide scans stay within one guest PT page, so the
+                // host translation of the PTE's page is reused and
+                // only the extra guest line reads are charged.
+                const unsigned lines = level > 0 ? scanLines_ : 1;
+                const unsigned slots = lines * PtesPerCacheLine;
+                const PAddr line_gpa =
+                    alignDown(gpa_pte, lines * CacheLineBytes);
+                const PAddr leaf_line_gpa =
+                    alignDown(gpa_pte, CacheLineBytes);
+                for (unsigned l = 0; l < lines; l++) {
+                    PAddr extra_gpa = line_gpa
+                                      + static_cast<PAddr>(l)
+                                            * CacheLineBytes;
+                    if (extra_gpa != leaf_line_gpa) {
+                        result.fillAccesses.push_back(alignDown(
+                            host_pte->translate(vm_.eptHva(extra_gpa)),
+                            CacheLineBytes));
+                    }
+                }
+                const auto slot =
+                    static_cast<unsigned>((gpa_pte - line_gpa) / 8);
+                result.leafSlot = slot;
+                result.line.assign(slots, pt::LinePte{});
+                const std::uint64_t span = 1ULL << pt::levelShift(level);
+                const VAddr group_base = alignDown(gva, span * slots);
+                for (unsigned i = 0; i < slots; i++) {
+                    std::uint64_t nraw = guest_mem.read64(line_gpa + 8 * i);
+                    bool leaf_slot = pt::pte::present(nraw) &&
+                                     (level == 0 ||
+                                      pt::pte::pageSizeBit(nraw));
+                    if (!leaf_slot)
+                        continue;
+                    VAddr n_vbase = group_base + i * span;
+                    PAddr n_gpa = pt::pte::frame(nraw);
+                    // The neighbour is usable only if a single host
+                    // page of at least guest size backs it (already
+                    // mapped; the coalescing logic never faults memory
+                    // in for neighbours).
+                    auto n_host =
+                        vm_.ept().translate(vm_.eptHva(n_gpa));
+                    if (!n_host ||
+                        pageShift(n_host->size) < pageShift(gsize)) {
+                        continue;
+                    }
+                    auto &entry = result.line[i];
+                    entry.present = true;
+                    entry.xlate.vbase = n_vbase;
+                    entry.xlate.pbase =
+                        n_host->translate(vm_.eptHva(n_gpa));
+                    entry.xlate.size = gsize;
+                    entry.xlate.perms.writable =
+                        pt::pte::perms(nraw).writable &&
+                        n_host->perms.writable;
+                    entry.xlate.perms.user = pt::pte::perms(nraw).user;
+                    entry.xlate.perms.noExec =
+                        pt::pte::perms(nraw).noExec || n_host->perms.noExec;
+                    entry.xlate.accessed = pt::pte::accessed(nraw);
+                    entry.xlate.dirty = pt::pte::dirty(nraw);
+                }
+                // The demanded slot reflects the effective leaf.
+                result.line[slot].present = true;
+                result.line[slot].xlate = *result.leaf;
+            }
+            return result;
+        }
+        table_gpa = pt::pte::frame(raw);
+    }
+    panic("nested walk fell off the guest radix tree");
+}
+
+bool
+NestedWalkSource::fault(VAddr gva, bool is_store)
+{
+    return guestProc_.touch(gva, is_store)
+           != os::TouchResult::OutOfMemory;
+}
+
+std::optional<PAddr>
+NestedWalkSource::leafPteAddr(VAddr gva)
+{
+    auto gpa_pte = guestProc_.pageTable().leafPteAddr(gva);
+    if (!gpa_pte)
+        return std::nullopt;
+    return vm_.hostPhysIfMapped(*gpa_pte);
+}
+
+void
+NestedWalkSource::setDirty(VAddr gva)
+{
+    guestProc_.pageTable().setDirty(gva);
+}
+
+} // namespace mixtlb::virt

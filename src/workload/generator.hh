@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Synthetic memory-reference generators standing in for the paper's
+ * Pin-traced workloads (Sec. 6.4).
+ *
+ * The paper traces SPEC/PARSEC plus big-memory workloads (gups, graph
+ * processing, memcached, CloudSuite) and Rodinia GPU kernels. Traces
+ * are unavailable, so each generator reproduces the *access pattern
+ * family* that drives a workload's TLB behaviour: footprint, spatial
+ * locality, reuse distance, and read/write mix. Every named workload
+ * in the benches maps to a parameterisation of one of these families.
+ */
+
+#ifndef MIXTLB_WORKLOAD_GENERATOR_HH
+#define MIXTLB_WORKLOAD_GENERATOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/types.hh"
+
+namespace mixtlb::workload
+{
+
+/** A source of memory references over one virtual arena. */
+class TraceGenerator
+{
+  public:
+    virtual ~TraceGenerator() = default;
+
+    /** Produce the next reference. */
+    virtual MemRef next() = 0;
+
+    /** Human-readable generator family name. */
+    virtual const char *family() const = 0;
+};
+
+/**
+ * gups: uniformly random read-modify-writes over the whole footprint.
+ * Worst-case TLB behaviour; essentially no spatial locality.
+ */
+class GupsGen : public TraceGenerator
+{
+  public:
+    GupsGen(VAddr base, std::uint64_t bytes, std::uint64_t seed);
+    MemRef next() override;
+    const char *family() const override { return "gups"; }
+
+  private:
+    VAddr base_;
+    std::uint64_t bytes_;
+    Rng rng_;
+    MemRef pending_{};
+    bool havePending_ = false;
+};
+
+/**
+ * stream: long unit-stride sweeps with a configurable write share.
+ * High spatial locality; TLB misses only at page boundaries.
+ */
+class StreamGen : public TraceGenerator
+{
+  public:
+    StreamGen(VAddr base, std::uint64_t bytes, std::uint64_t seed,
+              unsigned stride = 64, double write_ratio = 0.3);
+    MemRef next() override;
+    const char *family() const override { return "stream"; }
+
+  private:
+    VAddr base_;
+    std::uint64_t bytes_;
+    unsigned stride_;
+    double writeRatio_;
+    std::uint64_t cursor_ = 0;
+    Rng rng_;
+};
+
+/**
+ * pointer-chase: dependent loads jumping pseudo-randomly, but over a
+ * *working set* that slowly drifts across the footprint — the mcf-like
+ * pattern: poor locality inside a window, window reuse over time.
+ */
+class PointerChaseGen : public TraceGenerator
+{
+  public:
+    PointerChaseGen(VAddr base, std::uint64_t bytes, std::uint64_t seed,
+                    std::uint64_t window_bytes, double drift_prob = 1e-4);
+    MemRef next() override;
+    const char *family() const override { return "chase"; }
+
+  private:
+    VAddr base_;
+    std::uint64_t bytes_;
+    std::uint64_t windowBytes_;
+    double driftProb_;
+    std::uint64_t windowBase_ = 0;
+    Rng rng_;
+};
+
+/**
+ * graph: CSR-style traversal — runs of sequential reads (edge lists)
+ * interleaved with Zipf-distributed random jumps (vertex data), the
+ * graph500/BFS shape.
+ */
+class GraphWalkGen : public TraceGenerator
+{
+  public:
+    GraphWalkGen(VAddr base, std::uint64_t bytes, std::uint64_t seed,
+                 unsigned avg_run = 16, double zipf_theta = 0.8);
+    MemRef next() override;
+    const char *family() const override { return "graph"; }
+
+  private:
+    VAddr base_;
+    std::uint64_t bytes_;
+    unsigned avgRun_;
+    Rng rng_;
+    ZipfSampler zipf_;
+    VAddr cursor_ = 0;
+    unsigned remainingRun_ = 0;
+};
+
+/**
+ * key-value: memcached-style — Zipf-popular objects; each operation
+ * reads a hash bucket (random page) then the object's bytes
+ * (sequential within one page or two).
+ */
+class KeyValueGen : public TraceGenerator
+{
+  public:
+    KeyValueGen(VAddr base, std::uint64_t bytes, std::uint64_t seed,
+                std::uint64_t num_keys = 1 << 20,
+                unsigned value_bytes = 512, double zipf_theta = 0.99,
+                double write_ratio = 0.1);
+    MemRef next() override;
+    const char *family() const override { return "kv"; }
+
+  private:
+    VAddr base_;
+    std::uint64_t bytes_;
+    std::uint64_t numKeys_;
+    unsigned valueBytes_;
+    double writeRatio_;
+    Rng rng_;
+    ZipfSampler zipf_;
+    /** In-flight operation state. */
+    VAddr objCursor_ = 0;
+    unsigned objRemaining_ = 0;
+    bool objWrite_ = false;
+};
+
+/**
+ * spec-like: several arrays swept with different strides plus a
+ * pointer-chasing component — the cache-resident-but-TLB-straining
+ * shape of many SPEC workloads.
+ */
+class SpecLikeGen : public TraceGenerator
+{
+  public:
+    SpecLikeGen(VAddr base, std::uint64_t bytes, std::uint64_t seed,
+                unsigned num_arrays = 4, double chase_ratio = 0.2);
+    MemRef next() override;
+    const char *family() const override { return "spec"; }
+
+  private:
+    struct ArrayState
+    {
+        VAddr base;
+        std::uint64_t bytes;
+        std::uint64_t cursor;
+        unsigned stride;
+    };
+
+    std::vector<ArrayState> arrays_;
+    double chaseRatio_;
+    VAddr chaseBase_;
+    std::uint64_t chaseBytes_;
+    Rng rng_;
+};
+
+/** The workload classes of Sec. 6.4. */
+enum class WorkloadClass : std::uint8_t
+{
+    SpecParsec, ///< SPEC + PARSEC scaled to big footprints
+    BigMemory,  ///< gups, graph processing, memcached, CloudSuite
+    Gpu,        ///< Rodinia-style GPU kernels
+};
+
+/** One named workload with its generator parameterisation. */
+struct WorkloadSpec
+{
+    std::string name;
+    WorkloadClass klass;
+};
+
+/** The named CPU workloads the benches report (paper Sec. 6.4). */
+const std::vector<WorkloadSpec> &cpuWorkloads();
+
+/** The named GPU workloads (Rodinia-style). */
+const std::vector<WorkloadSpec> &gpuWorkloads();
+
+/**
+ * Instantiate the generator for a named workload over [base,
+ * base+bytes). Unknown names fatal().
+ */
+std::unique_ptr<TraceGenerator> makeGenerator(const std::string &name,
+                                              VAddr base,
+                                              std::uint64_t bytes,
+                                              std::uint64_t seed);
+
+} // namespace mixtlb::workload
+
+#endif // MIXTLB_WORKLOAD_GENERATOR_HH

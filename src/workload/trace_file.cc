@@ -1,0 +1,133 @@
+#include "trace_file.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace mixtlb::workload
+{
+
+namespace
+{
+
+constexpr char Magic[4] = {'M', 'X', 'T', 'L'};
+constexpr std::uint32_t Version = 1;
+
+struct Header
+{
+    char magic[4];
+    std::uint32_t version;
+    std::uint64_t count;
+};
+
+#pragma pack(push, 1)
+struct Record
+{
+    std::uint64_t vaddr;
+    std::uint8_t type;
+};
+#pragma pack(pop)
+static_assert(sizeof(Record) == 9, "trace record must pack to 9 bytes");
+
+} // anonymous namespace
+
+TraceWriter::TraceWriter(const std::string &path)
+    : file_(std::fopen(path.c_str(), "wb"))
+{
+    fatal_if(!file_, "cannot open trace file '%s' for writing",
+             path.c_str());
+    Header header{};
+    std::memcpy(header.magic, Magic, 4);
+    header.version = Version;
+    header.count = 0; // patched in close()
+    fatal_if(std::fwrite(&header, sizeof(header), 1, file_) != 1,
+             "trace header write failed");
+}
+
+void
+TraceWriter::write(const MemRef &ref)
+{
+    panic_if(closed_, "write to a closed trace");
+    Record record{ref.vaddr, static_cast<std::uint8_t>(ref.type)};
+    fatal_if(std::fwrite(&record, sizeof(record), 1, file_) != 1,
+             "trace record write failed");
+    count_++;
+}
+
+void
+TraceWriter::close()
+{
+    if (closed_)
+        return;
+    closed_ = true;
+    Header header{};
+    std::memcpy(header.magic, Magic, 4);
+    header.version = Version;
+    header.count = count_;
+    std::fseek(file_, 0, SEEK_SET);
+    fatal_if(std::fwrite(&header, sizeof(header), 1, file_) != 1,
+             "trace header patch failed");
+    std::fclose(file_);
+    file_ = nullptr;
+}
+
+TraceWriter::~TraceWriter()
+{
+    close();
+}
+
+TraceFileGen::TraceFileGen(const std::string &path)
+    : file_(std::fopen(path.c_str(), "rb"))
+{
+    fatal_if(!file_, "cannot open trace file '%s'", path.c_str());
+    Header header{};
+    fatal_if(std::fread(&header, sizeof(header), 1, file_) != 1,
+             "trace header read failed");
+    fatal_if(std::memcmp(header.magic, Magic, 4) != 0,
+             "'%s' is not a mixtlb trace", path.c_str());
+    fatal_if(header.version != Version, "unsupported trace version %u",
+             header.version);
+    fatal_if(header.count == 0, "empty trace '%s'", path.c_str());
+    count_ = header.count;
+}
+
+TraceFileGen::~TraceFileGen()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+void
+TraceFileGen::rewindToData()
+{
+    std::fseek(file_, sizeof(Header), SEEK_SET);
+    cursor_ = 0;
+}
+
+MemRef
+TraceFileGen::next()
+{
+    if (cursor_ >= count_)
+        rewindToData();
+    Record record{};
+    fatal_if(std::fread(&record, sizeof(record), 1, file_) != 1,
+             "trace record read failed");
+    cursor_++;
+    MemRef ref;
+    ref.vaddr = record.vaddr;
+    ref.type = static_cast<AccessType>(record.type);
+    return ref;
+}
+
+std::uint64_t
+recordTrace(TraceGenerator &gen, std::uint64_t refs,
+            const std::string &path)
+{
+    TraceWriter writer(path);
+    for (std::uint64_t i = 0; i < refs; i++)
+        writer.write(gen.next());
+    writer.close();
+    return refs;
+}
+
+} // namespace mixtlb::workload

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Memory-trace recording and replay — the Pin-style workflow of the
+ * paper's methodology (Sec. 6.2): capture a reference stream once,
+ * replay it identically against every TLB configuration.
+ *
+ * Format: a small binary header ("MXTL", version, count) followed by
+ * packed records of {48-bit virtual address page + offset, 1-byte
+ * access type} — 9 bytes per reference.
+ */
+
+#ifndef MIXTLB_WORKLOAD_TRACE_FILE_HH
+#define MIXTLB_WORKLOAD_TRACE_FILE_HH
+
+#include <cstdio>
+#include <string>
+
+#include "workload/generator.hh"
+
+namespace mixtlb::workload
+{
+
+/** Streams references into a trace file. */
+class TraceWriter
+{
+  public:
+    explicit TraceWriter(const std::string &path);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    void write(const MemRef &ref);
+
+    /** Finalize the header; called automatically on destruction. */
+    void close();
+
+    std::uint64_t count() const { return count_; }
+
+  private:
+    std::FILE *file_;
+    std::uint64_t count_ = 0;
+    bool closed_ = false;
+};
+
+/** Replays a trace file as a TraceGenerator (loops at end-of-file). */
+class TraceFileGen : public TraceGenerator
+{
+  public:
+    explicit TraceFileGen(const std::string &path);
+    ~TraceFileGen() override;
+
+    TraceFileGen(const TraceFileGen &) = delete;
+    TraceFileGen &operator=(const TraceFileGen &) = delete;
+
+    MemRef next() override;
+    const char *family() const override { return "trace"; }
+
+    std::uint64_t count() const { return count_; }
+
+  private:
+    std::FILE *file_;
+    std::uint64_t count_;
+    std::uint64_t cursor_ = 0;
+
+    void rewindToData();
+};
+
+/** Record @p refs references from @p gen into @p path. */
+std::uint64_t recordTrace(TraceGenerator &gen, std::uint64_t refs,
+                          const std::string &path);
+
+} // namespace mixtlb::workload
+
+#endif // MIXTLB_WORKLOAD_TRACE_FILE_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Tests for the bench/example plumbing: the flag parser and the table
+ * printer the figure binaries rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cli.hh"
+
+using namespace mixtlb::sim;
+
+namespace
+{
+
+CliArgs
+parse(std::vector<const char *> argv)
+{
+    argv.insert(argv.begin(), "prog");
+    return CliArgs(static_cast<int>(argv.size()),
+                   const_cast<char **>(argv.data()));
+}
+
+} // anonymous namespace
+
+TEST(Cli, TypedLookups)
+{
+    auto args = parse({"--refs", "5000", "--memhog", "0.4",
+                       "--workload", "gups", "--flag"});
+    EXPECT_EQ(args.getU64("refs", 1), 5000u);
+    EXPECT_DOUBLE_EQ(args.getDouble("memhog", 0.0), 0.4);
+    EXPECT_EQ(args.getString("workload", "x"), "gups");
+    EXPECT_TRUE(args.has("flag"));
+    EXPECT_FALSE(args.has("absent"));
+}
+
+TEST(Cli, DefaultsWhenMissing)
+{
+    auto args = parse({});
+    EXPECT_EQ(args.getU64("refs", 123), 123u);
+    EXPECT_DOUBLE_EQ(args.getDouble("x", 2.5), 2.5);
+    EXPECT_EQ(args.getString("name", "fallback"), "fallback");
+}
+
+TEST(Cli, HexValuesParse)
+{
+    auto args = parse({"--addr", "0x1000"});
+    EXPECT_EQ(args.getU64("addr", 0), 0x1000u);
+}
+
+TEST(CliDeathTest, PositionalArgumentsRejected)
+{
+    EXPECT_DEATH({ parse({"positional"}); }, "unexpected argument");
+}
+
+TEST(Table, FormatsNumbers)
+{
+    EXPECT_EQ(Table::fmt(3.14159), "3.14");
+    EXPECT_EQ(Table::fmt(3.14159, 0), "3");
+    EXPECT_EQ(Table::fmt(42.0, 1), "42.0");
+}
+
+TEST(Table, PrintsAlignedColumns)
+{
+    Table table({"a", "long-header"});
+    table.addRow({"value-longer-than-header", "x"});
+    // Printing must not crash; content correctness is visual, but the
+    // row/column contract is enforced:
+    table.print();
+}
+
+TEST(TableDeathTest, RowArityEnforced)
+{
+    Table table({"a", "b"});
+    EXPECT_DEATH(table.addRow({"only-one"}), "row has");
+}

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Unit tests for src/common: types, intmath, RNG, and statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "common/intmath.hh"
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+using namespace mixtlb;
+
+TEST(Types, PageGeometry)
+{
+    EXPECT_EQ(pageShift(PageSize::Size4K), 12u);
+    EXPECT_EQ(pageShift(PageSize::Size2M), 21u);
+    EXPECT_EQ(pageShift(PageSize::Size1G), 30u);
+
+    EXPECT_EQ(pageBytes(PageSize::Size4K), 4096u);
+    EXPECT_EQ(pageBytes(PageSize::Size2M), 2u * 1024 * 1024);
+    EXPECT_EQ(pageBytes(PageSize::Size1G), 1024u * 1024 * 1024);
+
+    EXPECT_EQ(framesPerPage(PageSize::Size4K), 1u);
+    EXPECT_EQ(framesPerPage(PageSize::Size2M), 512u);
+    EXPECT_EQ(framesPerPage(PageSize::Size1G), 262144u);
+}
+
+TEST(Types, PaperRunningExample)
+{
+    // Superpage B from Figure 2 sits at virtual 0x00400000.
+    VAddr b = 0x00400000;
+    EXPECT_EQ(vpnOf(b, PageSize::Size2M), 0x2u);
+    EXPECT_EQ(vpn4kOf(b), 0x400u);
+    EXPECT_EQ(pageBase(b + 0x1234, PageSize::Size2M), b);
+    EXPECT_EQ(pageOffset(b + 0x1234, PageSize::Size2M), 0x1234u);
+}
+
+TEST(Types, VpnRoundTrip)
+{
+    for (VAddr va : {0x0ULL, 0xfffULL, 0x1000ULL, 0x3fffffffULL,
+                     0x40000000ULL, 0x7fffffffffffULL}) {
+        for (auto size : {PageSize::Size4K, PageSize::Size2M,
+                          PageSize::Size1G}) {
+            EXPECT_EQ(pageBase(va, size) + pageOffset(va, size), va);
+        }
+    }
+}
+
+TEST(IntMath, PowersAndLogs)
+{
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(4096));
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_FALSE(isPowerOf2(3));
+
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(4096), 12u);
+    EXPECT_EQ(floorLog2(4097), 12u);
+    EXPECT_EQ(ceilLog2(4096), 12u);
+    EXPECT_EQ(ceilLog2(4097), 13u);
+    EXPECT_EQ(ceilLog2(1), 0u);
+}
+
+TEST(IntMath, Alignment)
+{
+    EXPECT_EQ(alignDown(0x1234, 0x1000), 0x1000u);
+    EXPECT_EQ(alignUp(0x1234, 0x1000), 0x2000u);
+    EXPECT_EQ(alignUp(0x1000, 0x1000), 0x1000u);
+    EXPECT_EQ(divCeil(10, 3), 4u);
+    EXPECT_EQ(divCeil(9, 3), 3u);
+}
+
+TEST(IntMath, BitsExtractInsert)
+{
+    EXPECT_EQ(bits(0xdeadbeef, 15, 0), 0xbeefu);
+    EXPECT_EQ(bits(0xdeadbeef, 31, 16), 0xdeadu);
+    EXPECT_EQ(bits(~0ULL, 63, 0), ~0ULL);
+    EXPECT_EQ(insertBits(0, 15, 8, 0xab), 0xab00u);
+    EXPECT_EQ(insertBits(0xffff, 7, 0, 0), 0xff00u);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42), c(43);
+    bool all_equal_c = true;
+    for (int i = 0; i < 100; i++) {
+        auto va = a.next();
+        EXPECT_EQ(va, b.next());
+        if (va != c.next())
+            all_equal_c = false;
+    }
+    EXPECT_FALSE(all_equal_c);
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; i++) {
+        EXPECT_LT(rng.nextBounded(17), 17u);
+        auto v = rng.nextRange(5, 9);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 9u);
+        auto d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, UniformityRoughly)
+{
+    Rng rng(11);
+    std::array<int, 10> hist{};
+    const int n = 100000;
+    for (int i = 0; i < n; i++)
+        hist[rng.nextBounded(10)]++;
+    for (int count : hist) {
+        EXPECT_GT(count, n / 10 * 0.9);
+        EXPECT_LT(count, n / 10 * 1.1);
+    }
+}
+
+TEST(Zipf, RanksSkewTowardZero)
+{
+    ZipfSampler zipf(1000, 0.99, 3);
+    std::map<std::uint64_t, int> hist;
+    const int n = 50000;
+    for (int i = 0; i < n; i++) {
+        auto rank = zipf.sample();
+        ASSERT_LT(rank, 1000u);
+        hist[rank]++;
+    }
+    // Rank 0 must be (much) more popular than rank 500.
+    EXPECT_GT(hist[0], 10 * (hist.count(500) ? hist[500] : 0) + 10);
+    // And the head should dominate: top-10 ranks > 25% of samples.
+    int head = 0;
+    for (std::uint64_t r = 0; r < 10; r++)
+        head += hist.count(r) ? hist[r] : 0;
+    EXPECT_GT(head, n / 4);
+}
+
+TEST(Stats, ScalarBasics)
+{
+    stats::StatGroup root("root");
+    auto &s = root.addScalar("hits", "hit count");
+    ++s;
+    s += 2.5;
+    EXPECT_DOUBLE_EQ(s.value(), 3.5);
+    EXPECT_DOUBLE_EQ(root.scalar("hits").value(), 3.5);
+    root.resetStats();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(Stats, FormulaEvaluatesLazily)
+{
+    stats::StatGroup root("root");
+    auto &hits = root.addScalar("hits", "");
+    auto &misses = root.addScalar("misses", "");
+    root.addFormula("hit_rate", "hits / accesses", [&] {
+        double total = hits.value() + misses.value();
+        return total > 0 ? hits.value() / total : 0.0;
+    });
+    hits += 3;
+    misses += 1;
+    std::ostringstream os;
+    root.dump(os);
+    EXPECT_NE(os.str().find("hit_rate"), std::string::npos);
+    EXPECT_NE(os.str().find("0.75"), std::string::npos);
+}
+
+TEST(Stats, DistributionBuckets)
+{
+    stats::StatGroup root("root");
+    auto &d = root.addDistribution("lat", "latency", 10.0, 4);
+    d.sample(5);
+    d.sample(15);
+    d.sample(15);
+    d.sample(1000); // overflow bucket
+    EXPECT_EQ(d.samples(), 4u);
+    EXPECT_DOUBLE_EQ(d.min(), 5.0);
+    EXPECT_DOUBLE_EQ(d.max(), 1000.0);
+    EXPECT_EQ(d.buckets()[0], 1u);
+    EXPECT_EQ(d.buckets()[1], 2u);
+    EXPECT_EQ(d.buckets().back(), 1u);
+}
+
+TEST(Stats, NestedGroupPaths)
+{
+    stats::StatGroup root("system");
+    stats::StatGroup child("l1", &root);
+    child.addScalar("hits", "") += 7;
+    std::ostringstream os;
+    root.dump(os);
+    EXPECT_NE(os.str().find("system.l1.hits"), std::string::npos);
+}
+
+TEST(StatsDeathTest, DuplicateNamePanics)
+{
+    stats::StatGroup root("root");
+    root.addScalar("x", "");
+    EXPECT_DEATH(root.addScalar("x", ""), "duplicate");
+}

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Tests for the extension features: the paging-structure (MMU) cache,
+ * FreeBSD-style reservation paging, and trace record/replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "os/memhog.hh"
+#include "os/memory_manager.hh"
+#include "os/process.hh"
+#include "os/scan.hh"
+#include "pt/walker.hh"
+#include "sim/machine.hh"
+#include "workload/trace_file.hh"
+
+using namespace mixtlb;
+
+namespace
+{
+
+constexpr std::uint64_t MiB = 1024 * 1024;
+constexpr std::uint64_t GiB = 1024 * MiB;
+
+} // anonymous namespace
+
+TEST(Pwc, ShortensRepeatedWalks)
+{
+    mem::PhysMem mem(1 * GiB);
+    pt::PageTable table(mem);
+    stats::StatGroup root("test");
+    pt::Walker walker(table, &root, 1, pt::PwcParams{16});
+    for (VAddr va = 0x10000; va < 0x10000 + 64 * PageBytes4K;
+         va += PageBytes4K) {
+        table.map(va, 0x1000000 + va, PageSize::Size4K);
+    }
+
+    auto cold = walker.walk(0x10000, false);
+    EXPECT_EQ(cold.accesses.size(), 4u); // full 4-level walk
+    auto warm = walker.walk(0x11000, false);
+    EXPECT_EQ(warm.accesses.size(), 1u); // PT base cached: leaf only
+    ASSERT_FALSE(warm.pageFault());
+    EXPECT_EQ(warm.leaf->translate(0x11000), 0x1000000u + 0x11000);
+    EXPECT_GT(root.scalar("walker.pwc.hits").value(), 0.0);
+}
+
+TEST(Pwc, DisabledByDefault)
+{
+    mem::PhysMem mem(1 * GiB);
+    pt::PageTable table(mem);
+    stats::StatGroup root("test");
+    pt::Walker walker(table, &root);
+    table.map(0x10000, 0x1000000, PageSize::Size4K);
+    table.map(0x11000, 0x1001000, PageSize::Size4K);
+    walker.walk(0x10000, false);
+    EXPECT_EQ(walker.walk(0x11000, false).accesses.size(), 4u);
+}
+
+TEST(Pwc, InvalidationDropsShortcuts)
+{
+    mem::PhysMem mem(1 * GiB);
+    pt::PageTable table(mem);
+    stats::StatGroup root("test");
+    pt::Walker walker(table, &root, 1, pt::PwcParams{16});
+    table.map(0x10000, 0x1000000, PageSize::Size4K);
+    table.map(0x11000, 0x1001000, PageSize::Size4K);
+    walker.walk(0x10000, false);
+    walker.pwc().invalidate(0x10000, PageSize::Size4K);
+    // Shortcut flushed: the next walk is a full one again.
+    EXPECT_EQ(walker.walk(0x11000, false).accesses.size(), 4u);
+}
+
+TEST(Pwc, LruEviction)
+{
+    mem::PhysMem mem(4 * GiB);
+    pt::PageTable table(mem);
+    stats::StatGroup root("test");
+    pt::Walker walker(table, &root, 1, pt::PwcParams{2});
+    // Pages in many distinct 2MB regions: each needs its own PT entry
+    // in the cache; with 2 entries, old shortcuts get evicted.
+    for (int i = 0; i < 8; i++) {
+        VAddr va = static_cast<VAddr>(i) * PageBytes2M;
+        table.map(va, 0x40000000 + va, PageSize::Size4K);
+        walker.walk(va, false);
+    }
+    // The oldest region's PT shortcut is long gone.
+    auto again = walker.walk(0, false);
+    EXPECT_GT(again.accesses.size(), 1u);
+}
+
+TEST(Pwc, WorksInsideAMachine)
+{
+    sim::MachineParams params;
+    params.memBytes = 2 * GiB;
+    params.design = sim::TlbDesign::Split;
+    params.proc.policy = os::PagePolicy::SmallOnly;
+    params.pwcEntries = 32;
+    sim::Machine machine(params);
+    VAddr base = machine.mapArena(64 * MiB);
+    machine.warmup(base, 64 * MiB);
+    machine.startMeasurement();
+    auto gen = workload::makeGenerator("gups", base, 64 * MiB, 3);
+    machine.run(*gen, 20000);
+    EXPECT_GT(machine.root().scalar("walker.pwc.hits").value(), 0.0);
+}
+
+TEST(Reservation, PromotesWhenFullyTouched)
+{
+    mem::PhysMem mem(1 * GiB);
+    stats::StatGroup root("test");
+    os::MemoryManager mm(mem, &root);
+    os::ProcessParams params;
+    params.policy = os::PagePolicy::Reservation;
+    os::Process proc(mm, params, &root);
+    VAddr base = proc.mmap(16 * MiB);
+
+    unsigned invalidations = 0;
+    proc.addInvalidateListener([&](VAddr, PageSize) { invalidations++; });
+
+    // Touch all but one page: still 4KB mappings.
+    for (std::uint64_t i = 0; i < Frames2M - 1; i++)
+        proc.touch(base + i * PageBytes4K);
+    auto before = os::scanDistribution(proc.pageTable());
+    EXPECT_EQ(before.bytes2m, 0u);
+    EXPECT_EQ(before.bytes4k, (Frames2M - 1) * PageBytes4K);
+
+    // The last touch promotes the whole region to a 2MB page.
+    proc.touch(base + (Frames2M - 1) * PageBytes4K);
+    auto after = os::scanDistribution(proc.pageTable());
+    EXPECT_EQ(after.bytes2m, PageBytes2M);
+    EXPECT_EQ(after.bytes4k, 0u);
+    EXPECT_GE(invalidations, static_cast<unsigned>(Frames2M));
+
+    // Physical frames are the reservation's: translation unchanged.
+    auto leaf = proc.pageTable().translate(base + 0x3000);
+    ASSERT_TRUE(leaf.has_value());
+    EXPECT_EQ(leaf->size, PageSize::Size2M);
+}
+
+TEST(Reservation, ReservedFramesBackTheRightSlots)
+{
+    mem::PhysMem mem(1 * GiB);
+    stats::StatGroup root("test");
+    os::MemoryManager mm(mem, &root);
+    os::ProcessParams params;
+    params.policy = os::PagePolicy::Reservation;
+    os::Process proc(mm, params, &root);
+    VAddr base = proc.mmap(16 * MiB);
+
+    proc.touch(base + 7 * PageBytes4K);
+    proc.touch(base + 3 * PageBytes4K);
+    auto a = proc.pageTable().translate(base + 7 * PageBytes4K);
+    auto b = proc.pageTable().translate(base + 3 * PageBytes4K);
+    ASSERT_TRUE(a && b);
+    // Both come from one 2MB block, at their natural offsets.
+    EXPECT_EQ(a->pbase - b->pbase, 4 * PageBytes4K);
+}
+
+TEST(Reservation, FallsBackWhenNoBlockAvailable)
+{
+    mem::PhysMem mem(256 * MiB);
+    stats::StatGroup root("test");
+    os::MemoryManager mm(mem, &root);
+    // Fragment everything so no 2MB block can be reserved.
+    os::Memhog hog(mm, 0.0);
+    hog.fragment(0.5, 5);
+    os::ProcessParams params;
+    params.policy = os::PagePolicy::Reservation;
+    params.thpDefrag = false;
+    os::Process proc(mm, params, &root);
+    VAddr base = proc.mmap(8 * MiB);
+    EXPECT_EQ(proc.touch(base), os::TouchResult::Faulted);
+    auto dist = os::scanDistribution(proc.pageTable());
+    EXPECT_EQ(dist.bytes4k, PageBytes4K);
+}
+
+TEST(Reservation, SequentialSweepEndsMostlySuperpages)
+{
+    sim::MachineParams params;
+    params.memBytes = 2 * GiB;
+    params.proc.policy = os::PagePolicy::Reservation;
+    sim::Machine machine(params);
+    VAddr base = machine.mapArena(256 * MiB);
+    machine.touchSequential(base, 256 * MiB);
+    auto dist = machine.distribution();
+    EXPECT_GT(dist.superpageFraction(), 0.95);
+    // And the promoted superpages are contiguous, like THS's.
+    EXPECT_GE(os::averageContiguity(
+                  machine.contiguityRuns(PageSize::Size2M)),
+              16.0);
+}
+
+TEST(TraceFile, RoundTrip)
+{
+    const std::string path = "/tmp/mixtlb_test_trace.bin";
+    auto gen = workload::makeGenerator("graph500", 1ULL << 32,
+                                       64 * MiB, 9);
+    auto recorded = workload::recordTrace(*gen, 5000, path);
+    EXPECT_EQ(recorded, 5000u);
+
+    // Replay must match a fresh generator with the same seed exactly.
+    auto fresh = workload::makeGenerator("graph500", 1ULL << 32,
+                                         64 * MiB, 9);
+    workload::TraceFileGen replay(path);
+    EXPECT_EQ(replay.count(), 5000u);
+    for (int i = 0; i < 5000; i++) {
+        MemRef expected = fresh->next();
+        MemRef got = replay.next();
+        ASSERT_EQ(got.vaddr, expected.vaddr) << i;
+        ASSERT_EQ(static_cast<int>(got.type),
+                  static_cast<int>(expected.type)) << i;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, LoopsAtEnd)
+{
+    const std::string path = "/tmp/mixtlb_test_trace2.bin";
+    auto gen = workload::makeGenerator("gups", 1ULL << 32, 8 * MiB, 4);
+    workload::recordTrace(*gen, 100, path);
+    workload::TraceFileGen replay(path);
+    MemRef first = replay.next();
+    for (int i = 1; i < 100; i++)
+        replay.next();
+    MemRef wrapped = replay.next();
+    EXPECT_EQ(wrapped.vaddr, first.vaddr);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, ReplayDrivesAMachine)
+{
+    const std::string path = "/tmp/mixtlb_test_trace3.bin";
+    sim::MachineParams params;
+    params.memBytes = 2 * GiB;
+    params.design = sim::TlbDesign::Mix;
+    params.proc.policy = os::PagePolicy::Thp;
+    sim::Machine machine(params);
+    VAddr base = machine.mapArena(64 * MiB);
+
+    auto gen = workload::makeGenerator("memcached", base, 64 * MiB, 5);
+    workload::recordTrace(*gen, 2000, path);
+    workload::TraceFileGen replay(path);
+    EXPECT_EQ(machine.run(replay, 2000), 2000u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFileDeathTest, RejectsGarbageFiles)
+{
+    const std::string path = "/tmp/mixtlb_test_garbage.bin";
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    std::fputs("this is not a trace file at all", f);
+    std::fclose(f);
+    EXPECT_DEATH({ workload::TraceFileGen bad(path); },
+                 "not a mixtlb trace");
+    std::remove(path.c_str());
+}

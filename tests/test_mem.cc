@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Unit and property tests for src/mem: buddy allocator, physical memory,
+ *
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/random.hh"
+#include "mem/buddy_allocator.hh"
+#include "mem/phys_mem.hh"
+
+using namespace mixtlb;
+using namespace mixtlb::mem;
+
+namespace
+{
+
+constexpr std::uint64_t MiB = 1024 * 1024;
+constexpr std::uint64_t GiB = 1024 * MiB;
+
+} // anonymous namespace
+
+TEST(Buddy, FreshAllocatorIsFullyFree)
+{
+    BuddyAllocator buddy(1 << 20);
+    EXPECT_EQ(buddy.freeFrames(), 1u << 20);
+    EXPECT_EQ(buddy.totalFrames(), 1u << 20);
+    ASSERT_TRUE(buddy.largestFreeOrder().has_value());
+    EXPECT_EQ(*buddy.largestFreeOrder(), BuddyAllocator::MaxOrder);
+}
+
+TEST(Buddy, LowestAddressFirst)
+{
+    BuddyAllocator buddy(1 << 20);
+    auto a = buddy.alloc(0);
+    auto b = buddy.alloc(0);
+    auto c = buddy.alloc(Order2M);
+    ASSERT_TRUE(a && b && c);
+    EXPECT_EQ(*a, 0u);
+    EXPECT_EQ(*b, 1u);
+    // The order-9 block skips to the next aligned free region.
+    EXPECT_EQ(*c % (1u << Order2M), 0u);
+    EXPECT_GT(*c, *b);
+}
+
+TEST(Buddy, ConsecutiveSuperpageAllocationsAreContiguous)
+{
+    // This is the allocator property the whole paper leans on.
+    BuddyAllocator buddy(4 * GiB >> PageShift4K);
+    std::optional<Pfn> prev;
+    for (int i = 0; i < 64; i++) {
+        auto pfn = buddy.alloc(Order2M);
+        ASSERT_TRUE(pfn.has_value());
+        if (prev) {
+            EXPECT_EQ(*pfn, *prev + (1u << Order2M));
+        }
+        prev = pfn;
+    }
+}
+
+TEST(Buddy, AlignmentInvariant)
+{
+    BuddyAllocator buddy(1 << 20);
+    buddy.alloc(0); // misalign the low region
+    for (unsigned order : {3u, 9u, 12u}) {
+        auto pfn = buddy.alloc(order);
+        ASSERT_TRUE(pfn.has_value());
+        EXPECT_EQ(*pfn & ((1ULL << order) - 1), 0u) << "order " << order;
+    }
+}
+
+TEST(Buddy, FreeAndMergeRestoresLargestOrder)
+{
+    BuddyAllocator buddy(1 << 18); // exactly one 1GB block
+    std::vector<Pfn> frames;
+    for (int i = 0; i < 1024; i++) {
+        auto pfn = buddy.alloc(0);
+        ASSERT_TRUE(pfn.has_value());
+        frames.push_back(*pfn);
+    }
+    EXPECT_LT(*buddy.largestFreeOrder(), BuddyAllocator::MaxOrder);
+    for (Pfn pfn : frames)
+        buddy.free(pfn, 0);
+    EXPECT_EQ(buddy.freeFrames(), 1u << 18);
+    EXPECT_EQ(*buddy.largestFreeOrder(), BuddyAllocator::MaxOrder);
+}
+
+TEST(Buddy, ExhaustionReturnsNullopt)
+{
+    BuddyAllocator buddy(16);
+    for (int i = 0; i < 16; i++)
+        ASSERT_TRUE(buddy.alloc(0).has_value());
+    EXPECT_FALSE(buddy.alloc(0).has_value());
+    EXPECT_EQ(buddy.freeFrames(), 0u);
+    EXPECT_FALSE(buddy.largestFreeOrder().has_value());
+}
+
+TEST(Buddy, NoOverlappingAllocations)
+{
+    BuddyAllocator buddy(1 << 16);
+    Rng rng(99);
+    std::set<Pfn> owned;
+    std::vector<std::pair<Pfn, unsigned>> blocks;
+    for (int iter = 0; iter < 2000; iter++) {
+        if (blocks.empty() || rng.chance(0.6)) {
+            unsigned order = rng.nextBounded(6);
+            auto pfn = buddy.alloc(order);
+            if (!pfn)
+                continue;
+            for (std::uint64_t i = 0; i < (1ULL << order); i++) {
+                auto [it, ins] = owned.insert(*pfn + i);
+                ASSERT_TRUE(ins) << "frame allocated twice";
+            }
+            blocks.emplace_back(*pfn, order);
+        } else {
+            auto idx = rng.nextBounded(blocks.size());
+            auto [pfn, order] = blocks[idx];
+            blocks.erase(blocks.begin() + idx);
+            for (std::uint64_t i = 0; i < (1ULL << order); i++)
+                owned.erase(pfn + i);
+            buddy.free(pfn, order);
+        }
+        ASSERT_EQ(buddy.freeFrames(), (1u << 16) - owned.size());
+    }
+}
+
+TEST(Buddy, AllocRegionClaimsExactBlock)
+{
+    BuddyAllocator buddy(1 << 12);
+    EXPECT_TRUE(buddy.isRegionFree(512, Order2M));
+    EXPECT_TRUE(buddy.allocRegion(512, Order2M));
+    EXPECT_FALSE(buddy.isRegionFree(512, Order2M));
+    EXPECT_FALSE(buddy.allocRegion(512, Order2M));
+    // Frames outside the claimed block still allocatable.
+    auto pfn = buddy.alloc(0);
+    ASSERT_TRUE(pfn.has_value());
+    EXPECT_EQ(*pfn, 0u);
+    buddy.free(512, Order2M);
+    EXPECT_TRUE(buddy.isRegionFree(512, Order2M));
+}
+
+TEST(Buddy, AllocRegionFailsWhenPartiallyUsed)
+{
+    BuddyAllocator buddy(1 << 12);
+    auto pfn = buddy.alloc(0); // frame 0
+    ASSERT_TRUE(pfn.has_value());
+    EXPECT_FALSE(buddy.allocRegion(0, Order2M));
+    EXPECT_TRUE(buddy.allocRegion(512, Order2M));
+}
+
+TEST(Buddy, AllocRegionMidSplitPreservesAccounting)
+{
+    BuddyAllocator buddy(1 << 14);
+    std::uint64_t before = buddy.freeFrames();
+    ASSERT_TRUE(buddy.allocRegion(1024, Order2M));
+    EXPECT_EQ(buddy.freeFrames(), before - 512);
+    // Everything around the claimed block is still allocatable frame by
+    // frame.
+    for (int i = 0; i < 1024; i++) {
+        auto pfn = buddy.alloc(0);
+        ASSERT_TRUE(pfn.has_value());
+        EXPECT_LT(*pfn, 1024u);
+    }
+    auto next = buddy.alloc(0);
+    ASSERT_TRUE(next.has_value());
+    EXPECT_EQ(*next, 1536u);
+}
+
+TEST(Buddy, FragmentationIndex)
+{
+    BuddyAllocator buddy(1 << 12);
+    EXPECT_DOUBLE_EQ(buddy.fragmentationIndex(Order2M), 0.0);
+    // Pin every even 4KB frame of the first 2MB: free memory in that
+    // region is unusable for 2MB blocks.
+    for (int i = 0; i < 1024; i += 2)
+        ASSERT_TRUE(buddy.allocRegion(i, 0));
+    double frag = buddy.fragmentationIndex(Order2M);
+    EXPECT_GT(frag, 0.0);
+    EXPECT_LE(frag, 1.0);
+}
+
+TEST(BuddyDeathTest, MisalignedFreePanics)
+{
+    BuddyAllocator buddy(1 << 12);
+    EXPECT_DEATH(buddy.free(1, Order2M), "misaligned");
+}
+
+TEST(PhysMem, AllocTagAndFree)
+{
+    PhysMem mem(64 * MiB);
+    auto pfn = mem.allocFrames(Order2M, FrameUse::AppHuge);
+    ASSERT_TRUE(pfn.has_value());
+    EXPECT_EQ(mem.frameUse(*pfn), FrameUse::AppHuge);
+    EXPECT_EQ(mem.frameUse(*pfn + 511), FrameUse::AppHuge);
+    mem.freeFrames(*pfn, Order2M);
+    EXPECT_EQ(mem.frameUse(*pfn), FrameUse::Free);
+}
+
+TEST(PhysMem, ReadWriteWords)
+{
+    PhysMem mem(16 * MiB);
+    auto pfn = mem.allocFrames(0, FrameUse::PageTable);
+    ASSERT_TRUE(pfn.has_value());
+    PAddr base = *pfn << PageShift4K;
+    EXPECT_EQ(mem.read64(base), 0u);
+    mem.write64(base + 8, 0xdeadbeefcafeULL);
+    EXPECT_EQ(mem.read64(base + 8), 0xdeadbeefcafeULL);
+    EXPECT_EQ(mem.read64(base), 0u);
+    // Freeing wipes backing data.
+    mem.freeFrames(*pfn, 0);
+    EXPECT_EQ(mem.read64(base + 8), 0u);
+}
+
+TEST(PhysMemDeathTest, UnalignedAccessPanics)
+{
+    PhysMem mem(16 * MiB);
+    EXPECT_DEATH(mem.read64(3), "unaligned");
+}

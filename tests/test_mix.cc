@@ -1,0 +1,444 @@
+/**
+ * @file
+ * Tests for the MIX TLB, built around the paper's running example
+ * (Figures 2-4, 7, 8): 4KB translation A, contiguous 2MB superpages
+ * B and C, a 2-set TLB.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "mem/phys_mem.hh"
+#include "pt/page_table.hh"
+#include "pt/walker.hh"
+#include "tlb/mix.hh"
+
+using namespace mixtlb;
+using namespace mixtlb::tlb;
+
+namespace
+{
+
+constexpr std::uint64_t MiB = 1024 * 1024;
+constexpr std::uint64_t GiB = 1024 * MiB;
+
+/** Figure 2 of the paper, with a real page table + walker behind it. */
+struct MixFixture : ::testing::Test
+{
+    mem::PhysMem mem{8 * GiB};
+    pt::PageTable table{mem};
+    stats::StatGroup root{"test"};
+    pt::Walker walker{table, &root};
+
+    // Figure 2: A is a 4KB page; B and C are contiguous 2MB superpages
+    // at virtual 0x00400000/0x00600000, physical 0x00000000/0x00200000.
+    static constexpr VAddr A = 0x00000000;
+    static constexpr VAddr B = 0x00400000;
+    static constexpr VAddr C = 0x00600000;
+
+    void
+    mapFigure2()
+    {
+        table.map(A, 0x00400000, PageSize::Size4K);
+        table.map(B, 0x00000000, PageSize::Size2M);
+        table.map(C, 0x00200000, PageSize::Size2M);
+    }
+
+    /** Walk (sets A-bits) and return the result for a fill. */
+    pt::WalkResult
+    walkFor(VAddr vaddr, bool store = false)
+    {
+        auto result = walker.walk(vaddr, store);
+        EXPECT_FALSE(result.pageFault());
+        return result;
+    }
+
+    MixTlbParams
+    twoSetParams(CoalesceMode mode = CoalesceMode::Bitmap)
+    {
+        MixTlbParams params;
+        params.entries = 4;
+        params.assoc = 2;
+        params.mode = mode;
+        return params;
+    }
+
+    /** Build a FillInfo from a walk; @p vaddr is the demanded address. */
+    static FillInfo
+    fillFrom(const pt::WalkResult &walk, VAddr vaddr = 0)
+    {
+        FillInfo fill;
+        fill.leaf = *walk.leaf;
+        fill.vaddr = vaddr ? vaddr : walk.leaf->vbase;
+        fill.walk = &walk;
+        return fill;
+    }
+};
+
+} // anonymous namespace
+
+TEST_F(MixFixture, SmallPageLookupUnchanged)
+{
+    mapFigure2();
+    MixTlb tlb("mix", &root, twoSetParams());
+    auto walk = walkFor(A);
+    tlb.fill(fillFrom(walk));
+
+    auto result = tlb.lookup(A + 0x123, false);
+    ASSERT_TRUE(result.hit);
+    EXPECT_EQ(result.xlate.translate(A + 0x123), 0x00400123u);
+    EXPECT_FALSE(tlb.lookup(A + PageBytes4K, false).hit);
+}
+
+TEST_F(MixFixture, SuperpageFillCoalescesContiguousNeighbours)
+{
+    mapFigure2();
+    MixTlb tlb("mix", &root, twoSetParams());
+    // Touch C first so its accessed bit permits coalescing (Sec. 4.4).
+    walkFor(C);
+    auto walk = walkFor(B);
+    tlb.fill(fillFrom(walk));
+
+    // B and C both hit from the single coalesced (mirrored) entry.
+    auto bhit = tlb.lookup(B + 0x1234, false);
+    ASSERT_TRUE(bhit.hit);
+    EXPECT_EQ(bhit.xlate.translate(B + 0x1234), 0x00001234u);
+    auto chit = tlb.lookup(C + 0x4321, false);
+    ASSERT_TRUE(chit.hit);
+    EXPECT_EQ(chit.xlate.translate(C + 0x4321), 0x00204321u);
+    EXPECT_EQ(root.scalar("mix.coalesces").value()
+                  + root.scalar("mix.fills").value(),
+              2.0); // one entry per set, however accounted
+}
+
+TEST_F(MixFixture, MirrorsServeEvenAndOddRegions)
+{
+    mapFigure2();
+    MixTlb tlb("mix", &root, twoSetParams());
+    auto walk = walkFor(B);
+    tlb.fill(fillFrom(walk));
+
+    // Figure 4: B0, B2 (even 4KB regions) probe set 0; B1, B3 probe
+    // set 1. Both must hit because B was mirrored into both sets.
+    for (unsigned region = 0; region < 8; region++) {
+        auto result = tlb.lookup(B + region * PageBytes4K, false);
+        ASSERT_TRUE(result.hit) << "region " << region;
+        EXPECT_EQ(result.xlate.translate(B + region * PageBytes4K),
+                  region * PageBytes4K);
+    }
+    EXPECT_EQ(root.scalar("mix.mirror_writes").value(), 2.0);
+}
+
+TEST_F(MixFixture, UnaccessedNeighbourNotCoalescedAtFill)
+{
+    mapFigure2();
+    MixTlb tlb("mix", &root, twoSetParams());
+    // C has never been walked, so its accessed bit is clear; the x86
+    // rule (Sec. 4.4) forbids coalescing it on B's fill.
+    auto walk = walkFor(B);
+    tlb.fill(fillFrom(walk));
+    EXPECT_TRUE(tlb.lookup(B, false).hit);
+    EXPECT_FALSE(tlb.lookup(C, false).hit);
+}
+
+TEST_F(MixFixture, LaterFillExtendsExistingBundle)
+{
+    mapFigure2();
+    MixTlb tlb("mix", &root, twoSetParams());
+    auto walk_b = walkFor(B);
+    tlb.fill(fillFrom(walk_b));
+    ASSERT_FALSE(tlb.lookup(C, false).hit);
+
+    // A miss on C walks and merges C into B's bundle (Sec. 4.2).
+    auto walk_c = walkFor(C);
+    tlb.fill(fillFrom(walk_c));
+    EXPECT_TRUE(tlb.lookup(C, false).hit);
+    EXPECT_GT(root.scalar("mix.extensions").value(), 0.0);
+}
+
+TEST_F(MixFixture, NonContiguousPhysicalPagesDoNotCoalesce)
+{
+    table.map(B, 0x00000000, PageSize::Size2M);
+    table.map(C, 0x00800000, PageSize::Size2M); // physical gap
+    MixTlb tlb("mix", &root, twoSetParams());
+    walkFor(C);
+    auto walk = walkFor(B);
+    tlb.fill(fillFrom(walk));
+    EXPECT_TRUE(tlb.lookup(B, false).hit);
+    // C is present in the line but not PA-contiguous: separate entry
+    // needed, so a lookup before filling C misses.
+    EXPECT_FALSE(tlb.lookup(C, false).hit);
+}
+
+TEST_F(MixFixture, DifferentPermissionsDoNotCoalesce)
+{
+    table.map(B, 0x00000000, PageSize::Size2M, pt::Perms{true, true});
+    table.map(C, 0x00200000, PageSize::Size2M,
+              pt::Perms{false, true}); // read-only
+    MixTlb tlb("mix", &root, twoSetParams());
+    walkFor(C);
+    auto walk = walkFor(B);
+    tlb.fill(fillFrom(walk));
+    EXPECT_TRUE(tlb.lookup(B, false).hit);
+    EXPECT_FALSE(tlb.lookup(C, false).hit);
+}
+
+TEST_F(MixFixture, DuplicateMirrorsCollapseOnProbe)
+{
+    // Figure 8's scenario on a 2-set, 2-way MIX TLB.
+    mapFigure2();
+    table.map(0x00001000, 0x00500000, PageSize::Size4K); // D -> set 1
+    table.map(0x00003000, 0x00501000, PageSize::Size4K); // E -> set 1
+    MixTlb tlb("mix", &root, twoSetParams());
+
+    walkFor(C);
+    auto walk_b = walkFor(B);
+    tlb.fill(fillFrom(walk_b)); // B-C both sets
+
+    auto walk_a = walkFor(A);
+    tlb.fill(fillFrom(walk_a)); // A -> set 0
+
+    // D and E evict set 1's B-C mirror.
+    auto walk_d = walkFor(0x00001000);
+    tlb.fill(fillFrom(walk_d));
+    auto walk_e = walkFor(0x00003000);
+    tlb.fill(fillFrom(walk_e));
+    EXPECT_FALSE(tlb.lookup(B + PageBytes4K, false).hit); // B1: set 1 miss
+    EXPECT_TRUE(tlb.lookup(B, false).hit);                // B0: set 0 hit
+
+    // Refill after the B1 miss: blind mirroring duplicates B-C in set 0.
+    auto walk_b1 = walkFor(B + PageBytes4K);
+    tlb.fill(fillFrom(walk_b1, B + PageBytes4K));
+
+    // A probe of set 0 collapses duplicates; everything still hits and
+    // the set serves both A... (A may have been evicted by the dup) and
+    // both superpages.
+    EXPECT_TRUE(tlb.lookup(B, false).hit);
+    EXPECT_TRUE(tlb.lookup(C, false).hit);
+}
+
+TEST_F(MixFixture, BitmapInvalidationKeepsNeighbours)
+{
+    mapFigure2();
+    MixTlb tlb("mix", &root, twoSetParams(CoalesceMode::Bitmap));
+    walkFor(C);
+    auto walk = walkFor(B);
+    tlb.fill(fillFrom(walk));
+
+    tlb.invalidate(B, PageSize::Size2M);
+    EXPECT_FALSE(tlb.lookup(B, false).hit);
+    EXPECT_TRUE(tlb.lookup(C, false).hit); // Sec. 4.4: C survives
+}
+
+TEST_F(MixFixture, LengthInvalidationDropsWholeBundle)
+{
+    mapFigure2();
+    MixTlb tlb("mix", &root, twoSetParams(CoalesceMode::Length));
+    walkFor(C);
+    auto walk = walkFor(B);
+    tlb.fill(fillFrom(walk));
+    ASSERT_TRUE(tlb.lookup(C, false).hit);
+
+    tlb.invalidate(B, PageSize::Size2M);
+    EXPECT_FALSE(tlb.lookup(B, false).hit);
+    EXPECT_FALSE(tlb.lookup(C, false).hit); // simple approach drops all
+}
+
+TEST_F(MixFixture, LengthModeStoresRuns)
+{
+    // Map 8 contiguous superpages filling one PD cache line.
+    for (int i = 0; i < 8; i++) {
+        table.map(B + i * PageBytes2M, 0x10000000 + i * PageBytes2M,
+                  PageSize::Size2M);
+        walkFor(B + i * PageBytes2M);
+    }
+    MixTlbParams params = twoSetParams(CoalesceMode::Length);
+    params.entries = 16;
+    params.assoc = 2; // 8 sets, window = 8 superpages
+    MixTlb tlb("mix", &root, params);
+    auto walk = walkFor(B + 3 * PageBytes2M);
+    tlb.fill(fillFrom(walk));
+    for (int i = 0; i < 8; i++) {
+        VAddr va = B + i * PageBytes2M + 0x999;
+        // Window base is 16MB-aligned = 0x00000000; B (0x00400000) is
+        // slot 2. Slots 2..7 sit in B's aligned window; slots beyond
+        // come from the next window.
+        auto result = tlb.lookup(va, false);
+        if (B + i * PageBytes2M < 0x01000000) {
+            ASSERT_TRUE(result.hit) << i;
+            EXPECT_EQ(result.xlate.translate(va),
+                      0x10000000 + i * PageBytes2M + 0x999);
+        }
+    }
+}
+
+TEST_F(MixFixture, AlignmentRestrictionClipsWindow)
+{
+    // Superpages at slots 2..5 of an 8-slot window coalesce; with a
+    // 2-superpage window (2-set TLB), B (slot 2) and C (slot 3) fall in
+    // different 2-superpage windows: B pairs with the slot-2 window.
+    mapFigure2();
+    MixTlb tlb("mix", &root, twoSetParams());
+    walkFor(C);
+    auto walk = walkFor(B);
+    tlb.fill(fillFrom(walk));
+    // B at 0x00400000 is an even 2MB slot; its 2-wide window is
+    // [0x00400000, 0x00800000), which contains C. Both coalesce.
+    EXPECT_TRUE(tlb.lookup(B, false).hit);
+    EXPECT_TRUE(tlb.lookup(C, false).hit);
+
+    // Now the misaligned pair: superpages at odd/even boundary crossing
+    // a window edge must NOT coalesce.
+    table.map(0x00a00000, 0x00a00000, PageSize::Size2M); // odd slot 5
+    table.map(0x00c00000, 0x00c00000, PageSize::Size2M); // even slot 6
+    walkFor(0x00c00000);
+    auto walk2 = walkFor(0x00a00000);
+    tlb.fill(fillFrom(walk2));
+    EXPECT_TRUE(tlb.lookup(0x00a00000, false).hit);
+    // 0x00c00000 belongs to the next window: not coalesced by this fill.
+    EXPECT_FALSE(tlb.lookup(0x00c00000, false).hit);
+}
+
+TEST_F(MixFixture, BundleDirtyBitIsAndOfMembers)
+{
+    mapFigure2();
+    table.setDirty(C); // C dirty, B clean
+    MixTlb tlb("mix", &root, twoSetParams());
+    walkFor(C);
+    auto walk = walkFor(B);
+    tlb.fill(fillFrom(walk));
+    auto result = tlb.lookup(C, false);
+    ASSERT_TRUE(result.hit);
+    EXPECT_FALSE(result.entryDirty); // B clean -> bundle clean
+
+    // markDirty must not set a multi-page bundle's dirty bit.
+    tlb.markDirty(C);
+    EXPECT_FALSE(tlb.lookup(C, false).entryDirty);
+}
+
+TEST_F(MixFixture, SingletonDirtyBitSets)
+{
+    table.map(B, 0x00000000, PageSize::Size2M);
+    MixTlb tlb("mix", &root, twoSetParams());
+    auto walk = walkFor(B);
+    tlb.fill(fillFrom(walk));
+    ASSERT_FALSE(tlb.lookup(B, false).entryDirty);
+    tlb.markDirty(B);
+    EXPECT_TRUE(tlb.lookup(B, false).entryDirty);
+}
+
+TEST_F(MixFixture, ColtModeCoalescesSmallPages)
+{
+    // Four VA+PA contiguous small pages in one aligned group.
+    for (int i = 0; i < 4; i++) {
+        table.map(0x00010000 + i * PageBytes4K,
+                  0x00800000 + i * PageBytes4K, PageSize::Size4K);
+        walkFor(0x00010000 + i * PageBytes4K);
+    }
+    MixTlbParams params = twoSetParams();
+    params.colt4k = 4;
+    MixTlb tlb("mixcolt", &root, params);
+    auto walk = walkFor(0x00010000);
+    tlb.fill(fillFrom(walk));
+    for (int i = 0; i < 4; i++) {
+        auto result = tlb.lookup(0x00010000 + i * PageBytes4K, false);
+        ASSERT_TRUE(result.hit) << i;
+        EXPECT_EQ(result.xlate.translate(0x00010000 + i * PageBytes4K),
+                  0x00800000u + i * PageBytes4K);
+    }
+    // One entry in one set serves all four pages.
+    EXPECT_EQ(root.scalar("mixcolt.fills").value(), 1.0);
+}
+
+TEST_F(MixFixture, SuperpageIndexAblationConflictsOnSmallPages)
+{
+    // With 2MB index bits, adjacent 4KB pages all map to one set
+    // (Sec. 3's rejected design): a 2-way TLB thrashes on 3 pages.
+    MixTlbParams params = twoSetParams();
+    params.superpageIndexBits = true;
+    MixTlb tlb("mixsp", &root, params);
+    for (int i = 0; i < 3; i++) {
+        table.map(0x00010000 + i * PageBytes4K,
+                  0x00800000 + i * PageBytes4K, PageSize::Size4K);
+        auto walk = walkFor(0x00010000 + i * PageBytes4K);
+        tlb.fill(fillFrom(walk));
+    }
+    // All three went to the same set (2 ways): the first was evicted.
+    EXPECT_FALSE(tlb.lookup(0x00010000, false).hit);
+
+    // The normal MIX spreads them over sets and keeps all three.
+    MixTlb tlb2("mixnorm", &root, twoSetParams());
+    for (int i = 0; i < 3; i++) {
+        auto walk = walkFor(0x00010000 + i * PageBytes4K);
+        tlb2.fill(fillFrom(walk));
+    }
+    EXPECT_TRUE(tlb2.lookup(0x00010000, false).hit);
+}
+
+TEST_F(MixFixture, OneGigabytePagesSupported)
+{
+    table.map(4 * GiB, 1 * GiB, PageSize::Size1G);
+    MixTlb tlb("mix", &root, twoSetParams());
+    auto walk = walkFor(4 * GiB + 0x12345678);
+    tlb.fill(fillFrom(walk));
+    auto result = tlb.lookup(4 * GiB + 0x9999999, false);
+    ASSERT_TRUE(result.hit);
+    EXPECT_EQ(result.xlate.size, PageSize::Size1G);
+    EXPECT_EQ(result.xlate.translate(4 * GiB + 0x9999999),
+              1 * GiB + 0x9999999u);
+}
+
+TEST_F(MixFixture, MixedSizesShareTheArray)
+{
+    mapFigure2();
+    MixTlbParams params;
+    params.entries = 16;
+    params.assoc = 4;
+    MixTlb tlb("mix", &root, params);
+    auto walk_a = walkFor(A);
+    tlb.fill(fillFrom(walk_a));
+    walkFor(C);
+    auto walk_b = walkFor(B);
+    tlb.fill(fillFrom(walk_b));
+    EXPECT_TRUE(tlb.lookup(A, false).hit);
+    EXPECT_TRUE(tlb.lookup(B, false).hit);
+    EXPECT_TRUE(tlb.lookup(C, false).hit);
+}
+
+TEST_F(MixFixture, HitsAgreeWithPageTableProperty)
+{
+    // Property: every MIX hit must agree exactly with the page table.
+    Rng rng(123);
+    MixTlbParams params;
+    params.entries = 64;
+    params.assoc = 4;
+    MixTlb tlb("mix", &root, params);
+
+    // A mixture of sizes over a 1GB-aligned arena.
+    std::vector<VAddr> vas;
+    for (int i = 0; i < 20; i++) {
+        VAddr va = 8 * GiB + i * PageBytes4K;
+        table.map(va, 0x4000000 + i * PageBytes4K, PageSize::Size4K);
+        vas.push_back(va);
+    }
+    for (int i = 0; i < 20; i++) {
+        VAddr va = 9 * GiB + i * PageBytes2M;
+        table.map(va, 0x40000000ULL + i * PageBytes2M, PageSize::Size2M);
+        vas.push_back(va + (rng.next() % PageBytes2M));
+    }
+
+    for (int iter = 0; iter < 5000; iter++) {
+        VAddr va = vas[rng.nextBounded(vas.size())];
+        va = pageBase(va, PageSize::Size4K) + rng.nextBounded(PageBytes4K);
+        auto result = tlb.lookup(va, false);
+        auto truth = table.translate(va);
+        ASSERT_TRUE(truth.has_value());
+        if (result.hit) {
+            ASSERT_EQ(result.xlate.translate(va), truth->translate(va))
+                << std::hex << va;
+        } else {
+            auto walk = walkFor(va);
+            tlb.fill(fillFrom(walk));
+        }
+    }
+}

@@ -1,0 +1,349 @@
+/**
+ * @file
+ * Unit and behavioural tests for src/os: the memory manager with
+ * compaction, memhog, process page-size policies, and the Sec. 7.1
+ * scanners. These tests pin down the *emergent* properties the paper
+ * depends on: superpage formation under fragmentation, and virtual+
+ * physical superpage contiguity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "os/memhog.hh"
+#include "os/memory_manager.hh"
+#include "os/process.hh"
+#include "os/scan.hh"
+
+using namespace mixtlb;
+using namespace mixtlb::os;
+
+namespace
+{
+
+constexpr std::uint64_t MiB = 1024 * 1024;
+constexpr std::uint64_t GiB = 1024 * MiB;
+
+struct OsFixture : ::testing::Test
+{
+    mem::PhysMem mem{1 * GiB};
+    stats::StatGroup root{"test"};
+    MemoryManager mm{mem, &root};
+};
+
+ProcessParams
+thpParams()
+{
+    ProcessParams params;
+    params.policy = PagePolicy::Thp;
+    return params;
+}
+
+} // anonymous namespace
+
+TEST_F(OsFixture, DirectContiguousAllocation)
+{
+    auto pfn = mm.allocContiguous(mem::Order2M, mem::FrameUse::AppHuge,
+                                  false);
+    ASSERT_TRUE(pfn.has_value());
+    EXPECT_EQ(*pfn % 512, 0u);
+    EXPECT_EQ(root.scalar("mm.direct_allocs").value(), 1.0);
+}
+
+TEST_F(OsFixture, CompactionRescuesFragmentedMemory)
+{
+    // Scatter movable single-frame allocations over the whole memory so
+    // no free 2MB block survives, then ask for a 2MB block.
+    Memhog hog(mm, 0.0);
+    hog.fragment(0.5, 7);
+    ASSERT_EQ(mem.buddy().freeBlocksAt(mem::Order2M), 0u);
+    std::uint64_t big_free = 0;
+    for (unsigned o = mem::Order2M; o <= mem::BuddyAllocator::MaxOrder; o++)
+        big_free += mem.buddy().freeBlocksAt(o);
+    ASSERT_EQ(big_free, 0u);
+
+    auto without = mm.allocContiguous(mem::Order2M,
+                                      mem::FrameUse::AppHuge, false);
+    EXPECT_FALSE(without.has_value());
+
+    auto with = mm.allocContiguous(mem::Order2M,
+                                   mem::FrameUse::AppHuge, true);
+    ASSERT_TRUE(with.has_value());
+    EXPECT_GT(root.scalar("mm.pages_migrated").value(), 0.0);
+    for (int i = 0; i < 512; i++)
+        EXPECT_EQ(mem.frameUse(*with + i), mem::FrameUse::AppHuge);
+}
+
+TEST_F(OsFixture, CompactionRespectsUnmovableFrames)
+{
+    // Pin one unmovable frame in every 2MB region: compaction must fail.
+    std::uint64_t regions = mem.totalFrames() >> mem::Order2M;
+    for (std::uint64_t r = 0; r < regions; r++) {
+        ASSERT_TRUE(mem.allocFramesAt((r << mem::Order2M) + 7, 0,
+                                      mem::FrameUse::Pinned));
+    }
+    auto pfn = mm.allocContiguous(mem::Order2M, mem::FrameUse::AppHuge,
+                                  true);
+    EXPECT_FALSE(pfn.has_value());
+    EXPECT_EQ(root.scalar("mm.compaction_successes").value(), 0.0);
+}
+
+TEST_F(OsFixture, DeferredCompactionBacksOff)
+{
+    std::uint64_t regions = mem.totalFrames() >> mem::Order2M;
+    for (std::uint64_t r = 0; r < regions; r++) {
+        ASSERT_TRUE(mem.allocFramesAt((r << mem::Order2M) + 7, 0,
+                                      mem::FrameUse::Pinned));
+    }
+    for (int i = 0; i < 10; i++)
+        mm.allocContiguous(mem::Order2M, mem::FrameUse::AppHuge, true);
+    // Backoff means far fewer scans than requests.
+    EXPECT_LT(root.scalar("mm.compaction_attempts").value(), 6.0);
+    EXPECT_GT(root.scalar("mm.compaction_deferred").value(), 4.0);
+}
+
+TEST_F(OsFixture, SuccessiveCompactionsYieldAdjacentRegions)
+{
+    // The compaction cursor makes consecutive successes adjacent — the
+    // physical-contiguity mechanism behind Figure 11.
+    Memhog hog(mm, 0.0);
+    hog.fragment(0.3, 11);
+    std::optional<Pfn> prev;
+    int adjacent = 0, total = 0;
+    for (int i = 0; i < 16; i++) {
+        auto pfn = mm.allocContiguous(mem::Order2M,
+                                      mem::FrameUse::AppHuge, true);
+        ASSERT_TRUE(pfn.has_value());
+        if (prev) {
+            total++;
+            if (*pfn == *prev + 512)
+                adjacent++;
+        }
+        prev = pfn;
+    }
+    EXPECT_GT(adjacent, total / 2);
+}
+
+TEST_F(OsFixture, MemhogRelocateKeepsRegistryConsistent)
+{
+    Memhog hog(mm, 0.0);
+    hog.fragment(0.5, 3);
+    auto moved_before = root.scalar("mm.pages_migrated").value();
+    auto pfn = mm.allocContiguous(mem::Order2M, mem::FrameUse::AppHuge,
+                                  true);
+    ASSERT_TRUE(pfn.has_value());
+    EXPECT_GT(root.scalar("mm.pages_migrated").value(), moved_before);
+    // Releasing after migration must not panic or double free.
+    hog.release();
+    mem.freeFrames(*pfn, mem::Order2M);
+    EXPECT_EQ(mem.buddy().freeFrames(), mem.totalFrames());
+}
+
+TEST_F(OsFixture, MemhogUnmovableShareClaimsPageblocks)
+{
+    Memhog hog(mm, 0.5);
+    hog.fragment(0.4, 9);
+    EXPECT_GT(hog.unmovableBlocks(), 0u);
+    EXPECT_GT(hog.movableFrames(), 0u);
+    // Unmovable blocks are whole 2MB regions.
+    std::uint64_t unmovable_frames = hog.unmovableBlocks() * 512;
+    double share = static_cast<double>(unmovable_frames)
+                   / (unmovable_frames + hog.movableFrames());
+    EXPECT_NEAR(share, 0.5, 0.1);
+}
+
+TEST_F(OsFixture, ProcessSmallOnlyPolicy)
+{
+    ProcessParams params;
+    params.policy = PagePolicy::SmallOnly;
+    Process proc(mm, params, &root);
+    VAddr base = proc.mmap(16 * MiB);
+
+    EXPECT_EQ(proc.touch(base), TouchResult::Faulted);
+    EXPECT_EQ(proc.touch(base), TouchResult::Mapped);
+    EXPECT_EQ(proc.touch(base + 5), TouchResult::Mapped);
+    EXPECT_EQ(proc.touch(base + PageBytes4K), TouchResult::Faulted);
+
+    auto dist = scanDistribution(proc.pageTable());
+    EXPECT_EQ(dist.bytes4k, 2 * PageBytes4K);
+    EXPECT_EQ(dist.bytes2m, 0u);
+}
+
+TEST_F(OsFixture, ProcessThpMapsWholeRegions)
+{
+    Process proc(mm, thpParams(), &root);
+    VAddr base = proc.mmap(16 * MiB);
+    EXPECT_EQ(proc.touch(base + 12345), TouchResult::Faulted);
+    // The whole 2MB region is now backed.
+    EXPECT_EQ(proc.touch(base + PageBytes2M - 1), TouchResult::Mapped);
+    auto dist = scanDistribution(proc.pageTable());
+    EXPECT_EQ(dist.bytes2m, PageBytes2M);
+    EXPECT_EQ(dist.bytes4k, 0u);
+}
+
+TEST_F(OsFixture, ProcessThpFallsBackWhenMemoryFragmented)
+{
+    // Scattered movable pins leave no free 2MB block; with defrag
+    // disabled (a real THS configuration) every fault takes 4KB pages.
+    Memhog hog(mm, 0.0);
+    hog.fragment(0.5, 5);
+    ProcessParams params = thpParams();
+    params.thpDefrag = false;
+    Process proc(mm, params, &root);
+    VAddr base = proc.mmap(8 * MiB);
+    for (VAddr va = base; va < base + 4 * MiB; va += PageBytes4K) {
+        auto result = proc.touch(va);
+        ASSERT_NE(result, TouchResult::OutOfMemory);
+    }
+    auto dist = scanDistribution(proc.pageTable());
+    EXPECT_EQ(dist.bytes2m, 0u);
+    EXPECT_EQ(dist.bytes4k, 4 * MiB);
+    EXPECT_GT(root.scalar("proc.thp_fallbacks").value(), 0.0);
+}
+
+TEST_F(OsFixture, ProcessHuge2MPoolPolicy)
+{
+    ProcessParams params;
+    params.policy = PagePolicy::Huge2M;
+    params.pool2mPages = 4;
+    Process proc(mm, params, &root);
+    VAddr base = proc.mmap(16 * MiB);
+    // First 4 regions come from the pool; the rest fall back to 4KB.
+    for (VAddr va = base; va < base + 16 * MiB; va += PageBytes2M)
+        proc.touch(va);
+    auto dist = scanDistribution(proc.pageTable());
+    EXPECT_EQ(dist.bytes2m, 4 * PageBytes2M);
+    EXPECT_EQ(dist.bytes4k, 4 * PageBytes4K);
+}
+
+TEST_F(OsFixture, ProcessHuge1GPoolPolicy)
+{
+    // 1GB of memory can't fit a 1GB page plus page tables; use a
+    // bigger machine for this test.
+    mem::PhysMem big_mem{4 * GiB};
+    MemoryManager big_mm{big_mem, &root};
+    ProcessParams params;
+    params.policy = PagePolicy::Huge1G;
+    params.pool1gPages = 2;
+    Process proc(big_mm, params, &root);
+    VAddr base = proc.mmap(2 * GiB);
+    proc.touch(base);
+    proc.touch(base + 1 * GiB);
+    auto dist = scanDistribution(proc.pageTable());
+    EXPECT_EQ(dist.bytes1g, 2 * GiB);
+}
+
+TEST_F(OsFixture, ThpSuperpagesAreContiguous)
+{
+    // Ascending faults + lowest-address-first buddy = long runs of
+    // virtually and physically contiguous superpages (Figure 11).
+    Process proc(mm, thpParams(), &root);
+    VAddr base = proc.mmap(256 * MiB);
+    for (VAddr va = base; va < base + 128 * MiB; va += PageBytes2M)
+        proc.touch(va);
+    auto runs = contiguityRuns(proc.pageTable(), PageSize::Size2M);
+    ASSERT_FALSE(runs.empty());
+    EXPECT_GE(averageContiguity(runs), 32.0);
+}
+
+TEST_F(OsFixture, MigrationInvalidatesAndRemaps)
+{
+    // memhog scatters movable pins everywhere, so the process's pages
+    // land interleaved with them and no free 2MB block survives.
+    Memhog hog(mm, 0.0);
+    hog.fragment(0.5, 21);
+    ProcessParams params;
+    params.policy = PagePolicy::SmallOnly;
+    Process proc(mm, params, &root);
+    VAddr base = proc.mmap(64 * MiB);
+    for (VAddr va = base; va < base + 32 * MiB; va += PageBytes4K)
+        proc.touch(va);
+
+    unsigned invalidations = 0;
+    proc.addInvalidateListener([&](VAddr, PageSize) { invalidations++; });
+
+    auto before = scanDistribution(proc.pageTable());
+    auto pfn = mm.allocContiguous(mem::Order2M, mem::FrameUse::AppHuge,
+                                  true);
+    ASSERT_TRUE(pfn.has_value());
+    EXPECT_GT(invalidations, 0u);
+    // Translation count unchanged; every page still translates.
+    auto after = scanDistribution(proc.pageTable());
+    EXPECT_EQ(before.bytes4k, after.bytes4k);
+    for (VAddr va = base; va < base + 32 * MiB; va += PageBytes4K)
+        EXPECT_EQ(proc.touch(va), TouchResult::Mapped);
+}
+
+TEST_F(OsFixture, OutOfMemoryIsReported)
+{
+    ProcessParams params;
+    params.policy = PagePolicy::SmallOnly;
+    Process proc(mm, params, &root);
+    // 1GB machine: touching >1GB of pages must eventually OOM.
+    VAddr base = proc.mmap(2 * GiB);
+    TouchResult last = TouchResult::Faulted;
+    for (VAddr va = base; va < base + 2 * GiB; va += PageBytes4K) {
+        last = proc.touch(va);
+        if (last == TouchResult::OutOfMemory)
+            break;
+    }
+    EXPECT_EQ(last, TouchResult::OutOfMemory);
+}
+
+TEST_F(OsFixture, ProcessTeardownFreesEverything)
+{
+    auto free_before = mem.buddy().freeFrames();
+    {
+        Process proc(mm, thpParams(), &root);
+        VAddr base = proc.mmap(64 * MiB);
+        for (VAddr va = base; va < base + 32 * MiB; va += PageBytes4K)
+            proc.touch(va);
+        EXPECT_LT(mem.buddy().freeFrames(), free_before);
+    }
+    EXPECT_EQ(mem.buddy().freeFrames(), free_before);
+}
+
+TEST(Scan, AverageContiguityPaperExample)
+{
+    // Sec. 7.1: runs {1, 1, 2} over 4 translations -> 1.5.
+    EXPECT_DOUBLE_EQ(averageContiguity({1, 1, 2}), 1.5);
+    EXPECT_DOUBLE_EQ(averageContiguity({}), 0.0);
+    EXPECT_DOUBLE_EQ(averageContiguity({5}), 5.0);
+}
+
+TEST(Scan, ContiguityCdf)
+{
+    auto cdf = contiguityCdf({1, 1, 2});
+    ASSERT_EQ(cdf.size(), 2u);
+    EXPECT_EQ(cdf[0].first, 1u);
+    EXPECT_DOUBLE_EQ(cdf[0].second, 0.5);
+    EXPECT_EQ(cdf[1].first, 2u);
+    EXPECT_DOUBLE_EQ(cdf[1].second, 1.0);
+}
+
+TEST(Scan, ContiguityRunsSplitOnPhysicalGaps)
+{
+    mem::PhysMem mem{1 * GiB};
+    pt::PageTable table{mem};
+    // VA-contiguous but PA-gap between the 2nd and 3rd superpage.
+    table.map(0x40000000, 0x00000000, PageSize::Size2M);
+    table.map(0x40200000, 0x00200000, PageSize::Size2M);
+    table.map(0x40400000, 0x00800000, PageSize::Size2M); // PA jump
+    table.map(0x40600000, 0x00a00000, PageSize::Size2M);
+    auto runs = contiguityRuns(table, PageSize::Size2M);
+    ASSERT_EQ(runs.size(), 2u);
+    EXPECT_EQ(runs[0], 2u);
+    EXPECT_EQ(runs[1], 2u);
+}
+
+TEST(Scan, ContiguityRunsIgnoreOtherSizes)
+{
+    mem::PhysMem mem{1 * GiB};
+    pt::PageTable table{mem};
+    table.map(0x40000000, 0x00000000, PageSize::Size2M);
+    table.map(0x40200000 + 0x1000, 0, PageSize::Size4K); // unrelated
+    auto runs2m = contiguityRuns(table, PageSize::Size2M);
+    ASSERT_EQ(runs2m.size(), 1u);
+    EXPECT_EQ(runs2m[0], 1u);
+}

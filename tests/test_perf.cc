@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests for the analytical performance and energy models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "perf/energy_model.hh"
+#include "perf/perf_model.hh"
+
+using namespace mixtlb;
+using namespace mixtlb::perf;
+
+TEST(PerfModel, OverheadExcludesFreeL1Hits)
+{
+    PerfParams params;
+    params.baseCyclesPerRef = 3.0;
+    params.freeL1HitLatency = 1;
+    // 100 refs, all L1 hits at 1 cycle: zero overhead.
+    auto all_hits = computeMetrics(100, 100.0, 0.0, params);
+    EXPECT_DOUBLE_EQ(all_hits.overheadCycles, 0.0);
+    EXPECT_DOUBLE_EQ(all_hits.totalCycles, 300.0);
+    EXPECT_DOUBLE_EQ(all_hits.overheadFraction(), 0.0);
+}
+
+TEST(PerfModel, OverheadFractionMatchesHandComputation)
+{
+    PerfParams params;
+    params.baseCyclesPerRef = 3.0;
+    // 100 refs costing 400 translation cycles: 300 overhead over the
+    // free 100; runtime = 300 base + 300 overhead.
+    auto metrics = computeMetrics(100, 400.0, 0.0, params);
+    EXPECT_DOUBLE_EQ(metrics.overheadCycles, 300.0);
+    EXPECT_DOUBLE_EQ(metrics.overheadFraction(), 0.5);
+}
+
+TEST(PerfModel, ImprovementPercent)
+{
+    // 100 refs at 1 core cycle each; slow pays 300 overhead cycles.
+    auto slow = computeMetrics(100, 400.0);
+    auto fast = computeMetrics(100, 100.0);
+    EXPECT_DOUBLE_EQ(slow.totalCycles, 400.0);
+    EXPECT_DOUBLE_EQ(fast.totalCycles, 100.0);
+    EXPECT_DOUBLE_EQ(improvementPercent(slow, fast), 300.0);
+    EXPECT_DOUBLE_EQ(improvementPercent(fast, fast), 0.0);
+    EXPECT_LT(improvementPercent(fast, slow), 0.0);
+}
+
+TEST(PerfModel, MeasuredDataCyclesJoinTheBase)
+{
+    auto metrics = computeMetrics(100, 100.0, 900.0);
+    EXPECT_DOUBLE_EQ(metrics.baseCycles, 1000.0);
+    EXPECT_DOUBLE_EQ(metrics.overheadCycles, 0.0);
+}
+
+TEST(EnergyModel, ReadEnergyScalesWithCapacity)
+{
+    EnergyModel model;
+    EXPECT_DOUBLE_EQ(model.perRead(64), 1.0);
+    EXPECT_DOUBLE_EQ(model.perRead(256), 2.0);   // sqrt scaling
+    EXPECT_GT(model.perWrite(64), model.perRead(64));
+    EXPECT_DOUBLE_EQ(model.perRead(0), 0.0);
+}
+
+TEST(EnergyModel, BreakdownCategoriesAdditive)
+{
+    EnergyModel model;
+    EnergyInputs inputs;
+    inputs.l1WaysRead = 1000;
+    inputs.l2WaysRead = 100;
+    inputs.l1Entries = 96;
+    inputs.l2Entries = 544;
+    inputs.l1Fills = 50;
+    inputs.l2Fills = 20;
+    inputs.walkAccesses = 200;
+    inputs.walkDramAccesses = 10;
+    inputs.dirtyOps = 5;
+    inputs.totalCycles = 1e6;
+    auto breakdown = model.compute(inputs);
+    EXPECT_GT(breakdown.lookup, 0.0);
+    EXPECT_GT(breakdown.walk, 0.0);
+    EXPECT_GT(breakdown.fill, 0.0);
+    EXPECT_GT(breakdown.other, 0.0);
+    EXPECT_GT(breakdown.leakage, 0.0);
+    EXPECT_DOUBLE_EQ(breakdown.total(),
+                     breakdown.lookup + breakdown.walk + breakdown.fill
+                         + breakdown.other + breakdown.leakage);
+}
+
+TEST(EnergyModel, SkewTimestampsCostExtraLookupEnergy)
+{
+    EnergyModel model;
+    EnergyInputs inputs;
+    inputs.l1WaysRead = 1000;
+    inputs.l1Entries = 96;
+    auto plain = model.compute(inputs);
+    inputs.skewTimestamps = true;
+    auto skewed = model.compute(inputs);
+    EXPECT_GT(skewed.lookup, plain.lookup);
+}
+
+TEST(EnergyModel, PredictorAddsOtherEnergy)
+{
+    EnergyModel model;
+    EnergyInputs inputs;
+    inputs.predictorLookups = 1000;
+    auto breakdown = model.compute(inputs);
+    EXPECT_GT(breakdown.other, 0.0);
+}
+
+TEST(EnergyModel, MirroringShowsUpInFillEnergyOnly)
+{
+    // The Figure 17 argument: mirrors multiply fill writes, not lookup
+    // reads. A MIX-like input with 16x the fills must cost more fill
+    // energy but identical lookup energy.
+    EnergyModel model;
+    EnergyInputs split;
+    split.l1WaysRead = 10000;
+    split.l1Entries = 100;
+    split.l1Fills = 100;
+    EnergyInputs mix = split;
+    mix.l1Entries = 96;
+    mix.l1Fills = 1600; // mirrored fills
+    auto split_energy = model.compute(split);
+    auto mix_energy = model.compute(mix);
+    EXPECT_GT(mix_energy.fill, 10.0 * split_energy.fill);
+    EXPECT_NEAR(mix_energy.lookup, split_energy.lookup,
+                0.05 * split_energy.lookup);
+}

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Unit tests for src/pt: PTE encoding, the radix page table, and the
+ * hardware walker (including the cache-line PTE scan MIX TLBs rely on).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/phys_mem.hh"
+#include "pt/page_table.hh"
+#include "pt/pte.hh"
+#include "pt/walker.hh"
+
+using namespace mixtlb;
+using namespace mixtlb::pt;
+
+namespace
+{
+
+constexpr std::uint64_t MiB = 1024 * 1024;
+constexpr std::uint64_t GiB = 1024 * MiB;
+
+struct PtFixture : ::testing::Test
+{
+    mem::PhysMem mem{512 * MiB};
+    PageTable table{mem};
+    stats::StatGroup root{"test"};
+    Walker walker{table, &root};
+};
+
+} // anonymous namespace
+
+TEST(Pte, EncodeDecodeRoundTrip)
+{
+    Perms perms{true, false, true};
+    auto raw = pte::make(0x1234000, perms, true, true, false);
+    EXPECT_TRUE(pte::present(raw));
+    EXPECT_TRUE(pte::pageSizeBit(raw));
+    EXPECT_TRUE(pte::accessed(raw));
+    EXPECT_FALSE(pte::dirty(raw));
+    EXPECT_EQ(pte::frame(raw), 0x1234000u);
+    EXPECT_EQ(pte::perms(raw), perms);
+}
+
+TEST(Pte, TranslationHelpers)
+{
+    Translation t;
+    t.vbase = 0x00400000;
+    t.pbase = 0x00000000;
+    t.size = PageSize::Size2M;
+    EXPECT_TRUE(t.covers(0x00400000));
+    EXPECT_TRUE(t.covers(0x005fffff));
+    EXPECT_FALSE(t.covers(0x00600000));
+    EXPECT_EQ(t.translate(0x00412345), 0x00012345u);
+    EXPECT_EQ(t.vpn(), 2u);
+}
+
+TEST_F(PtFixture, Map4KAndTranslate)
+{
+    table.map(0x7000, 0x42000, PageSize::Size4K);
+    auto xlate = table.translate(0x7abc);
+    ASSERT_TRUE(xlate.has_value());
+    EXPECT_EQ(xlate->pbase, 0x42000u);
+    EXPECT_EQ(xlate->size, PageSize::Size4K);
+    EXPECT_EQ(xlate->translate(0x7abc), 0x42abcu);
+    EXPECT_FALSE(table.translate(0x8000).has_value());
+}
+
+TEST_F(PtFixture, Map2MAndTranslate)
+{
+    table.map(0x00400000, 0x00200000, PageSize::Size2M);
+    auto xlate = table.translate(0x00412345);
+    ASSERT_TRUE(xlate.has_value());
+    EXPECT_EQ(xlate->size, PageSize::Size2M);
+    EXPECT_EQ(xlate->vbase, 0x00400000u);
+    EXPECT_EQ(xlate->translate(0x00412345), 0x00212345u);
+}
+
+TEST_F(PtFixture, Map1GAndTranslate)
+{
+    table.map(3 * GiB, 1 * GiB, PageSize::Size1G);
+    auto xlate = table.translate(3 * GiB + 0x12345678);
+    ASSERT_TRUE(xlate.has_value());
+    EXPECT_EQ(xlate->size, PageSize::Size1G);
+    EXPECT_EQ(xlate->translate(3 * GiB + 0x12345678),
+              1 * GiB + 0x12345678u);
+}
+
+TEST_F(PtFixture, MixedSizesCoexist)
+{
+    table.map(0x0000, 0x10000, PageSize::Size4K);
+    table.map(0x00400000, 0x00200000, PageSize::Size2M);
+    table.map(1 * GiB, 0, PageSize::Size1G);
+    EXPECT_EQ(table.numMappings(), 3u);
+    EXPECT_EQ(table.translate(0x0123)->size, PageSize::Size4K);
+    EXPECT_EQ(table.translate(0x00400123)->size, PageSize::Size2M);
+    EXPECT_EQ(table.translate(1 * GiB + 5)->size, PageSize::Size1G);
+}
+
+TEST_F(PtFixture, UnmapRemovesMapping)
+{
+    table.map(0x7000, 0x42000, PageSize::Size4K);
+    EXPECT_TRUE(table.unmap(0x7000));
+    EXPECT_FALSE(table.translate(0x7000).has_value());
+    EXPECT_FALSE(table.unmap(0x7000));
+    EXPECT_EQ(table.numMappings(), 0u);
+}
+
+TEST_F(PtFixture, FreshMappingHasClearAD)
+{
+    table.map(0x7000, 0x42000, PageSize::Size4K);
+    auto xlate = table.translate(0x7000);
+    EXPECT_FALSE(xlate->accessed);
+    EXPECT_FALSE(xlate->dirty);
+    table.setAccessed(0x7000);
+    EXPECT_TRUE(table.translate(0x7000)->accessed);
+    table.setDirty(0x7000);
+    EXPECT_TRUE(table.translate(0x7000)->dirty);
+}
+
+TEST_F(PtFixture, ForEachLeafVisitsAllInOrder)
+{
+    table.map(0x00400000, 0x00200000, PageSize::Size2M);
+    table.map(0x7000, 0x42000, PageSize::Size4K);
+    table.map(1 * GiB, 0, PageSize::Size1G);
+    std::vector<VAddr> seen;
+    table.forEachLeaf([&](const Translation &t) {
+        seen.push_back(t.vbase);
+    });
+    ASSERT_EQ(seen.size(), 3u);
+    EXPECT_EQ(seen[0], 0x7000u);
+    EXPECT_EQ(seen[1], 0x00400000u);
+    EXPECT_EQ(seen[2], 1 * GiB);
+}
+
+using PtDeathTest = PtFixture;
+
+TEST_F(PtDeathTest, MapTwicePanics)
+{
+    table.map(0x7000, 0x42000, PageSize::Size4K);
+    EXPECT_DEATH(table.map(0x7000, 0x43000, PageSize::Size4K),
+                 "already mapped");
+}
+
+TEST_F(PtDeathTest, MisalignedMapPanics)
+{
+    EXPECT_DEATH(table.map(0x1000, 0x0, PageSize::Size2M), "misaligned");
+    EXPECT_DEATH(table.map(0x00400000, 0x1000, PageSize::Size2M),
+                 "misaligned");
+}
+
+TEST_F(PtFixture, WalkDepthMatchesPageSize)
+{
+    table.map(0x7000, 0x42000, PageSize::Size4K);
+    table.map(0x00400000, 0x00200000, PageSize::Size2M);
+    table.map(1 * GiB, 0, PageSize::Size1G);
+
+    EXPECT_EQ(walker.walk(0x7123, false).accesses.size(), 4u);
+    EXPECT_EQ(walker.walk(0x00400123, false).accesses.size(), 3u);
+    EXPECT_EQ(walker.walk(1 * GiB + 9, false).accesses.size(), 2u);
+}
+
+TEST_F(PtFixture, WalkReturnsLeaf)
+{
+    table.map(0x00400000, 0x00200000, PageSize::Size2M);
+    auto result = walker.walk(0x00412345, false);
+    ASSERT_FALSE(result.pageFault());
+    EXPECT_EQ(result.leaf->vbase, 0x00400000u);
+    EXPECT_EQ(result.leaf->pbase, 0x00200000u);
+    EXPECT_EQ(result.leaf->size, PageSize::Size2M);
+}
+
+TEST_F(PtFixture, WalkSetsAccessedAndDirty)
+{
+    table.map(0x7000, 0x42000, PageSize::Size4K);
+    walker.walk(0x7000, false);
+    auto xlate = table.translate(0x7000);
+    EXPECT_TRUE(xlate->accessed);
+    EXPECT_FALSE(xlate->dirty);
+    walker.walk(0x7000, true);
+    EXPECT_TRUE(table.translate(0x7000)->dirty);
+    EXPECT_EQ(root.scalar("walker.dirty_updates").value(), 1.0);
+}
+
+TEST_F(PtFixture, PageFaultReportsPartialWalk)
+{
+    auto result = walker.walk(0xdead000, false);
+    EXPECT_TRUE(result.pageFault());
+    EXPECT_EQ(result.accesses.size(), 1u); // root line only
+    EXPECT_EQ(root.scalar("walker.page_faults").value(), 1.0);
+}
+
+TEST_F(PtFixture, LineScanSeesContiguousSuperpages)
+{
+    // Map superpages B..E contiguously, as Figure 2 of the paper.
+    for (int i = 0; i < 4; i++) {
+        table.map(0x00400000 + i * 0x200000, 0x00000000 + i * 0x200000,
+                  PageSize::Size2M);
+    }
+    auto result = walker.walk(0x00400000, false);
+    ASSERT_FALSE(result.pageFault());
+    EXPECT_EQ(result.lineGranularity, PageSize::Size2M);
+
+    // The 2MB entries at indices 2..5 of the PD share the line group
+    // [0..7]; slots 2..5 must be present and contiguous.
+    unsigned present = 0;
+    for (const auto &slot : result.line)
+        present += slot.present ? 1 : 0;
+    EXPECT_EQ(present, 4u);
+    ASSERT_TRUE(result.line[2].present);
+    ASSERT_TRUE(result.line[5].present);
+    EXPECT_EQ(result.line[2].xlate.vbase, 0x00400000u);
+    EXPECT_EQ(result.line[3].xlate.pbase,
+              result.line[2].xlate.pbase + 0x200000u);
+    EXPECT_EQ(result.leafSlot, 2u);
+}
+
+TEST_F(PtFixture, LineScanDoesNotConfuseTablePointersWithLeaves)
+{
+    // A 4KB mapping makes the PD entry a *table pointer*; a walk to a
+    // neighbouring 2MB superpage must not treat it as a 2MB leaf.
+    table.map(0x00200000, 0x7000000, PageSize::Size4K); // PD index 1
+    table.map(0x00400000, 0x0000000, PageSize::Size2M); // PD index 2
+    auto result = walker.walk(0x00400000, false);
+    ASSERT_FALSE(result.pageFault());
+    EXPECT_EQ(result.lineGranularity, PageSize::Size2M);
+    EXPECT_FALSE(result.line[1].present);
+    EXPECT_TRUE(result.line[2].present);
+}
+
+TEST_F(PtFixture, LineScanReportsNeighbourADBits)
+{
+    table.map(0x00400000, 0x00000000, PageSize::Size2M);
+    table.map(0x00600000, 0x00200000, PageSize::Size2M);
+    auto result = walker.walk(0x00400000, false);
+    ASSERT_TRUE(result.line[2].present);
+    ASSERT_TRUE(result.line[3].present);
+    // We walked slot 2, so it is accessed; its neighbour is not (yet).
+    EXPECT_TRUE(result.line[2].xlate.accessed);
+    EXPECT_FALSE(result.line[3].xlate.accessed);
+}
+
+TEST_F(PtFixture, ReadLeafLineChargesOneAccess)
+{
+    table.map(0x00400000, 0x00000000, PageSize::Size2M);
+    auto result = walker.readLeafLine(0x00400000, false);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->accesses.size(), 1u);
+    ASSERT_FALSE(result->pageFault());
+    EXPECT_EQ(result->leaf->vbase, 0x00400000u);
+    EXPECT_FALSE(walker.readLeafLine(0xdead000, false).has_value());
+}
+
+TEST_F(PtFixture, LineGroupAlignment4K)
+{
+    // 4KB PTEs: 8 per line, groups aligned to 32KB of VA space.
+    for (VAddr va = 0x10000; va < 0x20000; va += 0x1000)
+        table.map(va, 0x100000 + va, PageSize::Size4K);
+    auto result = walker.walk(0x13000, false);
+    ASSERT_FALSE(result.pageFault());
+    EXPECT_EQ(result.leafSlot, 3u);
+    EXPECT_EQ(result.line[0].xlate.vbase, 0x10000u);
+    EXPECT_EQ(result.line[7].xlate.vbase, 0x17000u);
+}
+
+TEST_F(PtFixture, PageTableFramesComeFromPhysMem)
+{
+    auto free_before = mem.buddy().freeFrames();
+    table.map(0x7000, 0x42000, PageSize::Size4K);
+    // PML4 existed; mapping a 4KB page allocates PDPT + PD + PT frames.
+    EXPECT_EQ(mem.buddy().freeFrames(), free_before - 3);
+    EXPECT_EQ(mem.frameUse(table.root() >> PageShift4K),
+              mem::FrameUse::PageTable);
+}

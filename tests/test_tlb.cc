@@ -1,0 +1,534 @@
+/**
+ * @file
+ * Tests for the non-MIX TLB designs (split set-associative, fully
+ * associative, hash-rehash with prediction, skew-associative, COLT,
+ * ideal) and the two-level TLB hierarchy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+#include "common/random.hh"
+#include "mem/phys_mem.hh"
+#include "os/memory_manager.hh"
+#include "os/process.hh"
+#include "pt/page_table.hh"
+#include "pt/walker.hh"
+#include "tlb/colt.hh"
+#include "tlb/hash_rehash.hh"
+#include "tlb/hierarchy.hh"
+#include "tlb/ideal.hh"
+#include "tlb/mix.hh"
+#include "tlb/set_assoc.hh"
+#include "tlb/skew.hh"
+#include "tlb/split.hh"
+#include "tlb/walk_source.hh"
+
+using namespace mixtlb;
+using namespace mixtlb::tlb;
+
+namespace
+{
+
+constexpr std::uint64_t MiB = 1024 * 1024;
+constexpr std::uint64_t GiB = 1024 * MiB;
+
+pt::Translation
+xlate4k(VAddr vbase, PAddr pbase)
+{
+    pt::Translation t;
+    t.vbase = vbase;
+    t.pbase = pbase;
+    t.size = PageSize::Size4K;
+    t.accessed = true;
+    return t;
+}
+
+pt::Translation
+xlate2m(VAddr vbase, PAddr pbase)
+{
+    pt::Translation t;
+    t.vbase = vbase;
+    t.pbase = pbase;
+    t.size = PageSize::Size2M;
+    t.accessed = true;
+    return t;
+}
+
+FillInfo
+simpleFill(const pt::Translation &leaf)
+{
+    FillInfo fill;
+    fill.leaf = leaf;
+    fill.vaddr = leaf.vbase;
+    return fill;
+}
+
+} // anonymous namespace
+
+TEST(SetAssoc, HitMissAndLru)
+{
+    stats::StatGroup root("test");
+    SetAssocTlb tlb("t", &root, 8, 2, PageSize::Size4K); // 4 sets
+    tlb.fill(simpleFill(xlate4k(0x0000, 0x10000)));
+    EXPECT_TRUE(tlb.lookup(0x0123, false).hit);
+    EXPECT_FALSE(tlb.lookup(0x1000, false).hit);
+
+    // Three pages mapping to set 0 (vpn 0, 4, 8): LRU evicts vpn 0.
+    tlb.fill(simpleFill(xlate4k(0x4000, 0x20000)));
+    tlb.fill(simpleFill(xlate4k(0x8000, 0x30000)));
+    EXPECT_FALSE(tlb.lookup(0x0000, false).hit);
+    EXPECT_TRUE(tlb.lookup(0x4000, false).hit);
+    EXPECT_TRUE(tlb.lookup(0x8000, false).hit);
+}
+
+TEST(SetAssoc, RejectsOtherPageSizes)
+{
+    stats::StatGroup root("test");
+    SetAssocTlb tlb("t", &root, 8, 2, PageSize::Size2M);
+    EXPECT_TRUE(tlb.supports(PageSize::Size2M));
+    EXPECT_FALSE(tlb.supports(PageSize::Size4K));
+    tlb.fill(simpleFill(xlate2m(0x00400000, 0x0)));
+    // Lookup treats the address by its own page size.
+    EXPECT_TRUE(tlb.lookup(0x005fffff, false).hit);
+}
+
+TEST(SetAssoc, InvalidateAndDirty)
+{
+    stats::StatGroup root("test");
+    SetAssocTlb tlb("t", &root, 8, 2, PageSize::Size4K);
+    tlb.fill(simpleFill(xlate4k(0x1000, 0x10000)));
+    EXPECT_FALSE(tlb.lookup(0x1000, false).entryDirty);
+    tlb.markDirty(0x1000);
+    EXPECT_TRUE(tlb.lookup(0x1000, false).entryDirty);
+    tlb.invalidate(0x1000, PageSize::Size4K);
+    EXPECT_FALSE(tlb.lookup(0x1000, false).hit);
+}
+
+TEST(FullyAssoc, MultiSizeAndLru)
+{
+    stats::StatGroup root("test");
+    FullyAssocTlb tlb("t", &root, 2,
+                      {PageSize::Size2M, PageSize::Size1G});
+    tlb.fill(simpleFill(xlate2m(0x00400000, 0x0)));
+    pt::Translation big;
+    big.vbase = 4 * GiB;
+    big.pbase = 1 * GiB;
+    big.size = PageSize::Size1G;
+    tlb.fill(simpleFill(big));
+    EXPECT_TRUE(tlb.lookup(0x00400000, false).hit);
+    EXPECT_TRUE(tlb.lookup(4 * GiB + 123, false).hit);
+    // Third fill evicts the LRU (the 2MB entry was just touched, so
+    // the 1GB entry goes).
+    tlb.lookup(0x00400000, false);
+    tlb.fill(simpleFill(xlate2m(0x00800000, 0x200000)));
+    EXPECT_TRUE(tlb.lookup(0x00400000, false).hit);
+    EXPECT_FALSE(tlb.lookup(4 * GiB + 123, false).hit);
+}
+
+TEST(Split, RoutesBySizeAndProbesAll)
+{
+    stats::StatGroup root("test");
+    SplitTlb split("split", &root);
+    split.addComponent(std::make_unique<SetAssocTlb>(
+        "t4k", &root, 16, 4, PageSize::Size4K));
+    split.addComponent(std::make_unique<SetAssocTlb>(
+        "t2m", &root, 8, 4, PageSize::Size2M));
+    split.addComponent(std::make_unique<FullyAssocTlb>(
+        "t1g", &root, 4, std::initializer_list<PageSize>{
+            PageSize::Size1G}));
+
+    split.fill(simpleFill(xlate4k(0x1000, 0x10000)));
+    split.fill(simpleFill(xlate2m(0x00400000, 0x0)));
+
+    auto small = split.lookup(0x1000, false);
+    EXPECT_TRUE(small.hit);
+    EXPECT_EQ(small.xlate.size, PageSize::Size4K);
+    auto big = split.lookup(0x00412345, false);
+    EXPECT_TRUE(big.hit);
+    EXPECT_EQ(big.xlate.size, PageSize::Size2M);
+    // Parallel probe reads all components' ways: 4 + 4 + 4.
+    EXPECT_EQ(big.waysRead, 12u);
+    EXPECT_TRUE(split.supports(PageSize::Size1G));
+}
+
+TEST(Split, SuperpageThrashingDespiteFreeSmallEntries)
+{
+    // The paper's Figure 3 problem: superpages thrash their tiny TLB
+    // while the 4KB TLB sits idle.
+    stats::StatGroup root("test");
+    SplitTlb split("split", &root);
+    split.addComponent(std::make_unique<SetAssocTlb>(
+        "t4k", &root, 64, 4, PageSize::Size4K));
+    split.addComponent(std::make_unique<SetAssocTlb>(
+        "t2m", &root, 4, 4, PageSize::Size2M)); // 1 set, 4 ways
+
+    for (int i = 0; i < 8; i++)
+        split.fill(simpleFill(xlate2m(i * PageBytes2M, i * PageBytes2M)));
+    // Only the last 4 superpages survive; the 4KB TLB is empty but
+    // cannot help.
+    unsigned resident = 0;
+    for (int i = 0; i < 8; i++)
+        resident += split.lookup(i * PageBytes2M, false).hit ? 1 : 0;
+    EXPECT_EQ(resident, 4u);
+}
+
+TEST(HashRehash, ProbeCountsAndHits)
+{
+    stats::StatGroup root("test");
+    HashRehashParams params;
+    params.entries = 64;
+    params.assoc = 4;
+    HashRehashTlb tlb("hr", &root, params);
+
+    tlb.fill(simpleFill(xlate4k(0x1000, 0x10000)));
+    tlb.fill(simpleFill(xlate2m(0x00400000, 0x0)));
+
+    // 4KB page: first probe (4KB first in default order).
+    auto small = tlb.lookup(0x1000, false);
+    EXPECT_TRUE(small.hit);
+    EXPECT_EQ(small.probes, 1u);
+    // 2MB page: second probe.
+    auto big = tlb.lookup(0x00400000, false);
+    EXPECT_TRUE(big.hit);
+    EXPECT_EQ(big.probes, 2u);
+    // Miss: exhausts all three sizes.
+    auto miss = tlb.lookup(0x7000000, false);
+    EXPECT_FALSE(miss.hit);
+    EXPECT_EQ(miss.probes, 3u);
+}
+
+TEST(HashRehash, PredictorCutsProbes)
+{
+    stats::StatGroup root("test");
+    HashRehashParams params;
+    params.entries = 64;
+    params.assoc = 4;
+    params.usePredictor = true;
+    HashRehashTlb tlb("hr", &root, params);
+
+    tlb.fill(simpleFill(xlate2m(0x00400000, 0x0)));
+    // The fill trained the predictor, so the first probe goes straight
+    // to the 2MB index — one probe instead of the fixed-order two.
+    auto first = tlb.lookup(0x00400000, false);
+    EXPECT_TRUE(first.hit);
+    EXPECT_EQ(first.probes, 1u);
+
+    // Re-train the region to 4KB; the next 2MB lookup mispredicts and
+    // needs a second probe (the latency-variability problem of
+    // Sec. 5.1).
+    tlb.fill(simpleFill(xlate4k(0x00410000, 0x20000)));
+    auto mispredicted = tlb.lookup(0x00400000, false);
+    EXPECT_TRUE(mispredicted.hit);
+    EXPECT_EQ(mispredicted.probes, 2u);
+    ASSERT_NE(tlb.predictor(), nullptr);
+    EXPECT_GT(tlb.predictor()->accuracy(), 0.0);
+}
+
+TEST(HashRehash, SizesShareCapacity)
+{
+    // Unlike split TLBs, one size can use the whole structure.
+    stats::StatGroup root("test");
+    HashRehashParams params;
+    params.entries = 64;
+    params.assoc = 4;
+    HashRehashTlb tlb("hr", &root, params);
+    for (int i = 0; i < 32; i++)
+        tlb.fill(simpleFill(xlate2m(i * PageBytes2M, i * PageBytes2M)));
+    unsigned resident = 0;
+    for (int i = 0; i < 32; i++)
+        resident += tlb.lookup(i * PageBytes2M, false).hit ? 1 : 0;
+    EXPECT_EQ(resident, 32u);
+}
+
+TEST(Skew, AllSizesConcurrently)
+{
+    stats::StatGroup root("test");
+    SkewTlbParams params;
+    params.setsPerWay = 8;
+    SkewTlb tlb("skew", &root, params);
+
+    tlb.fill(simpleFill(xlate4k(0x1000, 0x10000)));
+    tlb.fill(simpleFill(xlate2m(0x00400000, 0x0)));
+    pt::Translation big;
+    big.vbase = 4 * GiB;
+    big.pbase = 1 * GiB;
+    big.size = PageSize::Size1G;
+    tlb.fill(simpleFill(big));
+
+    EXPECT_TRUE(tlb.lookup(0x1000, false).hit);
+    EXPECT_TRUE(tlb.lookup(0x00400000, false).hit);
+    EXPECT_TRUE(tlb.lookup(4 * GiB + 5, false).hit);
+    // Parallel probe reads the sum of all ways (6): the energy problem.
+    EXPECT_EQ(tlb.lookup(0x1000, false).waysRead, 6u);
+}
+
+TEST(Skew, TimestampReplacementEvictsOldest)
+{
+    stats::StatGroup root("test");
+    SkewTlbParams params;
+    params.setsPerWay = 4;
+    SkewTlb tlb("skew", &root, params);
+    // Fill many 4KB pages; with 2 ways x 4 rows = 8 slots, 16 pages
+    // must evict; recently used ones survive.
+    for (int i = 0; i < 16; i++)
+        tlb.fill(simpleFill(xlate4k(i * PageBytes4K, i * PageBytes4K)));
+    unsigned survivors = 0;
+    for (int i = 0; i < 16; i++)
+        survivors += tlb.lookup(i * PageBytes4K, false).hit ? 1 : 0;
+    EXPECT_GT(survivors, 0u);
+    EXPECT_LE(survivors, 8u);
+}
+
+TEST(Skew, PredictorReducesWaysRead)
+{
+    stats::StatGroup root("test");
+    SkewTlbParams params;
+    params.setsPerWay = 8;
+    params.usePredictor = true;
+    SkewTlb tlb("skew", &root, params);
+    tlb.fill(simpleFill(xlate4k(0x1000, 0x10000)));
+    // Predictor defaults to 4KB: first-round probe reads only 2 ways.
+    auto result = tlb.lookup(0x1000, false);
+    EXPECT_TRUE(result.hit);
+    EXPECT_EQ(result.waysRead, 2u);
+    EXPECT_EQ(result.probes, 1u);
+}
+
+TEST(Skew, InvalidateWorks)
+{
+    stats::StatGroup root("test");
+    SkewTlbParams params;
+    SkewTlb tlb("skew", &root, params);
+    tlb.fill(simpleFill(xlate2m(0x00400000, 0x0)));
+    tlb.invalidate(0x00400000, PageSize::Size2M);
+    EXPECT_FALSE(tlb.lookup(0x00400000, false).hit);
+}
+
+TEST(Colt, CoalescesContiguousSmallPages)
+{
+    // Feed a real walker line with 4 contiguous small pages.
+    mem::PhysMem mem{256 * MiB};
+    pt::PageTable table{mem};
+    stats::StatGroup root("test");
+    pt::Walker walker{table, &root};
+    for (int i = 0; i < 4; i++) {
+        table.map(0x10000 + i * PageBytes4K, 0x800000 + i * PageBytes4K,
+                  PageSize::Size4K);
+        walker.walk(0x10000 + i * PageBytes4K, false); // set A bits
+    }
+    ColtTlb tlb("colt", &root, 32, 4, PageSize::Size4K, 4);
+    auto walk = walker.walk(0x10000, false);
+    FillInfo fill;
+    fill.leaf = *walk.leaf;
+    fill.vaddr = 0x10000;
+    fill.walk = &walk;
+    tlb.fill(fill);
+
+    for (int i = 0; i < 4; i++) {
+        auto result = tlb.lookup(0x10000 + i * PageBytes4K, false);
+        ASSERT_TRUE(result.hit) << i;
+        EXPECT_EQ(result.xlate.translate(0x10000 + i * PageBytes4K),
+                  0x800000u + i * PageBytes4K);
+    }
+    EXPECT_EQ(root.scalar("colt.fills").value(), 1.0);
+    ASSERT_TRUE(tlb.lookup(0x10000, false).bundle.has_value());
+    EXPECT_EQ(tlb.lookup(0x10000, false).bundle->count, 4u);
+}
+
+TEST(Colt, NonContiguousPagesDoNotCoalesce)
+{
+    mem::PhysMem mem{256 * MiB};
+    pt::PageTable table{mem};
+    stats::StatGroup root("test");
+    pt::Walker walker{table, &root};
+    table.map(0x10000, 0x800000, PageSize::Size4K);
+    table.map(0x11000, 0x900000, PageSize::Size4K); // PA gap
+    walker.walk(0x11000, false);
+    ColtTlb tlb("colt", &root, 32, 4, PageSize::Size4K, 4);
+    auto walk = walker.walk(0x10000, false);
+    FillInfo fill;
+    fill.leaf = *walk.leaf;
+    fill.walk = &walk;
+    tlb.fill(fill);
+    EXPECT_TRUE(tlb.lookup(0x10000, false).hit);
+    EXPECT_FALSE(tlb.lookup(0x11000, false).hit);
+}
+
+TEST(Colt, SuperpageVariantForColtPlusPlus)
+{
+    mem::PhysMem mem{1 * GiB};
+    pt::PageTable table{mem};
+    stats::StatGroup root("test");
+    pt::Walker walker{table, &root};
+    for (int i = 0; i < 2; i++) {
+        table.map(0x00400000 + i * PageBytes2M, i * PageBytes2M,
+                  PageSize::Size2M);
+        walker.walk(0x00400000 + i * PageBytes2M, false);
+    }
+    ColtTlb tlb("colt2m", &root, 8, 4, PageSize::Size2M, 2);
+    auto walk = walker.walk(0x00400000, false);
+    FillInfo fill;
+    fill.leaf = *walk.leaf;
+    fill.walk = &walk;
+    tlb.fill(fill);
+    EXPECT_TRUE(tlb.lookup(0x00400000, false).hit);
+    EXPECT_TRUE(tlb.lookup(0x00600000, false).hit);
+}
+
+TEST(Ideal, HitsEveryMappedPage)
+{
+    mem::PhysMem mem{256 * MiB};
+    pt::PageTable table{mem};
+    stats::StatGroup root("test");
+    table.map(0x1000, 0x800000, PageSize::Size4K);
+    IdealTlb tlb("ideal", &root, table);
+    auto result = tlb.lookup(0x1234, false);
+    EXPECT_TRUE(result.hit);
+    EXPECT_EQ(result.xlate.translate(0x1234), 0x800234u);
+    EXPECT_FALSE(tlb.lookup(0x2000, false).hit);
+}
+
+namespace
+{
+
+/** An end-to-end hierarchy over a THS process. */
+struct HierarchyFixture : ::testing::Test
+{
+    mem::PhysMem mem{2 * GiB};
+    stats::StatGroup root{"test"};
+    os::MemoryManager mm{mem, &root};
+    os::Process proc;
+    cache::CacheHierarchy caches{cache::HierarchyParams{}, &root};
+    NativeWalkSource source;
+
+    HierarchyFixture()
+        : proc(mm, []{
+              os::ProcessParams params;
+              params.policy = os::PagePolicy::Thp;
+              return params;
+          }(), &root),
+          source(proc.pageTable(), &root,
+                 [this](VAddr va, bool st) {
+                     return proc.touch(va, st)
+                            != os::TouchResult::OutOfMemory;
+                 })
+    {}
+
+    std::unique_ptr<TlbHierarchy>
+    makeMixHierarchy()
+    {
+        MixTlbParams l1p;
+        l1p.entries = 96;
+        l1p.assoc = 6;
+        MixTlbParams l2p;
+        l2p.entries = 544;
+        l2p.assoc = 8;
+        l2p.mode = CoalesceMode::Length;
+        auto hier = std::make_unique<TlbHierarchy>(
+            "mixh", &root,
+            std::make_unique<MixTlb>("l1", &root, l1p),
+            std::make_shared<MixTlb>("l2", &root, l2p),
+            source, caches);
+        proc.addInvalidateListener([h = hier.get()](VAddr va, PageSize s) {
+            h->invalidatePage(va, s);
+        });
+        return hier;
+    }
+};
+
+} // anonymous namespace
+
+TEST_F(HierarchyFixture, FaultThenHitFlow)
+{
+    auto hier = makeMixHierarchy();
+    VAddr base = proc.mmap(64 * MiB);
+
+    auto first = hier->access(base, false);
+    EXPECT_TRUE(first.ok);
+    EXPECT_TRUE(first.walked);
+    EXPECT_TRUE(first.faulted);
+    EXPECT_GT(first.cycles, 8u);
+
+    auto second = hier->access(base + 64, false);
+    EXPECT_TRUE(second.l1Hit);
+    EXPECT_EQ(second.cycles, 1u);
+    EXPECT_EQ(second.paddr, first.paddr + 64);
+}
+
+TEST_F(HierarchyFixture, TranslationsMatchPageTable)
+{
+    auto hier = makeMixHierarchy();
+    VAddr base = proc.mmap(64 * MiB);
+    Rng rng(5);
+    for (int i = 0; i < 20000; i++) {
+        VAddr va = base + rng.nextBounded(32 * MiB);
+        auto result = hier->access(va, rng.chance(0.3));
+        ASSERT_TRUE(result.ok);
+        auto truth = proc.pageTable().translate(va);
+        ASSERT_TRUE(truth.has_value());
+        ASSERT_EQ(result.paddr, truth->translate(va));
+    }
+}
+
+TEST_F(HierarchyFixture, L2HitRefillsL1WithBundle)
+{
+    auto hier = makeMixHierarchy();
+    VAddr base = proc.mmap(64 * MiB);
+    // Touch a superpage so both levels hold it, then flush L1 only by
+    // invalidating... instead: flood L1 with 4KB-conflicting addresses
+    // is complex; use invalidateAll on L1 via a fresh access pattern.
+    hier->access(base, false);
+    hier->l1().invalidateAll();
+    auto result = hier->access(base + 8, false);
+    EXPECT_TRUE(result.l2Hit);
+    EXPECT_FALSE(result.walked);
+    // And the L1 got refilled.
+    auto again = hier->access(base + 16, false);
+    EXPECT_TRUE(again.l1Hit);
+}
+
+TEST_F(HierarchyFixture, StoreToCleanEntryIssuesDirtyMicroOp)
+{
+    auto hier = makeMixHierarchy();
+    VAddr base = proc.mmap(64 * MiB);
+    hier->access(base, false); // read: walker leaves D clear
+    EXPECT_EQ(root.scalar("mixh.dirty_micro_ops").value(), 0.0);
+    hier->access(base + 4, true); // store to clean entry
+    EXPECT_GT(root.scalar("mixh.dirty_micro_ops").value(), 0.0);
+    EXPECT_TRUE(proc.pageTable().translate(base)->dirty);
+}
+
+TEST_F(HierarchyFixture, MigrationShootdownInvalidatesTlbs)
+{
+    auto hier = makeMixHierarchy();
+    // Force 4KB pages so compaction has something to migrate.
+    os::ProcessParams params;
+    params.policy = os::PagePolicy::SmallOnly;
+    params.name = "proc4k";
+    os::Process proc4k(mm, params, &root);
+    // (The fixture's hierarchy walks the THS process's table; this test
+    // exercises listener wiring on the fixture process instead.)
+    VAddr base = proc.mmap(64 * MiB);
+    hier->access(base, false);
+    EXPECT_TRUE(hier->access(base + 4, false).l1Hit);
+    // Simulate a shootdown of the superpage backing base.
+    auto leaf = proc.pageTable().translate(base);
+    hier->invalidatePage(leaf->vbase, leaf->size);
+    auto after = hier->access(base + 8, false);
+    EXPECT_FALSE(after.l1Hit);
+}
+
+TEST_F(HierarchyFixture, WalkCostReflectsCacheHits)
+{
+    auto hier = makeMixHierarchy();
+    VAddr base = proc.mmap(64 * MiB);
+    auto first = hier->access(base, false);
+    // Cold walk touches memory at least once.
+    EXPECT_GT(first.cycles, 100u);
+    hier->invalidateAll();
+    // Warm walk: PTE lines now cached, much cheaper.
+    auto warm = hier->access(base + 32, false);
+    EXPECT_TRUE(warm.walked);
+    EXPECT_LT(warm.cycles, first.cycles);
+}

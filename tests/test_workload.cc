@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for the synthetic workload generators: all references stay in
+ * bounds, are deterministic per seed, and exhibit the locality
+ * character their family claims.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/generator.hh"
+
+using namespace mixtlb;
+using namespace mixtlb::workload;
+
+namespace
+{
+
+constexpr std::uint64_t MiB = 1024 * 1024;
+constexpr VAddr Base = 1ULL << 32;
+
+/** Count distinct 4KB pages touched in n references. */
+std::uint64_t
+pagesTouched(TraceGenerator &gen, int n)
+{
+    std::set<Vpn> pages;
+    for (int i = 0; i < n; i++)
+        pages.insert(vpn4kOf(gen.next().vaddr));
+    return pages.size();
+}
+
+} // anonymous namespace
+
+TEST(Workload, AllGeneratorsStayInBounds)
+{
+    const std::uint64_t bytes = 64 * MiB;
+    for (const auto &spec : cpuWorkloads()) {
+        auto gen = makeGenerator(spec.name, Base, bytes, 42);
+        for (int i = 0; i < 20000; i++) {
+            MemRef ref = gen->next();
+            ASSERT_GE(ref.vaddr, Base) << spec.name;
+            ASSERT_LT(ref.vaddr, Base + bytes) << spec.name;
+        }
+    }
+    for (const auto &spec : gpuWorkloads()) {
+        auto gen = makeGenerator(spec.name, Base, bytes, 42);
+        for (int i = 0; i < 20000; i++) {
+            MemRef ref = gen->next();
+            ASSERT_GE(ref.vaddr, Base) << spec.name;
+            ASSERT_LT(ref.vaddr, Base + bytes) << spec.name;
+        }
+    }
+}
+
+TEST(Workload, DeterministicPerSeed)
+{
+    auto a = makeGenerator("graph500", Base, 64 * MiB, 7);
+    auto b = makeGenerator("graph500", Base, 64 * MiB, 7);
+    auto c = makeGenerator("graph500", Base, 64 * MiB, 8);
+    bool differs = false;
+    for (int i = 0; i < 1000; i++) {
+        auto ra = a->next(), rb = b->next(), rc = c->next();
+        ASSERT_EQ(ra.vaddr, rb.vaddr);
+        ASSERT_EQ(static_cast<int>(ra.type), static_cast<int>(rb.type));
+        differs |= ra.vaddr != rc.vaddr;
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(Workload, GupsHasNoLocality)
+{
+    GupsGen gups(Base, 256 * MiB, 3);
+    // Random accesses over 64K pages: nearly every access is a new page.
+    EXPECT_GT(pagesTouched(gups, 20000), 7000u);
+}
+
+TEST(Workload, GupsPairsReadsWithWrites)
+{
+    GupsGen gups(Base, 1 * MiB, 3);
+    for (int i = 0; i < 100; i++) {
+        MemRef read = gups.next();
+        MemRef write = gups.next();
+        EXPECT_EQ(static_cast<int>(read.type),
+                  static_cast<int>(AccessType::Read));
+        EXPECT_EQ(static_cast<int>(write.type),
+                  static_cast<int>(AccessType::Write));
+        EXPECT_EQ(read.vaddr, write.vaddr);
+    }
+}
+
+TEST(Workload, StreamIsSequential)
+{
+    StreamGen stream(Base, 1 * MiB, 3, 64, 0.0);
+    VAddr prev = stream.next().vaddr;
+    for (int i = 0; i < 1000; i++) {
+        VAddr cur = stream.next().vaddr;
+        ASSERT_EQ(cur, prev + 64);
+        prev = cur;
+    }
+}
+
+TEST(Workload, StreamTouchesFewPagesPerReference)
+{
+    StreamGen stream(Base, 256 * MiB, 3, 64, 0.3);
+    // 20000 sequential 64B refs cover 20000*64/4096 ~ 313 pages.
+    auto pages = pagesTouched(stream, 20000);
+    EXPECT_LE(pages, 320u);
+    EXPECT_GE(pages, 300u);
+}
+
+TEST(Workload, ChaseStaysInWindowUntilDrift)
+{
+    PointerChaseGen chase(Base, 256 * MiB, 3, 1 * MiB, 0.0);
+    for (int i = 0; i < 10000; i++) {
+        VAddr va = chase.next().vaddr;
+        ASSERT_LT(va, Base + 256 * MiB);
+        // drift_prob = 0: stays in the initial window forever.
+        ASSERT_LT(va - Base, 1 * MiB);
+    }
+}
+
+TEST(Workload, GraphMixesRunsAndJumps)
+{
+    GraphWalkGen graph(Base, 256 * MiB, 3, 16, 0.8);
+    // Sequential runs mean consecutive refs are often 8B apart.
+    unsigned sequential = 0;
+    VAddr prev = graph.next().vaddr;
+    for (int i = 0; i < 10000; i++) {
+        VAddr cur = graph.next().vaddr;
+        sequential += (cur == prev + 8) ? 1 : 0;
+        prev = cur;
+    }
+    EXPECT_GT(sequential, 5000u); // mostly runs...
+    EXPECT_LT(sequential, 9990u); // ...but with jumps
+}
+
+TEST(Workload, KeyValueSkewsTowardHotObjects)
+{
+    KeyValueGen kv(Base, 256 * MiB, 3, 1 << 16, 512, 0.99, 0.1);
+    // Zipf-popular keys mean far fewer distinct pages than gups.
+    auto kv_pages = pagesTouched(kv, 20000);
+    GupsGen gups(Base, 256 * MiB, 3);
+    auto gups_pages = pagesTouched(gups, 20000);
+    EXPECT_LT(kv_pages, gups_pages / 2);
+}
+
+TEST(Workload, RegistryNamesResolve)
+{
+    EXPECT_EQ(cpuWorkloads().size(), 11u);
+    EXPECT_EQ(gpuWorkloads().size(), 6u);
+    for (const auto &spec : cpuWorkloads())
+        EXPECT_NE(makeGenerator(spec.name, Base, 8 * MiB, 1), nullptr);
+}
+
+TEST(WorkloadDeathTest, UnknownNameFails)
+{
+    EXPECT_DEATH(
+        { makeGenerator("no-such-workload", Base, 8 * MiB, 1); },
+        "unknown workload");
+}
