@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_alignment.dir/abl_alignment.cc.o"
+  "CMakeFiles/abl_alignment.dir/abl_alignment.cc.o.d"
+  "abl_alignment"
+  "abl_alignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_alignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_dirty_policy.dir/abl_dirty_policy.cc.o"
+  "CMakeFiles/abl_dirty_policy.dir/abl_dirty_policy.cc.o.d"
+  "abl_dirty_policy"
+  "abl_dirty_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_dirty_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_index_bits.dir/abl_index_bits.cc.o"
+  "CMakeFiles/abl_index_bits.dir/abl_index_bits.cc.o.d"
+  "abl_index_bits"
+  "abl_index_bits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_index_bits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_set_scaling.dir/abl_set_scaling.cc.o"
+  "CMakeFiles/abl_set_scaling.dir/abl_set_scaling.cc.o.d"
+  "abl_set_scaling"
+  "abl_set_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_set_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

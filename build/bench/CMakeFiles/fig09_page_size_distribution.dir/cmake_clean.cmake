@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_page_size_distribution.dir/fig09_page_size_distribution.cc.o"
+  "CMakeFiles/fig09_page_size_distribution.dir/fig09_page_size_distribution.cc.o.d"
+  "fig09_page_size_distribution"
+  "fig09_page_size_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_page_size_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

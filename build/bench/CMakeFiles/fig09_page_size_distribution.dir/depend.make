@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_page_size_distribution.
+# This may be replaced when dependencies are built.

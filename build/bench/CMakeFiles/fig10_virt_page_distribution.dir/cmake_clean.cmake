@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_virt_page_distribution.dir/fig10_virt_page_distribution.cc.o"
+  "CMakeFiles/fig10_virt_page_distribution.dir/fig10_virt_page_distribution.cc.o.d"
+  "fig10_virt_page_distribution"
+  "fig10_virt_page_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_virt_page_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

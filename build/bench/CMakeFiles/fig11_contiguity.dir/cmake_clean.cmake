@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_contiguity.dir/fig11_contiguity.cc.o"
+  "CMakeFiles/fig11_contiguity.dir/fig11_contiguity.cc.o.d"
+  "fig11_contiguity"
+  "fig11_contiguity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_contiguity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

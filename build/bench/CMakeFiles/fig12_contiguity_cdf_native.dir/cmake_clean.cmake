@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_contiguity_cdf_native.dir/fig12_contiguity_cdf_native.cc.o"
+  "CMakeFiles/fig12_contiguity_cdf_native.dir/fig12_contiguity_cdf_native.cc.o.d"
+  "fig12_contiguity_cdf_native"
+  "fig12_contiguity_cdf_native.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_contiguity_cdf_native.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

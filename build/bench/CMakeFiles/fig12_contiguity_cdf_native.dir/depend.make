@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_contiguity_cdf_native.
+# This may be replaced when dependencies are built.

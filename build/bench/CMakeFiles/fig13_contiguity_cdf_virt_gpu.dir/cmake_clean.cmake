@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_contiguity_cdf_virt_gpu.dir/fig13_contiguity_cdf_virt_gpu.cc.o"
+  "CMakeFiles/fig13_contiguity_cdf_virt_gpu.dir/fig13_contiguity_cdf_virt_gpu.cc.o.d"
+  "fig13_contiguity_cdf_virt_gpu"
+  "fig13_contiguity_cdf_virt_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_contiguity_cdf_virt_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

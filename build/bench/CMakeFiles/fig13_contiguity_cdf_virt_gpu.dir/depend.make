@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_contiguity_cdf_virt_gpu.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_mix_vs_split.dir/fig14_mix_vs_split.cc.o"
+  "CMakeFiles/fig14_mix_vs_split.dir/fig14_mix_vs_split.cc.o.d"
+  "fig14_mix_vs_split"
+  "fig14_mix_vs_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_mix_vs_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

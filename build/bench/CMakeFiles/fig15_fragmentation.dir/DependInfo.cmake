@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig15_fragmentation.cc" "bench/CMakeFiles/fig15_fragmentation.dir/fig15_fragmentation.cc.o" "gcc" "bench/CMakeFiles/fig15_fragmentation.dir/fig15_fragmentation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/mixtlb_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mixtlb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/virt/CMakeFiles/mixtlb_virt.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/mixtlb_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/mixtlb_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlb/CMakeFiles/mixtlb_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/pt/CMakeFiles/mixtlb_pt.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mixtlb_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/mixtlb_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/mixtlb_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mixtlb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mixtlb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

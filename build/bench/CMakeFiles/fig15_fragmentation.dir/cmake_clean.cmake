@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_fragmentation.dir/fig15_fragmentation.cc.o"
+  "CMakeFiles/fig15_fragmentation.dir/fig15_fragmentation.cc.o.d"
+  "fig15_fragmentation"
+  "fig15_fragmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_fragmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_multi_indexing.dir/fig16_multi_indexing.cc.o"
+  "CMakeFiles/fig16_multi_indexing.dir/fig16_multi_indexing.cc.o.d"
+  "fig16_multi_indexing"
+  "fig16_multi_indexing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_multi_indexing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

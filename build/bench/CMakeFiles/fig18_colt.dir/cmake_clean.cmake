@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_colt.dir/fig18_colt.cc.o"
+  "CMakeFiles/fig18_colt.dir/fig18_colt.cc.o.d"
+  "fig18_colt"
+  "fig18_colt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_colt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

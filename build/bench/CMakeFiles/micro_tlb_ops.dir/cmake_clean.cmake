@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_tlb_ops.dir/micro_tlb_ops.cc.o"
+  "CMakeFiles/micro_tlb_ops.dir/micro_tlb_ops.cc.o.d"
+  "micro_tlb_ops"
+  "micro_tlb_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_tlb_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixtlb_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/mixtlb_bench_common.dir/bench_common.cc.o.d"
+  "libmixtlb_bench_common.a"
+  "libmixtlb_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixtlb_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bigmem_native.dir/bigmem_native.cpp.o"
+  "CMakeFiles/bigmem_native.dir/bigmem_native.cpp.o.d"
+  "bigmem_native"
+  "bigmem_native.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bigmem_native.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bigmem_native.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_svm.dir/gpu_svm.cpp.o"
+  "CMakeFiles/gpu_svm.dir/gpu_svm.cpp.o.d"
+  "gpu_svm"
+  "gpu_svm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_svm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virtualized_consolidation.dir/virtualized_consolidation.cpp.o"
+  "CMakeFiles/virtualized_consolidation.dir/virtualized_consolidation.cpp.o.d"
+  "virtualized_consolidation"
+  "virtualized_consolidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virtualized_consolidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

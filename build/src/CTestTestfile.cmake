@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("mem")
+subdirs("pt")
+subdirs("cache")
+subdirs("os")
+subdirs("tlb")
+subdirs("workload")
+subdirs("virt")
+subdirs("gpu")
+subdirs("perf")
+subdirs("sim")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixtlb_cache.dir/cache.cc.o"
+  "CMakeFiles/mixtlb_cache.dir/cache.cc.o.d"
+  "libmixtlb_cache.a"
+  "libmixtlb_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixtlb_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixtlb_common.dir/logging.cc.o"
+  "CMakeFiles/mixtlb_common.dir/logging.cc.o.d"
+  "CMakeFiles/mixtlb_common.dir/random.cc.o"
+  "CMakeFiles/mixtlb_common.dir/random.cc.o.d"
+  "CMakeFiles/mixtlb_common.dir/stats.cc.o"
+  "CMakeFiles/mixtlb_common.dir/stats.cc.o.d"
+  "libmixtlb_common.a"
+  "libmixtlb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixtlb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/gpu_system.cc" "src/gpu/CMakeFiles/mixtlb_gpu.dir/gpu_system.cc.o" "gcc" "src/gpu/CMakeFiles/mixtlb_gpu.dir/gpu_system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tlb/CMakeFiles/mixtlb_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mixtlb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/pt/CMakeFiles/mixtlb_pt.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mixtlb_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/mixtlb_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mixtlb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixtlb_gpu.dir/gpu_system.cc.o"
+  "CMakeFiles/mixtlb_gpu.dir/gpu_system.cc.o.d"
+  "libmixtlb_gpu.a"
+  "libmixtlb_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixtlb_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixtlb_mem.dir/buddy_allocator.cc.o"
+  "CMakeFiles/mixtlb_mem.dir/buddy_allocator.cc.o.d"
+  "CMakeFiles/mixtlb_mem.dir/phys_mem.cc.o"
+  "CMakeFiles/mixtlb_mem.dir/phys_mem.cc.o.d"
+  "libmixtlb_mem.a"
+  "libmixtlb_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixtlb_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmixtlb_mem.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/memhog.cc" "src/os/CMakeFiles/mixtlb_os.dir/memhog.cc.o" "gcc" "src/os/CMakeFiles/mixtlb_os.dir/memhog.cc.o.d"
+  "/root/repo/src/os/memory_manager.cc" "src/os/CMakeFiles/mixtlb_os.dir/memory_manager.cc.o" "gcc" "src/os/CMakeFiles/mixtlb_os.dir/memory_manager.cc.o.d"
+  "/root/repo/src/os/process.cc" "src/os/CMakeFiles/mixtlb_os.dir/process.cc.o" "gcc" "src/os/CMakeFiles/mixtlb_os.dir/process.cc.o.d"
+  "/root/repo/src/os/scan.cc" "src/os/CMakeFiles/mixtlb_os.dir/scan.cc.o" "gcc" "src/os/CMakeFiles/mixtlb_os.dir/scan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mixtlb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mixtlb_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/pt/CMakeFiles/mixtlb_pt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

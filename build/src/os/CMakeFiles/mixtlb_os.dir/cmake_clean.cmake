@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixtlb_os.dir/memhog.cc.o"
+  "CMakeFiles/mixtlb_os.dir/memhog.cc.o.d"
+  "CMakeFiles/mixtlb_os.dir/memory_manager.cc.o"
+  "CMakeFiles/mixtlb_os.dir/memory_manager.cc.o.d"
+  "CMakeFiles/mixtlb_os.dir/process.cc.o"
+  "CMakeFiles/mixtlb_os.dir/process.cc.o.d"
+  "CMakeFiles/mixtlb_os.dir/scan.cc.o"
+  "CMakeFiles/mixtlb_os.dir/scan.cc.o.d"
+  "libmixtlb_os.a"
+  "libmixtlb_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixtlb_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

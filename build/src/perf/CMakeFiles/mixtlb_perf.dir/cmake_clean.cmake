@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixtlb_perf.dir/energy_model.cc.o"
+  "CMakeFiles/mixtlb_perf.dir/energy_model.cc.o.d"
+  "CMakeFiles/mixtlb_perf.dir/perf_model.cc.o"
+  "CMakeFiles/mixtlb_perf.dir/perf_model.cc.o.d"
+  "libmixtlb_perf.a"
+  "libmixtlb_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixtlb_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixtlb_pt.dir/page_table.cc.o"
+  "CMakeFiles/mixtlb_pt.dir/page_table.cc.o.d"
+  "CMakeFiles/mixtlb_pt.dir/pwc.cc.o"
+  "CMakeFiles/mixtlb_pt.dir/pwc.cc.o.d"
+  "CMakeFiles/mixtlb_pt.dir/walker.cc.o"
+  "CMakeFiles/mixtlb_pt.dir/walker.cc.o.d"
+  "libmixtlb_pt.a"
+  "libmixtlb_pt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixtlb_pt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

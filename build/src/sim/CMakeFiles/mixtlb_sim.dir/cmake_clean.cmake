@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixtlb_sim.dir/cli.cc.o"
+  "CMakeFiles/mixtlb_sim.dir/cli.cc.o.d"
+  "CMakeFiles/mixtlb_sim.dir/configs.cc.o"
+  "CMakeFiles/mixtlb_sim.dir/configs.cc.o.d"
+  "CMakeFiles/mixtlb_sim.dir/machine.cc.o"
+  "CMakeFiles/mixtlb_sim.dir/machine.cc.o.d"
+  "libmixtlb_sim.a"
+  "libmixtlb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixtlb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tlb/base.cc" "src/tlb/CMakeFiles/mixtlb_tlb.dir/base.cc.o" "gcc" "src/tlb/CMakeFiles/mixtlb_tlb.dir/base.cc.o.d"
+  "/root/repo/src/tlb/colt.cc" "src/tlb/CMakeFiles/mixtlb_tlb.dir/colt.cc.o" "gcc" "src/tlb/CMakeFiles/mixtlb_tlb.dir/colt.cc.o.d"
+  "/root/repo/src/tlb/hash_rehash.cc" "src/tlb/CMakeFiles/mixtlb_tlb.dir/hash_rehash.cc.o" "gcc" "src/tlb/CMakeFiles/mixtlb_tlb.dir/hash_rehash.cc.o.d"
+  "/root/repo/src/tlb/hierarchy.cc" "src/tlb/CMakeFiles/mixtlb_tlb.dir/hierarchy.cc.o" "gcc" "src/tlb/CMakeFiles/mixtlb_tlb.dir/hierarchy.cc.o.d"
+  "/root/repo/src/tlb/mix.cc" "src/tlb/CMakeFiles/mixtlb_tlb.dir/mix.cc.o" "gcc" "src/tlb/CMakeFiles/mixtlb_tlb.dir/mix.cc.o.d"
+  "/root/repo/src/tlb/predictor.cc" "src/tlb/CMakeFiles/mixtlb_tlb.dir/predictor.cc.o" "gcc" "src/tlb/CMakeFiles/mixtlb_tlb.dir/predictor.cc.o.d"
+  "/root/repo/src/tlb/set_assoc.cc" "src/tlb/CMakeFiles/mixtlb_tlb.dir/set_assoc.cc.o" "gcc" "src/tlb/CMakeFiles/mixtlb_tlb.dir/set_assoc.cc.o.d"
+  "/root/repo/src/tlb/skew.cc" "src/tlb/CMakeFiles/mixtlb_tlb.dir/skew.cc.o" "gcc" "src/tlb/CMakeFiles/mixtlb_tlb.dir/skew.cc.o.d"
+  "/root/repo/src/tlb/split.cc" "src/tlb/CMakeFiles/mixtlb_tlb.dir/split.cc.o" "gcc" "src/tlb/CMakeFiles/mixtlb_tlb.dir/split.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mixtlb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pt/CMakeFiles/mixtlb_pt.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/mixtlb_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mixtlb_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixtlb_tlb.dir/base.cc.o"
+  "CMakeFiles/mixtlb_tlb.dir/base.cc.o.d"
+  "CMakeFiles/mixtlb_tlb.dir/colt.cc.o"
+  "CMakeFiles/mixtlb_tlb.dir/colt.cc.o.d"
+  "CMakeFiles/mixtlb_tlb.dir/hash_rehash.cc.o"
+  "CMakeFiles/mixtlb_tlb.dir/hash_rehash.cc.o.d"
+  "CMakeFiles/mixtlb_tlb.dir/hierarchy.cc.o"
+  "CMakeFiles/mixtlb_tlb.dir/hierarchy.cc.o.d"
+  "CMakeFiles/mixtlb_tlb.dir/mix.cc.o"
+  "CMakeFiles/mixtlb_tlb.dir/mix.cc.o.d"
+  "CMakeFiles/mixtlb_tlb.dir/predictor.cc.o"
+  "CMakeFiles/mixtlb_tlb.dir/predictor.cc.o.d"
+  "CMakeFiles/mixtlb_tlb.dir/set_assoc.cc.o"
+  "CMakeFiles/mixtlb_tlb.dir/set_assoc.cc.o.d"
+  "CMakeFiles/mixtlb_tlb.dir/skew.cc.o"
+  "CMakeFiles/mixtlb_tlb.dir/skew.cc.o.d"
+  "CMakeFiles/mixtlb_tlb.dir/split.cc.o"
+  "CMakeFiles/mixtlb_tlb.dir/split.cc.o.d"
+  "libmixtlb_tlb.a"
+  "libmixtlb_tlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixtlb_tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixtlb_virt.dir/nested_walk.cc.o"
+  "CMakeFiles/mixtlb_virt.dir/nested_walk.cc.o.d"
+  "CMakeFiles/mixtlb_virt.dir/vm.cc.o"
+  "CMakeFiles/mixtlb_virt.dir/vm.cc.o.d"
+  "libmixtlb_virt.a"
+  "libmixtlb_virt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixtlb_virt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixtlb_workload.dir/generator.cc.o"
+  "CMakeFiles/mixtlb_workload.dir/generator.cc.o.d"
+  "CMakeFiles/mixtlb_workload.dir/trace_file.cc.o"
+  "CMakeFiles/mixtlb_workload.dir/trace_file.cc.o.d"
+  "libmixtlb_workload.a"
+  "libmixtlb_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixtlb_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_virt.dir/test_virt.cc.o"
+  "CMakeFiles/test_virt.dir/test_virt.cc.o.d"
+  "test_virt"
+  "test_virt.pdb"
+  "test_virt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_virt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
