@@ -1,5 +1,8 @@
 #include "bench_common.hh"
 
+#include <algorithm>
+
+#include "common/logging.hh"
 #include "gpu/gpu_system.hh"
 #include "os/memhog.hh"
 #include "tlb/walk_source.hh"
@@ -81,6 +84,8 @@ runGpu(const GpuRunConfig &config)
         energy.invalidations += inputs.invalidations;
         energy.predictorLookups += inputs.predictorLookups;
         energy.skewTimestamps = inputs.skewTimestamps;
+        energy.fillBurstFactor = std::min(energy.fillBurstFactor,
+                                          inputs.fillBurstFactor);
     }
     result.metrics = perf::computeMetrics(
         static_cast<std::uint64_t>(accesses), translation_cycles,
@@ -92,6 +97,184 @@ runGpu(const GpuRunConfig &config)
     result.accessesPerWalk = walks > 0 ? walk_accesses / walks : 0.0;
     result.distribution = os::scanDistribution(proc.pageTable());
     return result;
+}
+
+std::size_t
+SweepGrid::add(std::string section, std::string label,
+               BenchConfig config)
+{
+    jobs_.push_back(SweepJob{std::move(section), std::move(label),
+                             std::move(config), nextPoint_++});
+    return jobs_.size() - 1;
+}
+
+std::size_t
+SweepGrid::addPaired(std::size_t paired_with, std::string section,
+                     std::string label, BenchConfig config)
+{
+    panic_if(paired_with >= jobs_.size(),
+             "addPaired references job %zu of %zu", paired_with,
+             jobs_.size());
+    jobs_.push_back(SweepJob{std::move(section), std::move(label),
+                             std::move(config),
+                             jobs_[paired_with].point});
+    return jobs_.size() - 1;
+}
+
+std::uint64_t
+effectiveSeed(const SweepJob &job)
+{
+    std::uint64_t base = std::visit(
+        [](const auto &config) { return config.seed; }, job.config);
+    return sim::sweepPointSeed(base, job.point);
+}
+
+RunResult
+runJob(const SweepJob &job)
+{
+    SweepJob seeded = job;
+    std::uint64_t seed = effectiveSeed(job);
+    std::visit([seed](auto &config) { config.seed = seed; },
+               seeded.config);
+    return std::visit(
+        [](const auto &config) -> RunResult {
+            using Config = std::decay_t<decltype(config)>;
+            if constexpr (std::is_same_v<Config, NativeRunConfig>)
+                return runNative(config);
+            else if constexpr (std::is_same_v<Config, VirtRunConfig>)
+                return runVirt(config);
+            else
+                return runGpu(config);
+        },
+        seeded.config);
+}
+
+json::Value
+configJson(const SweepJob &job)
+{
+    auto out = json::Value::object();
+    std::visit(
+        [&out](const auto &config) {
+            using Config = std::decay_t<decltype(config)>;
+            out["design"] = sim::designName(config.design);
+            if constexpr (std::is_same_v<Config, NativeRunConfig>) {
+                out["kind"] = "native";
+                out["workload"] = config.workload;
+                out["policy"] = os::pagePolicyName(config.policy);
+                out["mem_bytes"] = config.memBytes;
+                out["footprint_bytes"] = config.footprintBytes;
+                out["refs"] = config.refs;
+                out["memhog"] = config.memhog;
+            } else if constexpr (std::is_same_v<Config,
+                                                VirtRunConfig>) {
+                out["kind"] = "virt";
+                out["workload"] = config.workload;
+                out["num_vms"] = config.numVms;
+                out["host_mem_bytes"] = config.hostMemBytes;
+                out["refs_per_vm"] = config.refsPerVm;
+                out["guest_memhog"] = config.guestMemhog;
+            } else {
+                out["kind"] = "gpu";
+                out["kernel"] = config.kernel;
+                out["cores"] = config.cores;
+                out["mem_bytes"] = config.memBytes;
+                out["footprint_bytes"] = config.footprintBytes;
+                out["refs"] = config.refs;
+                out["memhog"] = config.memhog;
+            }
+        },
+        job.config);
+    // As a decimal string: 64-bit seeds do not survive the round trip
+    // through a JSON (double) number.
+    out["seed"] = std::to_string(effectiveSeed(job));
+    return out;
+}
+
+json::Value
+resultJson(const RunResult &result)
+{
+    auto out = json::Value::object();
+
+    auto &metrics = out["metrics"];
+    metrics["refs"] = result.metrics.refs;
+    metrics["translation_cycles"] = result.metrics.translationCycles;
+    metrics["base_cycles"] = result.metrics.baseCycles;
+    metrics["overhead_cycles"] = result.metrics.overheadCycles;
+    metrics["total_cycles"] = result.metrics.totalCycles;
+    metrics["overhead_fraction"] = result.metrics.overheadFraction();
+    metrics["l1_hit_rate"] = 1.0 - result.l1MissRate;
+    metrics["l1_miss_rate"] = result.l1MissRate;
+    metrics["walks_per_kref"] = result.walksPerKref;
+    metrics["accesses_per_walk"] = result.accessesPerWalk;
+    metrics["superpage_fraction"] =
+        result.distribution.superpageFraction();
+
+    auto &energy = out["energy"];
+    energy["l1_ways_read"] = result.energy.l1WaysRead;
+    energy["l2_ways_read"] = result.energy.l2WaysRead;
+    energy["l1_fills"] = result.energy.l1Fills;
+    energy["l2_fills"] = result.energy.l2Fills;
+    energy["fill_burst_factor"] = result.energy.fillBurstFactor;
+    energy["walk_accesses"] = result.energy.walkAccesses;
+    energy["walk_dram_accesses"] = result.energy.walkDramAccesses;
+    energy["dirty_ops"] = result.energy.dirtyOps;
+    energy["invalidations"] = result.energy.invalidations;
+    energy["predictor_lookups"] = result.energy.predictorLookups;
+    auto breakdown = perf::EnergyModel{}.compute(result.energy);
+    energy["lookup_pj"] = breakdown.lookup;
+    energy["walk_pj"] = breakdown.walk;
+    energy["fill_pj"] = breakdown.fill;
+    energy["other_pj"] = breakdown.other;
+    energy["leakage_pj"] = breakdown.leakage;
+    energy["total_pj"] = breakdown.total();
+    energy["pj_per_access"] =
+        result.metrics.refs
+            ? breakdown.total()
+                  / static_cast<double>(result.metrics.refs)
+            : 0.0;
+    return out;
+}
+
+BenchSweep::BenchSweep(const sim::CliArgs &args, std::string benchmark)
+    : runner_(sim::SweepParams{
+          static_cast<unsigned>(args.getU64("jobs", 0))}),
+      jsonPath_(args.getString("json", "")),
+      doc_(json::Value::object())
+{
+    doc_["benchmark"] = std::move(benchmark);
+    doc_["jobs"] = runner_.jobs();
+    doc_["results"] = json::Value::array();
+}
+
+std::vector<RunResult>
+BenchSweep::run(const SweepGrid &grid)
+{
+    const auto &jobs = grid.jobs();
+    auto results = runner_.run<RunResult>(
+        jobs.size(),
+        [&jobs](std::size_t index) { return runJob(jobs[index]); });
+    for (std::size_t i = 0; i < jobs.size(); i++) {
+        auto record = json::Value::object();
+        record["section"] = jobs[i].section;
+        record["label"] = jobs[i].label;
+        record["config"] = configJson(jobs[i]);
+        auto blocks = resultJson(results[i]);
+        record["metrics"] = blocks["metrics"];
+        record["energy"] = blocks["energy"];
+        doc_["results"].push(std::move(record));
+    }
+    return results;
+}
+
+void
+BenchSweep::finish()
+{
+    if (jsonPath_.empty())
+        return;
+    if (!json::writeFile(jsonPath_, doc_))
+        fatal("cannot write JSON results to %s", jsonPath_.c_str());
+    inform("wrote %zu results to %s", doc_["results"].size(),
+           jsonPath_.c_str());
 }
 
 } // namespace mixtlb::bench

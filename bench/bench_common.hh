@@ -15,12 +15,15 @@
 
 #include <cstdio>
 #include <string>
+#include <variant>
 #include <vector>
 
+#include "common/json.hh"
 #include "os/scan.hh"
 #include "perf/energy_model.hh"
 #include "sim/cli.hh"
 #include "sim/machine.hh"
+#include "sim/sweep.hh"
 
 namespace mixtlb::bench
 {
@@ -208,6 +211,93 @@ struct GpuRunConfig
 
 /** One GPU run; translation cycles summed over shader cores. */
 RunResult runGpu(const GpuRunConfig &config);
+
+/** Any configuration a sweep point can carry. */
+using BenchConfig =
+    std::variant<NativeRunConfig, VirtRunConfig, GpuRunConfig>;
+
+/**
+ * One entry of a sweep grid: a labelled configuration plus the
+ * *configuration point* it belongs to. Jobs sharing a point (e.g. the
+ * split and MIX runs of one table cell) get the same derived seed, so
+ * design comparisons see identical workload streams.
+ */
+struct SweepJob
+{
+    std::string section; ///< table grouping ("native", "virt", "gpu")
+    std::string label;   ///< human-readable config id for the JSON
+    BenchConfig config;
+    std::size_t point = 0; ///< seed-sharing configuration point
+};
+
+/**
+ * A declarative grid of runs. Build it up front, hand it to a
+ * BenchSweep, and index the returned RunResults with the values add()
+ * gave back — results always land in grid order regardless of how many
+ * worker threads executed them.
+ */
+class SweepGrid
+{
+  public:
+    /** Append a job opening a new configuration point. */
+    std::size_t add(std::string section, std::string label,
+                    BenchConfig config);
+
+    /**
+     * Append a job sharing the configuration point (and therefore the
+     * derived seed) of job @p paired_with.
+     */
+    std::size_t addPaired(std::size_t paired_with, std::string section,
+                          std::string label, BenchConfig config);
+
+    const std::vector<SweepJob> &jobs() const { return jobs_; }
+    std::size_t size() const { return jobs_.size(); }
+
+  private:
+    std::vector<SweepJob> jobs_;
+    std::size_t nextPoint_ = 0;
+};
+
+/**
+ * Seed job @p job will actually run with: derived from (the config's
+ * own base seed, the job's configuration point), never from thread
+ * scheduling — `--jobs 1` and `--jobs N` are bit-identical.
+ */
+std::uint64_t effectiveSeed(const SweepJob &job);
+
+/** Run one job (seed already derived) on the current thread. */
+RunResult runJob(const SweepJob &job);
+
+/**
+ * The per-bench sweep harness: parses `--jobs N` (worker threads,
+ * default hardware_concurrency) and `--json <path>` from @p args, runs
+ * grids concurrently, and accumulates every result into a
+ * machine-readable report written by finish().
+ */
+class BenchSweep
+{
+  public:
+    BenchSweep(const sim::CliArgs &args, std::string benchmark);
+
+    /** Run @p grid; results are indexed exactly like grid.jobs(). */
+    std::vector<RunResult> run(const SweepGrid &grid);
+
+    /** Write the JSON report if `--json` was given. Call once at end. */
+    void finish();
+
+    unsigned jobs() const { return runner_.jobs(); }
+
+  private:
+    sim::SweepRunner runner_;
+    std::string jsonPath_;
+    json::Value doc_;
+};
+
+/** The "metrics" + "energy" JSON blocks for one run. */
+json::Value resultJson(const RunResult &result);
+
+/** The "config" JSON block for one job. */
+json::Value configJson(const SweepJob &job);
 
 } // namespace mixtlb::bench
 

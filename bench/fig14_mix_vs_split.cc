@@ -10,7 +10,14 @@
  * Shape to reproduce: MIX never loses; gains grow when superpages are
  * prevalent, and are largest where misses are most expensive
  * (virtualized 2-D walks, GPU miss storms).
+ *
+ * The whole figure is one declarative grid executed by the sweep
+ * runner: pass `--jobs N` to run configurations concurrently (the
+ * table is identical for every N) and `--json <path>` to dump
+ * per-configuration metrics + energy for the perf trajectory.
  */
+
+#include <array>
 
 #include "bench_common.hh"
 
@@ -27,29 +34,47 @@ main(int argc, char **argv)
     const std::uint64_t fp4k = args.getU64("footprint-4k-mb", 2048)
                                << 20;
 
-    std::printf("=== Figure 14: %% performance improvement, MIX vs "
-                "split ===\n\n--- native CPU ---\n");
+    struct Pair
+    {
+        std::size_t split = 0;
+        std::size_t mix = 0;
+    };
 
+    SweepGrid grid;
+    auto add_pair = [&grid](const std::string &section,
+                            const std::string &label,
+                            BenchConfig config) {
+        Pair pair;
+        std::visit([](auto &c) { c.design = TlbDesign::Split; },
+                   config);
+        pair.split = grid.add(section, label + "/split", config);
+        std::visit([](auto &c) { c.design = TlbDesign::Mix; }, config);
+        pair.mix = grid.addPaired(pair.split, section, label + "/mix",
+                                  config);
+        return pair;
+    };
+
+    // --- native CPU: workloads x page-size policies ---
     const std::vector<std::string> workloads = {"mcf", "graph500",
                                                 "memcached", "gups"};
-    Table native({"workload", "4KB", "2MB", "1GB", "THS"});
-    std::vector<double> avgs(4, 0.0);
+    struct PolicyCase
+    {
+        const char *name;
+        os::PagePolicy policy;
+        std::uint64_t footprint;
+    };
+    // The 1GB policy needs a paper-scale footprint: more 1GB
+    // pages (48) than the split design's 4+32 dedicated entries.
+    const std::uint64_t fp1g = 48 * GiB;
+    const PolicyCase cases[] = {
+        {"4KB", os::PagePolicy::SmallOnly, fp4k},
+        {"2MB", os::PagePolicy::Huge2M, fp},
+        {"1GB", os::PagePolicy::Huge1G, fp1g},
+        {"THS", os::PagePolicy::Thp, fp},
+    };
+    std::vector<std::array<Pair, 4>> native_cells;
     for (const auto &workload : workloads) {
-        std::vector<std::string> row{workload};
-        struct PolicyCase
-        {
-            os::PagePolicy policy;
-            std::uint64_t footprint;
-        };
-        // The 1GB policy needs a paper-scale footprint: more 1GB
-        // pages (48) than the split design's 4+32 dedicated entries.
-        const std::uint64_t fp1g = 48 * GiB;
-        const PolicyCase cases[] = {
-            {os::PagePolicy::SmallOnly, fp4k},
-            {os::PagePolicy::Huge2M, fp},
-            {os::PagePolicy::Huge1G, fp1g},
-            {os::PagePolicy::Thp, fp},
-        };
+        std::array<Pair, 4> row;
         for (unsigned c = 0; c < 4; c++) {
             NativeRunConfig config;
             config.workload = workload;
@@ -64,12 +89,57 @@ main(int argc, char **argv)
                 config.memBytes = 64 * GiB;
                 config.warmStep = PageBytes2M;
             }
-            config.design = TlbDesign::Split;
-            auto split = runNative(config);
-            config.design = TlbDesign::Mix;
-            auto mix = runNative(config);
-            double imp = improvement(split, mix);
-            avgs[c] += imp / workloads.size();
+            row[c] = add_pair("native",
+                              workload + "/" + cases[c].name, config);
+        }
+        native_cells.push_back(row);
+    }
+
+    // --- virtualized CPU: workloads x consolidation levels ---
+    const std::vector<std::string> virt_workloads = {"memcached",
+                                                     "graph500"};
+    std::vector<std::array<Pair, 2>> virt_cells;
+    for (const auto &workload : virt_workloads) {
+        std::array<Pair, 2> row;
+        unsigned c = 0;
+        for (unsigned vms : {1u, 4u}) {
+            VirtRunConfig config;
+            config.workload = workload;
+            config.numVms = vms;
+            config.refsPerVm = refs / vms;
+            row[c++] = add_pair("virt",
+                                workload + "/" + std::to_string(vms)
+                                    + "vm",
+                                config);
+        }
+        virt_cells.push_back(row);
+    }
+
+    // --- GPU kernels ---
+    const std::vector<std::string> kernels = {"bfs", "backprop",
+                                              "kmeans"};
+    std::vector<Pair> gpu_cells;
+    for (const auto &kernel : kernels) {
+        GpuRunConfig config;
+        config.kernel = kernel;
+        config.refs = refs;
+        gpu_cells.push_back(add_pair("gpu", kernel, config));
+    }
+
+    BenchSweep sweep(args, "fig14_mix_vs_split");
+    auto results = sweep.run(grid);
+
+    std::printf("=== Figure 14: %% performance improvement, MIX vs "
+                "split ===\n\n--- native CPU ---\n");
+    Table native({"workload", "4KB", "2MB", "1GB", "THS"});
+    std::vector<double> avgs(4, 0.0);
+    for (std::size_t w = 0; w < workloads.size(); w++) {
+        std::vector<std::string> row{workloads[w]};
+        for (unsigned c = 0; c < 4; c++) {
+            const Pair &pair = native_cells[w][c];
+            double imp = improvement(results[pair.split],
+                                     results[pair.mix]);
+            avgs[c] += imp / static_cast<double>(workloads.size());
             row.push_back(Table::fmt(imp));
         }
         native.addRow(row);
@@ -81,19 +151,12 @@ main(int argc, char **argv)
     std::printf("\n--- virtualized CPU (gVA->sPA via 2-D walks) "
                 "---\n");
     Table virt({"workload", "1 VM", "4 VMs"});
-    for (const auto &workload :
-         std::vector<std::string>{"memcached", "graph500"}) {
-        std::vector<std::string> row{workload};
-        for (unsigned vms : {1u, 4u}) {
-            VirtRunConfig config;
-            config.workload = workload;
-            config.numVms = vms;
-            config.refsPerVm = refs / vms;
-            config.design = TlbDesign::Split;
-            auto split = runVirt(config);
-            config.design = TlbDesign::Mix;
-            auto mix = runVirt(config);
-            row.push_back(Table::fmt(improvement(split, mix)));
+    for (std::size_t w = 0; w < virt_workloads.size(); w++) {
+        std::vector<std::string> row{virt_workloads[w]};
+        for (unsigned c = 0; c < 2; c++) {
+            const Pair &pair = virt_cells[w][c];
+            row.push_back(Table::fmt(improvement(results[pair.split],
+                                                 results[pair.mix])));
         }
         virt.addRow(row);
     }
@@ -102,23 +165,19 @@ main(int argc, char **argv)
     std::printf("\n--- GPU (16 shader cores, shared L2 TLB) ---\n");
     Table gpu({"kernel", "improvement%", "split L1 miss%",
                "mix L1 miss%"});
-    for (const auto &kernel :
-         std::vector<std::string>{"bfs", "backprop", "kmeans"}) {
-        GpuRunConfig config;
-        config.kernel = kernel;
-        config.refs = refs;
-        config.design = TlbDesign::Split;
-        auto split = runGpu(config);
-        config.design = TlbDesign::Mix;
-        auto mix = runGpu(config);
-        gpu.addRow({kernel, Table::fmt(improvement(split, mix)),
-                    Table::fmt(100 * split.l1MissRate),
-                    Table::fmt(100 * mix.l1MissRate)});
+    for (std::size_t k = 0; k < kernels.size(); k++) {
+        const Pair &pair = gpu_cells[k];
+        gpu.addRow({kernels[k],
+                    Table::fmt(improvement(results[pair.split],
+                                           results[pair.mix])),
+                    Table::fmt(100 * results[pair.split].l1MissRate),
+                    Table::fmt(100 * results[pair.mix].l1MissRate)});
     }
     gpu.print();
 
     std::printf("\nPaper shape: MIX wins everywhere; virtualized and "
                 "GPU columns show the\nlargest factors because each "
                 "avoided miss saves the most cycles there.\n");
+    sweep.finish();
     return 0;
 }

@@ -8,6 +8,9 @@
  * Shapes to reproduce: fragmentation shrinks but does not erase MIX's
  * advantage (left); split TLBs stray far from ideal on many workloads
  * while MIX tracks ideal closely (right).
+ *
+ * Runs as one sweep grid: `--jobs N` parallelises, `--json <path>`
+ * dumps per-configuration metrics + energy.
  */
 
 #include <algorithm>
@@ -18,6 +21,30 @@ using namespace mixtlb;
 using namespace mixtlb::bench;
 using namespace mixtlb::sim;
 
+namespace
+{
+
+struct Pair
+{
+    std::size_t split = 0;
+    std::size_t mix = 0;
+};
+
+Pair
+addPair(SweepGrid &grid, const std::string &section,
+        const std::string &label, BenchConfig config)
+{
+    Pair pair;
+    std::visit([](auto &c) { c.design = TlbDesign::Split; }, config);
+    pair.split = grid.add(section, label + "/split", config);
+    std::visit([](auto &c) { c.design = TlbDesign::Mix; }, config);
+    pair.mix = grid.addPaired(pair.split, section, label + "/mix",
+                              config);
+    return pair;
+}
+
+} // anonymous namespace
+
 int
 main(int argc, char **argv)
 {
@@ -27,12 +54,13 @@ main(int argc, char **argv)
 
     const std::vector<std::string> workloads = {"mcf", "graph500",
                                                 "memcached", "gups"};
+    const std::vector<std::string> kernels = {"bfs", "backprop",
+                                              "kmeans", "pathfinder"};
 
-    std::printf("=== Figure 15 (left): MIX improvement under "
-                "fragmentation ===\n\n");
-    Table left({"rank", "CPU mh20%", "CPU mh80%", "GPU mh20%",
-                "GPU mh60%"});
-    std::vector<double> cpu20, cpu80, gpu20, gpu60;
+    SweepGrid grid;
+
+    // Left: CPU and GPU improvement under light/heavy fragmentation.
+    std::vector<Pair> cpu_pairs, gpu_pairs; // [workload][low, high]
     for (const auto &workload : workloads) {
         for (double memhog : {0.2, 0.8}) {
             NativeRunConfig config;
@@ -41,29 +69,59 @@ main(int argc, char **argv)
             config.footprintBytes = pressureFootprint(mem, memhog);
             config.refs = refs;
             config.memhog = memhog;
-            config.design = TlbDesign::Split;
-            auto split = runNative(config);
-            config.design = TlbDesign::Mix;
-            auto mix = runNative(config);
-            (memhog < 0.5 ? cpu20 : cpu80)
-                .push_back(improvement(split, mix));
+            cpu_pairs.push_back(addPair(
+                grid, "cpu_frag",
+                workload + "/mh" + Table::fmt(memhog * 100, 0),
+                config));
         }
     }
-    for (const auto &kernel :
-         std::vector<std::string>{"bfs", "backprop", "kmeans",
-                                  "pathfinder"}) {
+    for (const auto &kernel : kernels) {
         for (double memhog : {0.2, 0.6}) {
             GpuRunConfig config;
             config.kernel = kernel;
             config.refs = refs;
             config.memhog = memhog;
-            config.design = TlbDesign::Split;
-            auto split = runGpu(config);
-            config.design = TlbDesign::Mix;
-            auto mix = runGpu(config);
-            (memhog < 0.5 ? gpu20 : gpu60)
-                .push_back(improvement(split, mix));
+            gpu_pairs.push_back(addPair(
+                grid, "gpu_frag",
+                kernel + "/mh" + Table::fmt(memhog * 100, 0), config));
         }
+    }
+
+    // Right: overhead vs the never-miss ideal under moderate
+    // fragmentation — where split TLBs underutilise their partitions
+    // and MIX does not.
+    std::vector<Pair> ideal_pairs;
+    for (const auto &workload : workloads) {
+        NativeRunConfig config;
+        config.workload = workload;
+        config.policy = os::PagePolicy::Thp;
+        config.memBytes = mem;
+        config.memhog = 0.4;
+        config.footprintBytes = pressureFootprint(mem, 0.4);
+        config.refs = refs;
+        ideal_pairs.push_back(
+            addPair(grid, "vs_ideal", workload + "/mh40", config));
+    }
+
+    BenchSweep sweep(args, "fig15_fragmentation");
+    auto results = sweep.run(grid);
+
+    auto imp = [&results](const Pair &pair) {
+        return improvement(results[pair.split], results[pair.mix]);
+    };
+
+    std::printf("=== Figure 15 (left): MIX improvement under "
+                "fragmentation ===\n\n");
+    Table left({"rank", "CPU mh20%", "CPU mh80%", "GPU mh20%",
+                "GPU mh60%"});
+    std::vector<double> cpu20, cpu80, gpu20, gpu60;
+    for (std::size_t w = 0; w < workloads.size(); w++) {
+        cpu20.push_back(imp(cpu_pairs[2 * w]));
+        cpu80.push_back(imp(cpu_pairs[2 * w + 1]));
+    }
+    for (std::size_t k = 0; k < kernels.size(); k++) {
+        gpu20.push_back(imp(gpu_pairs[2 * k]));
+        gpu60.push_back(imp(gpu_pairs[2 * k + 1]));
     }
     for (auto *vec : {&cpu20, &cpu80, &gpu20, &gpu60})
         std::sort(vec->begin(), vec->end());
@@ -78,25 +136,15 @@ main(int argc, char **argv)
                 "ideal ===\n\n");
     Table right({"workload", "split overhead%", "mix overhead%"});
     double split_above_10 = 0, mix_above_10 = 0;
-    for (const auto &workload : workloads) {
-        // Mixed page sizes under moderate fragmentation — where split
-        // TLBs underutilise their partitions and MIX does not.
-        NativeRunConfig config;
-        config.workload = workload;
-        config.policy = os::PagePolicy::Thp;
-        config.memBytes = mem;
-        config.memhog = 0.4;
-        config.footprintBytes = pressureFootprint(mem, 0.4);
-        config.refs = refs;
-        config.design = TlbDesign::Split;
-        auto split = runNative(config);
-        config.design = TlbDesign::Mix;
-        auto mix = runNative(config);
-        double split_pct = 100 * split.metrics.overheadFraction();
-        double mix_pct = 100 * mix.metrics.overheadFraction();
+    for (std::size_t w = 0; w < workloads.size(); w++) {
+        const Pair &pair = ideal_pairs[w];
+        double split_pct =
+            100 * results[pair.split].metrics.overheadFraction();
+        double mix_pct =
+            100 * results[pair.mix].metrics.overheadFraction();
         split_above_10 += split_pct > 10 ? 1 : 0;
         mix_above_10 += mix_pct > 10 ? 1 : 0;
-        right.addRow({workload, Table::fmt(split_pct),
+        right.addRow({workloads[w], Table::fmt(split_pct),
                       Table::fmt(mix_pct)});
     }
     right.print();
@@ -106,5 +154,6 @@ main(int argc, char **argv)
                 "closer.\n",
                 split_above_10, workloads.size(), mix_above_10,
                 workloads.size());
+    sweep.finish();
     return 0;
 }

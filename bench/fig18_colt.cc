@@ -8,7 +8,12 @@
  * Shapes to reproduce: COLT helps mostly when small pages dominate
  * (high fragmentation); COLT++ adds superpage coalescing; MIX beats
  * both by pooling all hardware; MIX+COLT is the best of all.
+ *
+ * Runs as one sweep grid: `--jobs N` parallelises, `--json <path>`
+ * dumps per-configuration metrics + energy.
  */
+
+#include <array>
 
 #include "bench_common.hh"
 
@@ -23,15 +28,27 @@ main(int argc, char **argv)
     const std::uint64_t refs = args.getU64("refs", 100000);
     const std::uint64_t mem = args.getU64("mem-mb", 8192) << 20;
 
-    std::printf("=== Figure 18: COLT / COLT++ / MIX / MIX+COLT vs "
-                "split ===\n\n");
-
     const std::vector<std::string> workloads = {"mcf", "graph500",
                                                 "memcached"};
-    Table table({"memhog%", "colt", "colt++", "mix", "mix+colt"});
+    const TlbDesign designs[4] = {TlbDesign::Colt,
+                                  TlbDesign::ColtPlusPlus,
+                                  TlbDesign::Mix, TlbDesign::MixColt};
+    const char *design_labels[4] = {"colt", "colt++", "mix",
+                                    "mix+colt"};
+    const double memhogs[2] = {0.2, 0.6};
 
-    for (double memhog : {0.2, 0.6}) {
-        double sums[4] = {0, 0, 0, 0};
+    // One configuration point per (memhog, workload); the split
+    // baseline and all four contenders share its seed so every design
+    // sees the same fragmentation and workload stream.
+    SweepGrid grid;
+    struct Cell
+    {
+        std::size_t split = 0;
+        std::array<std::size_t, 4> designs{};
+    };
+    std::vector<std::vector<Cell>> cells; // [memhog][workload]
+    for (double memhog : memhogs) {
+        std::vector<Cell> row;
         for (const auto &workload : workloads) {
             NativeRunConfig config;
             config.workload = workload;
@@ -40,26 +57,47 @@ main(int argc, char **argv)
             config.refs = refs;
             config.memhog = memhog;
 
+            const std::string label =
+                workload + "/mh" + Table::fmt(memhog * 100, 0) + "/";
+            Cell cell;
             config.design = TlbDesign::Split;
-            auto split = runNative(config);
-
-            const TlbDesign designs[4] = {
-                TlbDesign::Colt, TlbDesign::ColtPlusPlus,
-                TlbDesign::Mix, TlbDesign::MixColt};
+            cell.split = grid.add("colt", label + "split", config);
             for (unsigned d = 0; d < 4; d++) {
                 config.design = designs[d];
-                auto run = runNative(config);
-                sums[d] += improvement(split, run) / workloads.size();
+                cell.designs[d] = grid.addPaired(
+                    cell.split, "colt", label + design_labels[d],
+                    config);
+            }
+            row.push_back(cell);
+        }
+        cells.push_back(row);
+    }
+
+    BenchSweep sweep(args, "fig18_colt");
+    auto results = sweep.run(grid);
+
+    std::printf("=== Figure 18: COLT / COLT++ / MIX / MIX+COLT vs "
+                "split ===\n\n");
+    Table table({"memhog%", "colt", "colt++", "mix", "mix+colt"});
+    for (std::size_t m = 0; m < 2; m++) {
+        double sums[4] = {0, 0, 0, 0};
+        for (std::size_t w = 0; w < workloads.size(); w++) {
+            const Cell &cell = cells[m][w];
+            for (unsigned d = 0; d < 4; d++) {
+                sums[d] += improvement(results[cell.split],
+                                       results[cell.designs[d]])
+                           / static_cast<double>(workloads.size());
             }
         }
-        table.addRow({Table::fmt(memhog * 100, 0), Table::fmt(sums[0]),
-                      Table::fmt(sums[1]), Table::fmt(sums[2]),
-                      Table::fmt(sums[3])});
+        table.addRow({Table::fmt(memhogs[m] * 100, 0),
+                      Table::fmt(sums[0]), Table::fmt(sums[1]),
+                      Table::fmt(sums[2]), Table::fmt(sums[3])});
     }
     table.print();
     std::printf("\nPaper shape: COLT gains concentrate at high "
                 "fragmentation (small pages);\nCOLT++ adds ~a few %% "
                 "where superpages abound; MIX exceeds both and "
                 "MIX+COLT\nis highest everywhere.\n");
+    sweep.finish();
     return 0;
 }

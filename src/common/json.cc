@@ -1,0 +1,174 @@
+#include "json.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace mixtlb::json
+{
+
+Value
+Value::object()
+{
+    Value value;
+    value.kind_ = Kind::Object;
+    return value;
+}
+
+Value
+Value::array()
+{
+    Value value;
+    value.kind_ = Kind::Array;
+    return value;
+}
+
+Value &
+Value::operator[](const std::string &key)
+{
+    if (kind_ == Kind::Null)
+        kind_ = Kind::Object;
+    panic_if(kind_ != Kind::Object,
+             "json: operator[] on a non-object value");
+    for (auto &member : children_) {
+        if (member.first == key)
+            return member.second;
+    }
+    children_.emplace_back(key, Value{});
+    return children_.back().second;
+}
+
+Value &
+Value::push(Value element)
+{
+    if (kind_ == Kind::Null)
+        kind_ = Kind::Array;
+    panic_if(kind_ != Kind::Array, "json: push on a non-array value");
+    children_.emplace_back(std::string{}, std::move(element));
+    return children_.back().second;
+}
+
+std::string
+Value::escape(const std::string &raw)
+{
+    std::string out;
+    out.reserve(raw.size());
+    for (unsigned char c : raw) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+void
+Value::dumpNumber(std::string &out, double value)
+{
+    if (!std::isfinite(value)) {
+        out += "null"; // JSON has no Inf/NaN; null keeps parsers happy
+        return;
+    }
+    char buf[40];
+    // Integers (the common case for counters) print exactly; the rest
+    // get enough digits to round-trip a double.
+    if (value == std::floor(value) && std::fabs(value) < 1e15) {
+        std::snprintf(buf, sizeof(buf), "%.0f", value);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.17g", value);
+    }
+    out += buf;
+}
+
+void
+Value::dumpTo(std::string &out, int indent, int depth) const
+{
+    const std::string pad(static_cast<std::size_t>(indent)
+                              * (static_cast<std::size_t>(depth) + 1),
+                          ' ');
+    const std::string close_pad(
+        static_cast<std::size_t>(indent)
+            * static_cast<std::size_t>(depth),
+        ' ');
+    const char *newline = indent > 0 ? "\n" : "";
+
+    switch (kind_) {
+      case Kind::Null:
+        out += "null";
+        break;
+      case Kind::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Kind::Number:
+        dumpNumber(out, number_);
+        break;
+      case Kind::String:
+        out += '"';
+        out += escape(string_);
+        out += '"';
+        break;
+      case Kind::Array:
+      case Kind::Object: {
+        const bool is_object = kind_ == Kind::Object;
+        out += is_object ? '{' : '[';
+        bool first = true;
+        for (const auto &child : children_) {
+            if (!first)
+                out += ',';
+            first = false;
+            out += newline;
+            out += indent > 0 ? pad : "";
+            if (is_object) {
+                out += '"';
+                out += escape(child.first);
+                out += indent > 0 ? "\": " : "\":";
+            }
+            child.second.dumpTo(out, indent, depth + 1);
+        }
+        if (!children_.empty()) {
+            out += newline;
+            out += indent > 0 ? close_pad : "";
+        }
+        out += is_object ? '}' : ']';
+        break;
+      }
+    }
+}
+
+std::string
+Value::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+bool
+writeFile(const std::string &path, const Value &value)
+{
+    std::FILE *file = std::fopen(path.c_str(), "w");
+    if (!file)
+        return false;
+    std::string text = value.dump();
+    text += '\n';
+    bool ok = std::fwrite(text.data(), 1, text.size(), file)
+              == text.size();
+    ok = std::fclose(file) == 0 && ok;
+    return ok;
+}
+
+} // namespace mixtlb::json

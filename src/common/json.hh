@@ -1,0 +1,92 @@
+/**
+ * @file
+ * A minimal JSON document builder (no third-party dependencies) for
+ * the benches' machine-readable result files. Supports exactly what
+ * result emission needs: objects (insertion-ordered), arrays, strings,
+ * numbers, booleans, and null, serialised with proper escaping so any
+ * standard parser can ingest the output.
+ */
+
+#ifndef MIXTLB_COMMON_JSON_HH
+#define MIXTLB_COMMON_JSON_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mixtlb::json
+{
+
+class Value
+{
+  public:
+    /** Default-constructed values serialise as null. */
+    Value() : kind_(Kind::Null) {}
+    Value(bool value) : kind_(Kind::Bool), bool_(value) {}
+    Value(double value) : kind_(Kind::Number), number_(value) {}
+    Value(std::int64_t value)
+        : kind_(Kind::Number), number_(static_cast<double>(value)) {}
+    Value(std::uint64_t value)
+        : kind_(Kind::Number), number_(static_cast<double>(value)) {}
+    Value(int value) : Value(static_cast<std::int64_t>(value)) {}
+    Value(unsigned value) : Value(static_cast<std::uint64_t>(value)) {}
+    Value(const char *value) : kind_(Kind::String), string_(value) {}
+    Value(std::string value)
+        : kind_(Kind::String), string_(std::move(value)) {}
+
+    static Value object();
+    static Value array();
+
+    bool isObject() const { return kind_ == Kind::Object; }
+    bool isArray() const { return kind_ == Kind::Array; }
+
+    /**
+     * Member access on an object, creating the member (as null) when
+     * absent. The value must be an object (or null, which promotes).
+     */
+    Value &operator[](const std::string &key);
+
+    /** Append to an array (the value must be an array, or null). */
+    Value &push(Value element);
+
+    std::size_t size() const { return children_.size(); }
+
+    /**
+     * Serialise. @p indent > 0 pretty-prints with that many spaces per
+     * level; 0 emits the compact single-line form.
+     */
+    std::string dump(int indent = 2) const;
+
+    /** RFC 8259 string escaping (quotes not included). */
+    static std::string escape(const std::string &raw);
+
+  private:
+    enum class Kind : std::uint8_t
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind_;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    /** Array elements (empty key) or object members, insertion order. */
+    std::vector<std::pair<std::string, Value>> children_;
+
+    void dumpTo(std::string &out, int indent, int depth) const;
+    static void dumpNumber(std::string &out, double value);
+};
+
+/** Serialise @p value to @p path. @return false on I/O failure. */
+bool writeFile(const std::string &path, const Value &value);
+
+} // namespace mixtlb::json
+
+#endif // MIXTLB_COMMON_JSON_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * A fixed-size worker pool for running independent simulation points
+ * concurrently (the sweep runner's engine). Tasks are plain
+ * `std::function<void()>`; completion is observed with wait(). The
+ * pool makes no fairness or ordering promises — callers that need
+ * deterministic output must key results by task index, never by
+ * completion order.
+ */
+
+#ifndef MIXTLB_COMMON_THREAD_POOL_HH
+#define MIXTLB_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mixtlb
+{
+
+class ThreadPool
+{
+  public:
+    /** @param threads worker count; 0 = hardware_concurrency. */
+    explicit ThreadPool(unsigned threads = 0);
+
+    /** Drains outstanding work, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue @p task; it may start on another thread immediately. */
+    void submit(std::function<void()> task);
+
+    /**
+     * Block until every submitted task has finished. If any task threw,
+     * the first exception (in completion order) is rethrown here.
+     */
+    void wait();
+
+    unsigned threadCount() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /** hardware_concurrency with a floor of 1 (it may report 0). */
+    static unsigned defaultThreads();
+
+  private:
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    mutable std::mutex mutex_;
+    std::condition_variable workReady_;
+    std::condition_variable allDone_;
+    std::size_t unfinished_ = 0; ///< queued + currently running
+    std::exception_ptr firstError_;
+    bool stopping_ = false;
+
+    void workerLoop();
+};
+
+} // namespace mixtlb
+
+#endif // MIXTLB_COMMON_THREAD_POOL_HH

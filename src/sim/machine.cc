@@ -1,5 +1,7 @@
 #include "machine.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace mixtlb::sim
@@ -354,6 +356,12 @@ VirtMachine::energyInputs() const
         total.invalidations += inputs.invalidations;
         total.predictorLookups += inputs.predictorLookups;
         total.skewTimestamps = inputs.skewTimestamps;
+        // The mirror fill-burst discount is a property of the design,
+        // not an additive count; take the min so the MIX discount
+        // survives aggregation (dropping it charged virtualized MIX
+        // runs full fill energy, 1.0 instead of 0.25).
+        total.fillBurstFactor = std::min(total.fillBurstFactor,
+                                         inputs.fillBurstFactor);
     }
     total.totalCycles = metrics_now.totalCycles;
     return total;

@@ -1,0 +1,26 @@
+#include "sweep.hh"
+
+#include <algorithm>
+
+namespace mixtlb::sim
+{
+
+std::uint64_t
+sweepPointSeed(std::uint64_t base_seed, std::uint64_t index)
+{
+    // splitmix64 over (base, index): the statistically robust way to
+    // spawn decorrelated substreams from one user-facing seed.
+    std::uint64_t z = base_seed + 0x9e3779b97f4a7c15ULL * (index + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    // Seed 0 would degenerate some consumers; remap it.
+    return z ? z : 0x9e3779b97f4a7c15ULL;
+}
+
+SweepRunner::SweepRunner(SweepParams params)
+    : jobs_(params.jobs ? params.jobs : ThreadPool::defaultThreads())
+{
+}
+
+} // namespace mixtlb::sim

@@ -24,6 +24,12 @@ MixTlb::MixTlb(const std::string &name, stats::StatGroup *parent,
              "MIX TLB geometry does not divide evenly");
     fatal_if(params.colt4k == 0 || !isPowerOf2(params.colt4k),
              "colt4k must be a nonzero power of two");
+    // Small-page entries always track membership with the 64-bit
+    // bitmap; a wider window would shift past it (undefined behaviour
+    // in buildEntry/invalidate).
+    fatal_if(params.colt4k > 64,
+             "colt4k exceeds the 64-slot bitmap (got %u)",
+             params.colt4k);
     numSets_ = static_cast<unsigned>(params.entries / params.assoc);
     maxCoalesce_ = params.maxCoalesce ? params.maxCoalesce : numSets_;
     if (params.mode == CoalesceMode::Bitmap && maxCoalesce_ > 64)
@@ -437,14 +443,34 @@ MixTlb::invalidateAll()
 void
 MixTlb::markDirty(VAddr vaddr)
 {
-    auto &set = sets_[indexOf(vaddr)];
-    for (auto &entry : set) {
-        if (!entryCovers(entry, vaddr))
-            continue;
-        // Sec. 4.4: the bundle dirty bit may only be set when every
-        // member is dirty; hardware only knows that for singletons.
-        if (population(entry) == 1)
-            entry.dirty = true;
+    // Sec. 4.4: the bundle dirty bit may only be set when every
+    // member is dirty; hardware only knows that for singletons.
+    bool superpage_covered = false;
+    bool small_covered = false;
+    auto mark = [&](std::list<Entry> &set) {
+        for (auto &entry : set) {
+            if (!entryCovers(entry, vaddr))
+                continue;
+            (entry.size == PageSize::Size4K ? small_covered
+                                            : superpage_covered) = true;
+            if (population(entry) == 1)
+                entry.dirty = true;
+        }
+    };
+    const unsigned probed = indexOf(vaddr);
+    mark(sets_[probed]);
+
+    // Superpage entries are mirrored into every set; the dirty update
+    // rides the same burst-write path as the fill, so stale mirrors in
+    // non-probed sets are updated too. Otherwise a later probe of the
+    // same superpage through another set hits a clean mirror and
+    // re-issues the dirty micro-op. Small pages live in exactly one
+    // set, so a pure small-page cover stops at the probed set.
+    if (small_covered && !superpage_covered)
+        return;
+    for (unsigned s = 0; s < numSets_; s++) {
+        if (s != probed)
+            mark(sets_[s]);
     }
 }
 

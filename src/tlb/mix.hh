@@ -19,7 +19,10 @@
  *  - Mirrors evolve independently under per-set LRU; duplicate copies
  *    that arise are detected and collapsed on probe (Sec. 4.3).
  *  - Bundle permission/dirty protocol follows Sec. 4.4: equal
- *    permissions required; bundle dirty bit = AND of members.
+ *    permissions required; bundle dirty bit = AND of members. Dirty
+ *    micro-ops update singleton superpage entries in *every* set (the
+ *    update rides the fill path's burst write), so stale mirrors do
+ *    not trigger repeat micro-ops when probed through another set.
  *
  * The class also implements two evaluated variants:
  *  - colt4k > 1 adds COLT-style coalescing of contiguous small pages
@@ -57,7 +60,10 @@ struct MixTlbParams
      * caps at 64 (a 64-bit map repurposed from spare tag bits).
      */
     unsigned maxCoalesce = 0;
-    /** Contiguous small pages coalescible per entry (1 = off, 4 = COLT). */
+    /**
+     * Contiguous small pages coalescible per entry (1 = off,
+     * 4 = COLT). Capped at 64: membership lives in the 64-bit bitmap.
+     */
     unsigned colt4k = 1;
     /** Ablation: index with 2MB-page bits instead of 4KB bits (Sec. 3). */
     bool superpageIndexBits = false;

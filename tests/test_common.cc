@@ -8,10 +8,14 @@
 #include <cmath>
 #include <map>
 #include <sstream>
+#include <stdexcept>
+#include <vector>
 
 #include "common/intmath.hh"
+#include "common/json.hh"
 #include "common/random.hh"
 #include "common/stats.hh"
+#include "common/thread_pool.hh"
 #include "common/types.hh"
 
 using namespace mixtlb;
@@ -204,4 +208,81 @@ TEST(StatsDeathTest, DuplicateNamePanics)
     stats::StatGroup root("root");
     root.addScalar("x", "");
     EXPECT_DEATH(root.addScalar("x", ""), "duplicate");
+}
+
+TEST(Json, ScalarsAndEscaping)
+{
+    using json::Value;
+    EXPECT_EQ(Value{}.dump(0), "null");
+    EXPECT_EQ(Value{true}.dump(0), "true");
+    EXPECT_EQ(Value{std::uint64_t{42}}.dump(0), "42");
+    EXPECT_EQ(Value{1.5}.dump(0), "1.5");
+    EXPECT_EQ(Value{"plain"}.dump(0), "\"plain\"");
+    EXPECT_EQ(Value{"q\"b\\s\nnl\tt"}.dump(0),
+              "\"q\\\"b\\\\s\\nnl\\tt\"");
+    EXPECT_EQ(Value{std::string(1, '\x01')}.dump(0), "\"\\u0001\"");
+    // Large counters stay integral; non-finite values become null.
+    EXPECT_EQ(Value{1e12}.dump(0), "1000000000000");
+    EXPECT_EQ(Value{std::nan("")}.dump(0), "null");
+}
+
+TEST(Json, ObjectsAndArraysKeepInsertionOrder)
+{
+    auto doc = json::Value::object();
+    doc["benchmark"] = "fig14";
+    doc["jobs"] = 8u;
+    auto &results = doc["results"];
+    auto row = json::Value::object();
+    row["label"] = "mcf/THS/mix";
+    row["improvement"] = 12.25;
+    results.push(std::move(row));
+    results.push(json::Value::object());
+    EXPECT_TRUE(doc.isObject());
+    EXPECT_TRUE(doc["results"].isArray());
+    EXPECT_EQ(doc["results"].size(), 2u);
+    EXPECT_EQ(doc.dump(0),
+              "{\"benchmark\":\"fig14\",\"jobs\":8,\"results\":"
+              "[{\"label\":\"mcf/THS/mix\",\"improvement\":12.25},"
+              "{}]}");
+    // Pretty-printing only changes whitespace.
+    std::string pretty = doc.dump(2);
+    std::string stripped;
+    bool in_string = false;
+    for (std::size_t i = 0; i < pretty.size(); i++) {
+        char c = pretty[i];
+        if (c == '"' && (i == 0 || pretty[i - 1] != '\\'))
+            in_string = !in_string;
+        if (in_string || (c != ' ' && c != '\n'))
+            stripped += c;
+    }
+    EXPECT_EQ(stripped, doc.dump(0));
+}
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce)
+{
+    std::vector<int> counts(257, 0);
+    {
+        ThreadPool pool(8);
+        for (std::size_t i = 0; i < counts.size(); i++)
+            pool.submit([&counts, i] { counts[i]++; });
+        pool.wait();
+        for (int count : counts)
+            EXPECT_EQ(count, 1);
+        // The pool must be reusable after a wait().
+        pool.submit([&counts] { counts[0]++; });
+        pool.wait();
+        EXPECT_EQ(counts[0], 2);
+    }
+}
+
+TEST(ThreadPool, WaitRethrowsTaskException)
+{
+    ThreadPool pool(4);
+    for (int i = 0; i < 16; i++) {
+        pool.submit([i] {
+            if (i == 7)
+                throw std::runtime_error("task 7 failed");
+        });
+    }
+    EXPECT_THROW(pool.wait(), std::runtime_error);
 }

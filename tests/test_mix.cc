@@ -442,3 +442,36 @@ TEST_F(MixFixture, HitsAgreeWithPageTableProperty)
         }
     }
 }
+
+TEST_F(MixFixture, DirtyUpdateReachesMirrorCopies)
+{
+    // B alone: a singleton bundle, mirrored into both sets.
+    table.map(B, 0x00000000, PageSize::Size2M);
+    MixTlb tlb("mix", &root, twoSetParams());
+    auto walk = walkFor(B);
+    tlb.fill(fillFrom(walk));
+    ASSERT_FALSE(tlb.lookup(B, false).entryDirty);
+    ASSERT_FALSE(tlb.lookup(B + PageBytes4K, false).entryDirty);
+
+    // The dirty micro-op probes set 0 (B's even 4KB regions); the
+    // mirror in set 1 must be updated too, or a later probe of B
+    // through an odd 4KB region hits a clean mirror and the hierarchy
+    // re-issues the dirty micro-op for an already-dirty page.
+    tlb.markDirty(B);
+    EXPECT_TRUE(tlb.lookup(B, false).entryDirty);
+    EXPECT_TRUE(tlb.lookup(B + PageBytes4K, false).entryDirty);
+}
+
+TEST(MixParams, RejectsColtWindowBeyondBitmap)
+{
+    // colt4k > 64 would shift the 64-bit membership bitmap by >= 64
+    // (undefined behaviour) in buildEntry/invalidate; the constructor
+    // must reject the configuration outright.
+    stats::StatGroup root("guard");
+    MixTlbParams params;
+    params.entries = 256;
+    params.assoc = 2;
+    params.colt4k = 128;
+    EXPECT_EXIT({ MixTlb tlb("bad", &root, params); },
+                ::testing::ExitedWithCode(1), "colt4k");
+}

@@ -217,3 +217,46 @@ TEST(Machine, EnergyInputsHarvestCorrectly)
     pred_machine.run(*gen2, 1000);
     EXPECT_GT(pred_machine.energyInputs().predictorLookups, 0.0);
 }
+
+TEST(VirtMachine, MixFillBurstDiscountSurvivesAggregation)
+{
+    // Regression: VirtMachine::energyInputs() used to drop
+    // fillBurstFactor when summing per-vCPU inputs, charging
+    // virtualized MIX runs full fill-burst energy (1.0 instead of
+    // 0.25) — exactly the consolidation configurations the paper's
+    // dynamic-energy argument rests on.
+    auto virtInputs = [](TlbDesign design) {
+        VirtMachineParams params;
+        params.name = std::string("v_") + designName(design);
+        params.hostMemBytes = 1 * GiB;
+        params.numVms = 2;
+        params.design = design;
+        params.seed = 11;
+        VirtMachine machine(params);
+        for (unsigned vm = 0; vm < machine.numVms(); vm++) {
+            VAddr base = machine.mapArena(vm, 32 * MiB);
+            machine.warmup(vm, base, 32 * MiB);
+            auto gen = workload::makeGenerator("gups", base, 32 * MiB,
+                                               3 + vm);
+            EXPECT_EQ(machine.run(vm, *gen, 5000), 5000u);
+        }
+        return machine.energyInputs();
+    };
+
+    Machine native(smallMachine(TlbDesign::Mix, os::PagePolicy::Thp));
+    VAddr base = native.mapArena(32 * MiB);
+    native.warmup(base, 32 * MiB);
+    auto gen = workload::makeGenerator("gups", base, 32 * MiB, 3);
+    EXPECT_EQ(native.run(*gen, 5000), 5000u);
+    auto native_inputs = native.energyInputs();
+
+    auto mix_inputs = virtInputs(TlbDesign::Mix);
+    EXPECT_DOUBLE_EQ(native_inputs.fillBurstFactor, 0.25);
+    EXPECT_DOUBLE_EQ(mix_inputs.fillBurstFactor,
+                     native_inputs.fillBurstFactor);
+    EXPECT_GT(mix_inputs.l1Fills, 0.0);
+
+    // Non-mirroring designs keep the conventional full-cost fills.
+    EXPECT_DOUBLE_EQ(virtInputs(TlbDesign::Split).fillBurstFactor,
+                     1.0);
+}
