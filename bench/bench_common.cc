@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/contracts.hh"
 #include "common/logging.hh"
 #include "gpu/gpu_system.hh"
 #include "os/memhog.hh"
@@ -58,6 +59,16 @@ runGpu(const GpuRunConfig &config)
                                                config.seed + core));
     }
     gpu_system.run(gens, config.refs);
+
+    if (contracts::paranoia() >= 1) {
+        contracts::AuditReport report("gpu");
+        mem.audit(report);
+        proc.audit(report);
+        l2->audit(report);
+        for (unsigned core = 0; core < config.cores; core++)
+            gpu_system.core(core).l1().audit(report);
+        contracts::enforce(report);
+    }
 
     RunResult result;
     double translation_cycles = 0, l1_hits = 0, accesses = 0;
@@ -241,8 +252,11 @@ BenchSweep::BenchSweep(const sim::CliArgs &args, std::string benchmark)
       jsonPath_(args.getString("json", "")),
       doc_(json::Value::object())
 {
+    contracts::setParanoia(
+        static_cast<unsigned>(args.getU64("paranoia", 0)));
     doc_["benchmark"] = std::move(benchmark);
     doc_["jobs"] = runner_.jobs();
+    doc_["paranoia"] = contracts::paranoia();
     doc_["results"] = json::Value::array();
 }
 

@@ -270,9 +270,11 @@ RunResult runJob(const SweepJob &job);
 
 /**
  * The per-bench sweep harness: parses `--jobs N` (worker threads,
- * default hardware_concurrency) and `--json <path>` from @p args, runs
- * grids concurrently, and accumulates every result into a
- * machine-readable report written by finish().
+ * default hardware_concurrency), `--json <path>`, and `--paranoia N`
+ * (global invariant-checking level: 1 = audits at phase boundaries,
+ * 2 = + differential translation oracle, 3 = + periodic mid-run
+ * audits) from @p args, runs grids concurrently, and accumulates every
+ * result into a machine-readable report written by finish().
  */
 class BenchSweep
 {

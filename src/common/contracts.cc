@@ -1,0 +1,83 @@
+#include "contracts.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mixtlb::contracts
+{
+
+namespace
+{
+
+/**
+ * Read mostly from sweep worker threads; written once by the driver
+ * before workers start. Atomic so concurrent readers are race-free
+ * under TSan even if a test flips it mid-process.
+ */
+std::atomic<unsigned> g_paranoia{0};
+
+} // anonymous namespace
+
+unsigned
+paranoia()
+{
+    return g_paranoia.load(std::memory_order_relaxed);
+}
+
+void
+setParanoia(unsigned level)
+{
+    g_paranoia.store(level, std::memory_order_relaxed);
+}
+
+void
+violation(const char *file, int line, const char *expr,
+          const std::string &msg)
+{
+    std::fprintf(stderr, "contract violation: %s:%d: (%s)%s%s\n", file,
+                 line, expr, msg.empty() ? "" : ": ",
+                 msg.c_str());
+    std::exit(1);
+}
+
+bool
+AuditReport::mentions(const std::string &needle) const
+{
+    for (const auto &violation : violations_) {
+        if (violation.find(needle) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+std::string
+AuditReport::summary(std::size_t max_shown) const
+{
+    std::string out = logging_detail::vformat(
+        "%s: %zu invariant violation(s)", subject_.c_str(),
+        violations_.size());
+    std::size_t shown = 0;
+    for (const auto &violation : violations_) {
+        if (shown++ >= max_shown) {
+            out += logging_detail::vformat(
+                "\n  ... and %zu more",
+                violations_.size() - max_shown);
+            break;
+        }
+        out += "\n  " + violation;
+    }
+    return out;
+}
+
+void
+enforce(const AuditReport &report)
+{
+    if (report.ok())
+        return;
+    std::fprintf(stderr, "audit failed: %s\n",
+                 report.summary().c_str());
+    std::exit(1);
+}
+
+} // namespace mixtlb::contracts

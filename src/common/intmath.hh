@@ -1,6 +1,16 @@
 /**
  * @file
  * Small integer math helpers used throughout the simulator.
+ *
+ * Every helper states its domain as a MIX_EXPECT contract: passing 0
+ * to floorLog2 (countl_zero(0) == 64 underflows the subtraction), a
+ * non-power-of-two alignment to alignDown/alignUp, or an inverted bit
+ * range to bits()/insertBits() used to silently produce garbage; now
+ * it dies with the offending value. The checks are branch-predictable
+ * compares on cold paths of already-branchy helpers, cheap enough to
+ * keep always-on. A contract reached during constant evaluation is a
+ * compile error, which is exactly what a bad constexpr argument
+ * deserves.
  */
 
 #ifndef MIXTLB_COMMON_INTMATH_HH
@@ -8,6 +18,8 @@
 
 #include <bit>
 #include <cstdint>
+
+#include "common/contracts.hh"
 
 namespace mixtlb
 {
@@ -23,6 +35,7 @@ isPowerOf2(std::uint64_t n)
 constexpr unsigned
 floorLog2(std::uint64_t n)
 {
+    MIX_EXPECT(n != 0, "floorLog2(0) is undefined");
     return 63u - static_cast<unsigned>(std::countl_zero(n));
 }
 
@@ -30,13 +43,15 @@ floorLog2(std::uint64_t n)
 constexpr unsigned
 ceilLog2(std::uint64_t n)
 {
-    return n <= 1 ? 0 : floorLog2(n - 1) + 1;
+    MIX_EXPECT(n != 0, "ceilLog2(0) is undefined");
+    return n == 1 ? 0 : floorLog2(n - 1) + 1;
 }
 
 /** ceil(a / b) for positive integers. */
 constexpr std::uint64_t
 divCeil(std::uint64_t a, std::uint64_t b)
 {
+    MIX_EXPECT(b != 0, "divCeil by zero");
     return (a + b - 1) / b;
 }
 
@@ -44,6 +59,9 @@ divCeil(std::uint64_t a, std::uint64_t b)
 constexpr std::uint64_t
 alignDown(std::uint64_t a, std::uint64_t align)
 {
+    MIX_EXPECT(isPowerOf2(align),
+               "alignDown to non-power-of-two %llu",
+               static_cast<unsigned long long>(align));
     return a & ~(align - 1);
 }
 
@@ -51,21 +69,28 @@ alignDown(std::uint64_t a, std::uint64_t align)
 constexpr std::uint64_t
 alignUp(std::uint64_t a, std::uint64_t align)
 {
+    MIX_EXPECT(isPowerOf2(align),
+               "alignUp to non-power-of-two %llu",
+               static_cast<unsigned long long>(align));
     return (a + align - 1) & ~(align - 1);
 }
 
-/** Extract bits [hi:lo] (inclusive) of @p val. */
+/** Extract bits [hi:lo] (inclusive) of @p val; needs 63 >= hi >= lo. */
 constexpr std::uint64_t
 bits(std::uint64_t val, unsigned hi, unsigned lo)
 {
+    MIX_EXPECT(hi >= lo && hi <= 63, "bits[%u:%u] is not a bit range",
+               hi, lo);
     return (val >> lo) & ((hi - lo >= 63) ? ~0ULL
                                           : ((1ULL << (hi - lo + 1)) - 1));
 }
 
-/** Insert @p src into bits [hi:lo] of @p dst. */
+/** Insert @p src into bits [hi:lo] of @p dst; needs 63 >= hi >= lo. */
 constexpr std::uint64_t
 insertBits(std::uint64_t dst, unsigned hi, unsigned lo, std::uint64_t src)
 {
+    MIX_EXPECT(hi >= lo && hi <= 63,
+               "insertBits[%u:%u] is not a bit range", hi, lo);
     std::uint64_t mask = ((hi - lo >= 63) ? ~0ULL
                                           : ((1ULL << (hi - lo + 1)) - 1))
                          << lo;

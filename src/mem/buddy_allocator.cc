@@ -1,5 +1,9 @@
 #include "buddy_allocator.hh"
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "common/intmath.hh"
 #include "common/logging.hh"
 
@@ -185,6 +189,72 @@ BuddyAllocator::freeBlocksAt(unsigned order) const
 {
     panic_if(order > MaxOrder, "order %u too large", order);
     return freeLists_[order].size();
+}
+
+void
+BuddyAllocator::forEachFreeBlock(
+    const std::function<void(Pfn, unsigned)> &fn) const
+{
+    for (unsigned o = 0; o <= MaxOrder; o++) {
+        for (Pfn pfn : freeLists_[o])
+            fn(pfn, o);
+    }
+}
+
+void
+BuddyAllocator::audit(contracts::AuditReport &report) const
+{
+    // Flatten the per-order lists into [lo, hi) frame intervals.
+    std::vector<std::pair<Pfn, std::uint64_t>> blocks; // (pfn, frames)
+    std::uint64_t free_sum = 0;
+    for (unsigned o = 0; o <= MaxOrder; o++) {
+        const std::uint64_t frames = 1ULL << o;
+        for (Pfn pfn : freeLists_[o]) {
+            MIX_AUDIT_CHECK(report, (pfn & (frames - 1)) == 0,
+                            "order-%u free block at pfn 0x%llx is not "
+                            "naturally aligned",
+                            o, (unsigned long long)pfn);
+            MIX_AUDIT_CHECK(report, pfn + frames <= totalFrames_,
+                            "order-%u free block at pfn 0x%llx runs "
+                            "past the %llu managed frames",
+                            o, (unsigned long long)pfn,
+                            (unsigned long long)totalFrames_);
+            if (o < MaxOrder &&
+                freeLists_[o].count(pfn ^ frames) > 0) {
+                // Report each unmerged pair once (from its low half).
+                MIX_AUDIT_CHECK(report, (pfn & frames) != 0,
+                                "order-%u buddies 0x%llx/0x%llx both "
+                                "free but unmerged",
+                                o, (unsigned long long)pfn,
+                                (unsigned long long)(pfn ^ frames));
+            }
+            blocks.emplace_back(pfn, frames);
+            free_sum += frames;
+        }
+    }
+
+    MIX_AUDIT_CHECK(report, free_sum == freeFrames_,
+                    "free lists hold %llu frames but freeFrames() "
+                    "says %llu (split/merge leaked or minted frames)",
+                    (unsigned long long)free_sum,
+                    (unsigned long long)freeFrames_);
+    MIX_AUDIT_CHECK(report, freeFrames_ <= totalFrames_,
+                    "freeFrames %llu exceeds totalFrames %llu",
+                    (unsigned long long)freeFrames_,
+                    (unsigned long long)totalFrames_);
+
+    std::sort(blocks.begin(), blocks.end());
+    for (std::size_t i = 1; i < blocks.size(); i++) {
+        const auto &[prev, prev_frames] = blocks[i - 1];
+        const auto &[cur, cur_frames] = blocks[i];
+        (void)cur_frames;
+        MIX_AUDIT_CHECK(report, prev + prev_frames <= cur,
+                        "free blocks overlap: [0x%llx, 0x%llx) and "
+                        "0x%llx",
+                        (unsigned long long)prev,
+                        (unsigned long long)(prev + prev_frames),
+                        (unsigned long long)cur);
+    }
 }
 
 double

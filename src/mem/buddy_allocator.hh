@@ -14,10 +14,12 @@
 #define MIXTLB_MEM_BUDDY_ALLOCATOR_HH
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <set>
 #include <vector>
 
+#include "common/contracts.hh"
 #include "common/types.hh"
 
 namespace mixtlb::mem
@@ -74,13 +76,28 @@ class BuddyAllocator
     /** Number of free blocks at exactly @p order. */
     std::uint64_t freeBlocksAt(unsigned order) const;
 
+    /** Visit every free block as (base pfn, order). */
+    void forEachFreeBlock(
+        const std::function<void(Pfn, unsigned)> &fn) const;
+
     /**
      * Fraction of free memory unusable for blocks of @p order, i.e. the
      * standard external-fragmentation index for that order.
      */
     double fragmentationIndex(unsigned order) const;
 
+    /**
+     * Structural audit: every free block naturally aligned and inside
+     * the managed range, free blocks pairwise disjoint, no two buddies
+     * left unmerged at the same order, and the free lists conserving
+     * freeFrames() exactly (split/merge must neither leak nor mint
+     * frames).
+     */
+    void audit(contracts::AuditReport &report) const;
+
   private:
+    /** Test-only backdoor for the corruption-injection audit tests. */
+    friend struct BuddyTestAccess;
     std::uint64_t totalFrames_;
     std::uint64_t freeFrames_;
     /** Per-order ordered free lists (lowest address first). */

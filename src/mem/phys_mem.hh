@@ -76,6 +76,14 @@ class PhysMem
     /** Write a 64-bit word at physical address @p paddr (8-aligned). */
     void write64(PAddr paddr, std::uint64_t value);
 
+    /**
+     * Structural audit: the buddy allocator's own invariants, plus the
+     * cross-check that frame-usage tags and the free lists agree (a
+     * frame on a free list must be tagged Free, and the Free tag count
+     * must equal freeFrames()).
+     */
+    void audit(contracts::AuditReport &report) const;
+
   private:
     static constexpr unsigned WordsPerFrame = PageBytes4K / 8;
     using FrameData = std::array<std::uint64_t, WordsPerFrame>;

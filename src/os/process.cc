@@ -1,5 +1,9 @@
 #include "process.hh"
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "common/intmath.hh"
 #include "common/logging.hh"
 
@@ -112,12 +116,11 @@ Process::residentBytes(PageSize size) const
 {
     switch (size) {
       case PageSize::Size4K:
-        return static_cast<std::uint64_t>(faults4k_.value())
-               * PageBytes4K;
+        return resident4k_ * PageBytes4K;
       case PageSize::Size2M:
-        return static_cast<std::uint64_t>(faults2m_.value()) * PageBytes2M;
+        return resident2m_ * PageBytes2M;
       case PageSize::Size1G:
-        return static_cast<std::uint64_t>(faults1g_.value()) * PageBytes1G;
+        return resident1g_ * PageBytes1G;
     }
     return 0;
 }
@@ -169,6 +172,7 @@ Process::faultSmall(VAddr vaddr)
     ownedFrames_.emplace(*pfn, 0);
     pageTable_.map(vbase, *pfn << PageShift4K, PageSize::Size4K);
     ++faults4k_;
+    ++resident4k_;
     return TouchResult::Faulted;
 }
 
@@ -188,6 +192,7 @@ Process::faultThp(VAddr vaddr)
             ownedFrames_.emplace(*pfn, mem::Order2M);
             pageTable_.map(region, *pfn << PageShift4K, PageSize::Size2M);
             ++faults2m_;
+            ++resident2m_;
             return TouchResult::Faulted;
         }
         ++thpFallbacks_;
@@ -210,6 +215,7 @@ Process::faultPool2m(VAddr vaddr)
         ownedFrames_.emplace(pfn, mem::Order2M);
         pageTable_.map(region, pfn << PageShift4K, PageSize::Size2M);
         ++faults2m_;
+        ++resident2m_;
         return TouchResult::Faulted;
     }
     auto result = faultSmall(vaddr);
@@ -230,6 +236,7 @@ Process::faultPool1g(VAddr vaddr)
         ownedFrames_.emplace(pfn, mem::Order1G);
         pageTable_.map(region, pfn << PageShift4K, PageSize::Size1G);
         ++faults1g_;
+        ++resident1g_;
         return TouchResult::Faulted;
     }
     auto result = faultSmall(vaddr);
@@ -276,6 +283,7 @@ Process::faultReservation(VAddr vaddr)
                    (it->second.block + slot) << PageShift4K,
                    PageSize::Size4K);
     ++faults4k_;
+    ++resident4k_;
     it->second.touched++;
     if (it->second.touched == Frames2M) {
         promoteReservation(region, it->second);
@@ -300,6 +308,134 @@ Process::promoteReservation(VAddr region, const Reservation &res)
     pageTable_.map(region, res.block << PageShift4K, PageSize::Size2M);
     faults4k_ += -static_cast<double>(Frames2M);
     ++faults2m_;
+    resident4k_ -= Frames2M;
+    ++resident2m_;
+}
+
+void
+Process::audit(contracts::AuditReport &report) const
+{
+    pageTable_.audit(report);
+
+    // One leaf walk accumulates everything the fault counters and the
+    // THS/reservation side tables claim about the mapped state.
+    std::uint64_t bytes4k = 0;
+    std::uint64_t bytes2m = 0;
+    std::uint64_t bytes1g = 0;
+    std::unordered_map<VAddr, std::uint32_t> small_in_2m;
+    std::unordered_map<VAddr, std::uint32_t> sub_in_1g;
+
+    std::vector<std::pair<Pfn, std::uint64_t>> owned; // [base, end)
+    owned.reserve(ownedFrames_.size());
+    for (auto [pfn, order] : ownedFrames_)
+        owned.emplace_back(pfn, pfn + (1ULL << order));
+    std::sort(owned.begin(), owned.end());
+
+    std::uint64_t stray_leaves = 0;
+    pageTable_.forEachLeaf([&](const pt::Translation &xlate) {
+        const std::uint64_t bytes = pageBytes(xlate.size);
+        switch (xlate.size) {
+          case PageSize::Size4K:
+            bytes4k += bytes;
+            small_in_2m[pageBase(xlate.vbase, PageSize::Size2M)]++;
+            break;
+          case PageSize::Size2M: bytes2m += bytes; break;
+          case PageSize::Size1G: bytes1g += bytes; break;
+        }
+        if (xlate.size != PageSize::Size1G)
+            sub_in_1g[pageBase(xlate.vbase, PageSize::Size1G)]++;
+
+        const bool in_vma = inVma(xlate.vbase)
+                            && inVma(xlate.vbase + bytes - 1);
+        const Pfn first = xlate.pbase >> PageShift4K;
+        const std::uint64_t frames = bytes >> PageShift4K;
+        auto it = std::upper_bound(
+            owned.begin(), owned.end(), first,
+            [](Pfn v, const auto &iv) { return v < iv.first; });
+        const bool backed = it != owned.begin()
+                            && ((--it, first >= it->first
+                                        && first + frames <= it->second));
+        if ((!in_vma || !backed) && stray_leaves++ < 8) {
+            MIX_AUDIT_CHECK(report, false,
+                            "%s leaf at 0x%llx -> 0x%llx is %s%s%s",
+                            pageSizeName(xlate.size),
+                            (unsigned long long)xlate.vbase,
+                            (unsigned long long)xlate.pbase,
+                            in_vma ? "" : "outside every VMA",
+                            !in_vma && !backed ? " and " : "",
+                            backed ? ""
+                                   : "backed by frames this process "
+                                     "does not own");
+        }
+    });
+    MIX_AUDIT_CHECK(report, stray_leaves <= 8,
+                    "%llu further stray leaves",
+                    (unsigned long long)(stray_leaves - 8));
+
+    MIX_AUDIT_CHECK(report, bytes4k == residentBytes(PageSize::Size4K),
+                    "tree holds %llu 4KB-mapped bytes but the "
+                    "residency counters say %llu",
+                    (unsigned long long)bytes4k,
+                    (unsigned long long)residentBytes(PageSize::Size4K));
+    MIX_AUDIT_CHECK(report, bytes2m == residentBytes(PageSize::Size2M),
+                    "tree holds %llu 2MB-mapped bytes but the "
+                    "residency counters say %llu",
+                    (unsigned long long)bytes2m,
+                    (unsigned long long)residentBytes(PageSize::Size2M));
+    MIX_AUDIT_CHECK(report, bytes1g == residentBytes(PageSize::Size1G),
+                    "tree holds %llu 1GB-mapped bytes but the "
+                    "residency counters say %llu",
+                    (unsigned long long)bytes1g,
+                    (unsigned long long)residentBytes(PageSize::Size1G));
+
+    // A smallIn2m_ entry blocks superpage use for its region, and its
+    // count is exactly the fallback 4KB pages mapped there (never the
+    // reservation-backed ones, which keep their own counter).
+    for (auto [region, count] : smallIn2m_) {
+        auto found = small_in_2m.find(region);
+        const std::uint32_t actual =
+            found == small_in_2m.end() ? 0 : found->second;
+        MIX_AUDIT_CHECK(report, actual == count,
+                        "2MB region 0x%llx claims %u fallback 4KB "
+                        "pages but the tree holds %u",
+                        (unsigned long long)region, count, actual);
+        MIX_AUDIT_CHECK(report,
+                        reservations_.find(region)
+                            == reservations_.end(),
+                        "2MB region 0x%llx has both fallback 4KB "
+                        "pages and an active reservation",
+                        (unsigned long long)region);
+    }
+    for (auto [region, count] : subIn1g_) {
+        auto found = sub_in_1g.find(region);
+        const std::uint32_t actual =
+            found == sub_in_1g.end() ? 0 : found->second;
+        MIX_AUDIT_CHECK(report, actual == count,
+                        "1GB region 0x%llx claims %u sub-1GB pages "
+                        "but the tree holds %u",
+                        (unsigned long long)region, count, actual);
+    }
+    for (const auto &[region, res] : reservations_) {
+        MIX_AUDIT_CHECK(report, res.touched < Frames2M,
+                        "reservation at 0x%llx is fully built (%u "
+                        "slots) but was never promoted",
+                        (unsigned long long)region, res.touched);
+        auto found = small_in_2m.find(region);
+        const std::uint32_t actual =
+            found == small_in_2m.end() ? 0 : found->second;
+        MIX_AUDIT_CHECK(report, actual == res.touched,
+                        "reservation at 0x%llx touched %u slots but "
+                        "the tree holds %u 4KB pages there",
+                        (unsigned long long)region, res.touched,
+                        actual);
+        auto own = ownedFrames_.find(res.block);
+        MIX_AUDIT_CHECK(report,
+                        own != ownedFrames_.end()
+                            && own->second == mem::Order2M,
+                        "reserved block 0x%llx is not owned as an "
+                        "order-%u allocation",
+                        (unsigned long long)res.block, mem::Order2M);
+    }
 }
 
 void

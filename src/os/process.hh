@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/contracts.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "os/memory_manager.hh"
@@ -101,6 +102,15 @@ class Process : public MovableOwner
 
     stats::StatGroup &statGroup() { return stats_; }
 
+    /**
+     * Structural audit of the VM state: the page table's own radix
+     * invariants, every leaf inside a VMA and backed by frames this
+     * process owns, the per-size resident-byte counters matching a
+     * fresh leaf walk, and the THS/reservation side tables (smallIn2m_,
+     * subIn1g_, reservations_) agreeing with what is actually mapped.
+     */
+    void audit(contracts::AuditReport &report) const;
+
   private:
     struct Vma
     {
@@ -136,6 +146,17 @@ class Process : public MovableOwner
     std::unordered_map<VAddr, Reservation> reservations_;
 
     std::vector<std::function<void(VAddr, PageSize)>> invalidateListeners_;
+
+    /**
+     * Resident page counts per size. Deliberately plain integers, not
+     * stats: startMeasurement() resets the fault counters to scope
+     * them to the measured window, but residency is a property of the
+     * address space and must survive the reset (the structural audit
+     * cross-checks it against the page-table tree).
+     */
+    std::uint64_t resident4k_ = 0;
+    std::uint64_t resident2m_ = 0;
+    std::uint64_t resident1g_ = 0;
 
     stats::StatGroup stats_;
     stats::Scalar &faults4k_;

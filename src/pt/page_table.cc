@@ -125,7 +125,23 @@ PageTable::clearLevelEntry(VAddr vaddr, unsigned level)
     auto pte_addr = walkToLevel(vaddr, level, false, &found_level);
     panic_if(!pte_addr || found_level != level,
              "clearLevelEntry: no entry at level %u", level);
+    std::uint64_t raw = mem_.read64(*pte_addr);
+    if (pte::present(raw) && !pte::pageSizeBit(raw) && level > 0)
+        retireSubtree(pte::frame(raw), level - 1);
     mem_.write64(*pte_addr, 0);
+}
+
+void
+PageTable::retireSubtree(PAddr table, unsigned level)
+{
+    retiredFrames_.insert(table >> PageShift4K);
+    if (level == 0)
+        return;
+    for (unsigned idx = 0; idx < 512; idx++) {
+        std::uint64_t raw = mem_.read64(entryAddr(table, idx));
+        if (pte::present(raw) && !pte::pageSizeBit(raw))
+            retireSubtree(pte::frame(raw), level - 1);
+    }
 }
 
 std::optional<Translation>
@@ -213,6 +229,91 @@ PageTable::forEachLeafRec(
         } else {
             forEachLeafRec(pte::frame(raw), level - 1, entry_vbase, fn);
         }
+    }
+}
+
+void
+PageTable::auditTable(PAddr table, unsigned level,
+                      std::unordered_set<Pfn> &reachable,
+                      std::uint64_t &leaves,
+                      contracts::AuditReport &report) const
+{
+    const Pfn pfn = table >> PageShift4K;
+    if (!reachable.insert(pfn).second) {
+        MIX_AUDIT_CHECK(report, false,
+                        "table frame 0x%llx reachable twice from the "
+                        "root (aliased subtree)",
+                        (unsigned long long)pfn);
+        return; // don't recurse into the alias and double-count leaves
+    }
+    MIX_AUDIT_CHECK(report,
+                    mem_.frameUse(pfn) == mem::FrameUse::PageTable,
+                    "reachable table frame 0x%llx is not tagged "
+                    "PageTable",
+                    (unsigned long long)pfn);
+
+    for (unsigned idx = 0; idx < 512; idx++) {
+        std::uint64_t raw = mem_.read64(entryAddr(table, idx));
+        if (!pte::present(raw))
+            continue;
+        if (level == 0 || pte::pageSizeBit(raw)) {
+            MIX_AUDIT_CHECK(report, level <= 2,
+                            "superpage leaf at radix level %u", level);
+            const PageSize size = level == 2 ? PageSize::Size1G
+                                  : level == 1 ? PageSize::Size2M
+                                               : PageSize::Size4K;
+            MIX_AUDIT_CHECK(report,
+                            (pte::frame(raw) & (pageBytes(size) - 1))
+                                == 0,
+                            "leaf PTE points at 0x%llx, misaligned "
+                            "for a %s page",
+                            (unsigned long long)pte::frame(raw),
+                            pageSizeName(size));
+            leaves++;
+        } else {
+            auditTable(pte::frame(raw), level - 1, reachable, leaves,
+                       report);
+        }
+    }
+}
+
+void
+PageTable::audit(contracts::AuditReport &report) const
+{
+    std::unordered_set<Pfn> reachable;
+    std::uint64_t leaves = 0;
+    auditTable(root_, NumLevels - 1, reachable, leaves, report);
+
+    MIX_AUDIT_CHECK(report, leaves == numMappings_,
+                    "tree holds %llu leaf PTEs but numMappings() "
+                    "says %llu",
+                    (unsigned long long)leaves,
+                    (unsigned long long)numMappings_);
+
+    // Every frame we ever allocated must be reachable from the root or
+    // on the retired list (orphaned by a superpage promotion), and
+    // nothing reachable may be a frame we never allocated.
+    std::unordered_set<Pfn> owned(tableFrames_.begin(),
+                                  tableFrames_.end());
+    std::uint64_t orphans = 0;
+    for (Pfn pfn : tableFrames_) {
+        if (reachable.count(pfn) > 0 || retiredFrames_.count(pfn) > 0)
+            continue;
+        if (orphans++ < 8) {
+            MIX_AUDIT_CHECK(report, false,
+                            "allocated table frame 0x%llx is neither "
+                            "reachable from the root nor retired",
+                            (unsigned long long)pfn);
+        }
+    }
+    MIX_AUDIT_CHECK(report, orphans <= 8,
+                    "%llu further orphaned table frames",
+                    (unsigned long long)(orphans - 8));
+    for (Pfn pfn : reachable) {
+        MIX_AUDIT_CHECK(report, owned.count(pfn) > 0,
+                        "reachable table frame 0x%llx was never "
+                        "allocated by this page table",
+                        (unsigned long long)pfn);
     }
 }
 

@@ -15,8 +15,10 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <unordered_set>
 #include <vector>
 
+#include "common/contracts.hh"
 #include "common/types.hh"
 #include "mem/phys_mem.hh"
 #include "pt/pte.hh"
@@ -118,10 +120,22 @@ class PageTable
     void forEachLeaf(const std::function<void(const Translation &)> &fn)
         const;
 
+    /**
+     * Structural audit of the radix tree: every table frame reachable
+     * from the root was allocated by this table and is tagged
+     * FrameUse::PageTable, no frame appears twice (no aliased
+     * subtrees), every allocated frame is either reachable or was
+     * legally retired by clearLevelEntry, leaf PTEs are aligned to
+     * their page size, and the leaf count matches numMappings().
+     */
+    void audit(contracts::AuditReport &report) const;
+
   private:
     mem::PhysMem &mem_;
     PAddr root_;
     std::vector<Pfn> tableFrames_; ///< every frame we allocated
+    /** Frames orphaned by clearLevelEntry (superpage promotion). */
+    std::unordered_set<Pfn> retiredFrames_;
     std::uint64_t numMappings_ = 0;
 
     /** Allocate one zeroed page-table frame. */
@@ -143,6 +157,14 @@ class PageTable
     void forEachLeafRec(PAddr table, unsigned level, VAddr vbase,
                         const std::function<void(const Translation &)> &fn)
         const;
+
+    /** Record every table frame under @p table as legally orphaned. */
+    void retireSubtree(PAddr table, unsigned level);
+
+    void auditTable(PAddr table, unsigned level,
+                    std::unordered_set<Pfn> &reachable,
+                    std::uint64_t &leaves,
+                    contracts::AuditReport &report) const;
 };
 
 } // namespace mixtlb::pt

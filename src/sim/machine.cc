@@ -7,6 +7,9 @@
 namespace mixtlb::sim
 {
 
+/** Mid-run audit cadence at paranoia >= 3 (must be a power of two). */
+constexpr std::uint64_t AuditPeriod = 1ULL << 16;
+
 Machine::Machine(const MachineParams &params)
     : params_(params), root_(params.name), mem_(params.memBytes),
       mm_(mem_, &root_,
@@ -67,8 +70,14 @@ Machine::run(workload::TraceGenerator &gen, std::uint64_t refs)
             dataCycles_ += static_cast<double>(caches_.access(
                 result.paddr, ref.type == AccessType::Write));
         }
+        if (contracts::paranoia() >= 3 &&
+            (done & (AuditPeriod - 1)) == AuditPeriod - 1) {
+            auditAll();
+        }
     }
     refs_ += done;
+    if (contracts::paranoia() >= 1)
+        auditAll();
     return done;
 }
 
@@ -90,6 +99,19 @@ Machine::warmup(VAddr base, std::uint64_t bytes, std::uint64_t step)
         if (!result.ok)
             fatal("warmup ran out of memory");
     }
+    if (contracts::paranoia() >= 1)
+        auditAll();
+}
+
+void
+Machine::auditAll() const
+{
+    contracts::AuditReport report(params_.name);
+    mem_.audit(report);
+    proc_->audit(report); // covers the page table's radix invariants
+    hier_->l1().audit(report);
+    hier_->l2().audit(report);
+    contracts::enforce(report);
 }
 
 void
@@ -247,8 +269,14 @@ VirtMachine::run(unsigned vm, workload::TraceGenerator &gen,
             dataCycles_ += static_cast<double>(caches_.access(
                 result.paddr, ref.type == AccessType::Write));
         }
+        if (contracts::paranoia() >= 3 &&
+            (done & (AuditPeriod - 1)) == AuditPeriod - 1) {
+            auditAll();
+        }
     }
     refs_ += done;
+    if (contracts::paranoia() >= 1)
+        auditAll();
     return done;
 }
 
@@ -261,6 +289,24 @@ VirtMachine::warmup(unsigned vm, VAddr base, std::uint64_t bytes)
         if (!result.ok)
             fatal("vm warmup ran out of memory");
     }
+    if (contracts::paranoia() >= 1)
+        auditAll();
+}
+
+void
+VirtMachine::auditAll() const
+{
+    contracts::AuditReport report(params_.name);
+    hostMem_.audit(report);
+    for (const auto &vm : vms_)
+        vm->audit(report);
+    for (const auto &proc : guestProcs_)
+        proc->audit(report);
+    for (const auto &hier : hiers_) {
+        hier->l1().audit(report);
+        hier->l2().audit(report);
+    }
+    contracts::enforce(report);
 }
 
 void

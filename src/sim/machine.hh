@@ -82,6 +82,14 @@ class Machine
     /** Zero all statistics; metrics cover only what follows. */
     void startMeasurement();
 
+    /**
+     * Run every structural auditor (physical memory, OS process, page
+     * table, both TLB levels) and exit fatally on any violation. Runs
+     * automatically at phase boundaries when paranoia >= 1 and
+     * periodically mid-run at paranoia >= 3.
+     */
+    void auditAll() const;
+
     perf::RunMetrics metrics(const perf::PerfParams &params = {}) const;
     perf::EnergyInputs energyInputs() const;
 
@@ -145,6 +153,9 @@ class VirtMachine
 
     /** Zero all statistics; metrics cover only what follows. */
     void startMeasurement();
+
+    /** Audit host memory, every VM (EPT + guest), and every vCPU TLB. */
+    void auditAll() const;
 
     /** Guest-visible page-size distribution of one VM's process. */
     os::PageSizeDistribution guestDistribution(unsigned vm) const;

@@ -13,6 +13,7 @@
 #include <optional>
 #include <string>
 
+#include "common/contracts.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "pt/pte.hh"
@@ -116,6 +117,16 @@ class BaseTlb
 
     /** Ways read by one parallel probe (lookup energy model input). */
     virtual unsigned numWays() const = 0;
+
+    /**
+     * Append violations of this design's structural invariants to
+     * @p report (see src/common/contracts.hh). Run under --paranoia;
+     * the default has nothing to check.
+     */
+    virtual void audit(contracts::AuditReport &report) const
+    {
+        (void)report;
+    }
 
     stats::StatGroup &statGroup() { return stats_; }
 

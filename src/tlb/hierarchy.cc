@@ -29,7 +29,9 @@ TlbHierarchy::TlbHierarchy(const std::string &name,
       dirtyMicroOps_(stats_.addScalar("dirty_micro_ops",
           "dirty-bit update micro-ops injected")),
       translationCycles_(stats_.addScalar("translation_cycles",
-          "total address translation cycles"))
+          "total address translation cycles")),
+      oracleChecks_(stats_.addScalar("oracle_checks",
+          "translations cross-checked against the reference walk"))
 {
     stats_.addFormula("l1_miss_rate", "L1 TLB miss fraction", [this] {
         double total = accesses_.value();
@@ -74,6 +76,21 @@ TlbHierarchy::dirtyMicroOp(VAddr vaddr)
     return cycles;
 }
 
+void
+TlbHierarchy::oracleCheck(VAddr vaddr, PAddr paddr)
+{
+    if (!source_.hasRefTranslate())
+        return;
+    auto ref = source_.refTranslate(vaddr);
+    ++oracleChecks_;
+    MIX_EXPECT(ref && *ref == paddr,
+               "differential oracle: TLB translated 0x%llx to 0x%llx "
+               "but the reference walk says %s0x%llx",
+               (unsigned long long)vaddr, (unsigned long long)paddr,
+               ref ? "" : "unmapped ",
+               (unsigned long long)(ref ? *ref : 0));
+}
+
 TlbHierarchy::AccessResult
 TlbHierarchy::access(VAddr vaddr, bool is_store)
 {
@@ -88,6 +105,8 @@ TlbHierarchy::access(VAddr vaddr, bool is_store)
         result.cycles = params_.l1HitLatency;
         if (is_store && !l1_result.entryDirty)
             result.cycles += dirtyMicroOp(vaddr);
+        if (contracts::paranoia() >= 2)
+            oracleCheck(vaddr, result.paddr);
         translationCycles_ += result.cycles;
         return result;
     }
@@ -108,6 +127,8 @@ TlbHierarchy::access(VAddr vaddr, bool is_store)
             l1_->fill(refill);
         if (is_store && !l2_result.entryDirty)
             result.cycles += dirtyMicroOp(vaddr);
+        if (contracts::paranoia() >= 2)
+            oracleCheck(vaddr, result.paddr);
         translationCycles_ += result.cycles;
         return result;
     }
@@ -145,6 +166,8 @@ TlbHierarchy::access(VAddr vaddr, bool is_store)
     result.paddr = walk.leaf->translate(vaddr);
     // The walker set the dirty bit on a store (x86 protocol), so no
     // separate micro-op is needed on this path.
+    if (contracts::paranoia() >= 2)
+        oracleCheck(vaddr, result.paddr);
     translationCycles_ += result.cycles;
     return result;
 }

@@ -51,6 +51,22 @@ class WalkSource
         (void)vbase;
         (void)size;
     }
+
+    /** True when refTranslate() is implemented (oracle available). */
+    virtual bool hasRefTranslate() const { return false; }
+
+    /**
+     * Reference translation for the differential oracle: a functional,
+     * side-effect-free map walk that bypasses every TLB and walker
+     * cache. At paranoia >= 2 the hierarchy cross-checks each
+     * successful access() against this.
+     * @return the full physical byte address, or nullopt if unmapped.
+     */
+    virtual std::optional<PAddr> refTranslate(VAddr vaddr)
+    {
+        (void)vaddr;
+        return std::nullopt;
+    }
 };
 
 struct TlbHierarchyParams
@@ -110,6 +126,7 @@ class TlbHierarchy
         return walkDramAccesses_.value();
     }
     double dirtyMicroOpCount() const { return dirtyMicroOps_.value(); }
+    double oracleCheckCount() const { return oracleChecks_.value(); }
 
     stats::StatGroup &statGroup() { return stats_; }
 
@@ -131,12 +148,16 @@ class TlbHierarchy
     stats::Scalar &pageFaults_;
     stats::Scalar &dirtyMicroOps_;
     stats::Scalar &translationCycles_;
+    stats::Scalar &oracleChecks_;
 
     /** Charge a walk's memory accesses through the caches. */
     Cycles chargeWalk(const pt::WalkResult &walk);
 
     /** Issue the dirty-bit micro-op for a store to a clean entry. */
     Cycles dirtyMicroOp(VAddr vaddr);
+
+    /** Differential oracle: compare @p paddr against refTranslate(). */
+    void oracleCheck(VAddr vaddr, PAddr paddr);
 };
 
 } // namespace mixtlb::tlb

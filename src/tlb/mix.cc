@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <bit>
+#include <map>
+#include <tuple>
+#include <utility>
 
 #include "common/intmath.hh"
 #include "common/logging.hh"
@@ -19,17 +22,17 @@ MixTlb::MixTlb(const std::string &name, stats::StatGroup *parent,
       extensions_(stats_.addScalar("extensions",
           "existing bundles extended by later fills (Sec. 4.2)"))
 {
-    fatal_if(params.assoc == 0 || params.entries == 0 ||
-             params.entries % params.assoc != 0,
-             "MIX TLB geometry does not divide evenly");
-    fatal_if(params.colt4k == 0 || !isPowerOf2(params.colt4k),
-             "colt4k must be a nonzero power of two");
+    MIX_EXPECT(params.assoc > 0 && params.entries > 0 &&
+               params.entries % params.assoc == 0,
+               "MIX TLB geometry does not divide evenly");
+    MIX_EXPECT(params.colt4k != 0 && isPowerOf2(params.colt4k),
+               "colt4k must be a nonzero power of two");
     // Small-page entries always track membership with the 64-bit
     // bitmap; a wider window would shift past it (undefined behaviour
     // in buildEntry/invalidate).
-    fatal_if(params.colt4k > 64,
-             "colt4k exceeds the 64-slot bitmap (got %u)",
-             params.colt4k);
+    MIX_EXPECT(params.colt4k <= 64,
+               "colt4k exceeds the 64-slot bitmap (got %u)",
+               params.colt4k);
     numSets_ = static_cast<unsigned>(params.entries / params.assoc);
     maxCoalesce_ = params.maxCoalesce ? params.maxCoalesce : numSets_;
     if (params.mode == CoalesceMode::Bitmap && maxCoalesce_ > 64)
@@ -296,6 +299,10 @@ void
 MixTlb::fill(const FillInfo &fill)
 {
     Entry entry = buildEntry(fill);
+    MIX_AUDIT(groupSlots(entry.size) >= 64 ||
+              (entry.bitmap >> groupSlots(entry.size)) == 0,
+              "fill built membership outside the %u-slot window",
+              groupSlots(entry.size));
     const VAddr demanded = fill.vaddr ? fill.vaddr : fill.leaf.vbase;
     const unsigned probed = indexOf(demanded);
 
@@ -471,6 +478,142 @@ MixTlb::markDirty(VAddr vaddr)
     for (unsigned s = 0; s < numSets_; s++) {
         if (s != probed)
             mark(sets_[s]);
+    }
+}
+
+void
+MixTlb::auditSets(contracts::AuditReport &report) const
+{
+    // Mirror agreement (Sec. 4.3/4.4): every entry covering one
+    // superpage, in whichever set it landed, must translate it to the
+    // same physical page with the same permissions. Keyed per *slot*,
+    // not per window: one window legally holds several coalesced runs
+    // whose extrapolated anchors differ (the member pages are not
+    // physically contiguous across runs). Singleton copies of one
+    // superpage must also agree on the dirty bit (stale clean mirrors
+    // re-issue dirty micro-ops — the PR 1 bug class).
+    std::map<std::tuple<std::uint8_t, VAddr, unsigned>,
+             std::pair<PAddr, pt::Perms>> covered;
+    std::map<std::tuple<std::uint8_t, VAddr, unsigned>, bool> singletons;
+
+    for (unsigned s = 0; s < numSets_; s++) {
+        const auto &set = sets_[s];
+        MIX_AUDIT_CHECK(report, set.size() <= params_.assoc,
+                        "set %u holds %zu entries but has %u ways", s,
+                        set.size(), params_.assoc);
+        for (const Entry &entry : set) {
+            const unsigned group = groupSlots(entry.size);
+            const std::uint64_t page = pageBytes(entry.size);
+            const std::uint64_t span = group * page;
+            const bool bitmap_mode =
+                entry.size == PageSize::Size4K ||
+                params_.mode == CoalesceMode::Bitmap;
+
+            MIX_AUDIT_CHECK(report, population(entry) > 0,
+                            "set %u: empty entry for window 0x%llx", s,
+                            (unsigned long long)entry.wbase);
+            if (bitmap_mode) {
+                // Membership must stay inside the aligned window: for
+                // 4K entries that is the colt4k slots of the 64-bit
+                // bitmap (a bit past colt4k means an out-of-window
+                // shift corrupted it), for superpages the maxCoalesce
+                // window.
+                MIX_AUDIT_CHECK(
+                    report,
+                    group >= 64 || (entry.bitmap >> group) == 0,
+                    "set %u: %s window 0x%llx has membership bits "
+                    "outside its %u slots (bitmap 0x%llx)",
+                    s, pageSizeName(entry.size),
+                    (unsigned long long)entry.wbase, group,
+                    (unsigned long long)entry.bitmap);
+            } else {
+                MIX_AUDIT_CHECK(
+                    report,
+                    entry.length >= 1 &&
+                        entry.runStart + entry.length <= group,
+                    "set %u: run [%u, %u) exceeds the %u-slot window",
+                    s, entry.runStart, entry.runStart + entry.length,
+                    group);
+            }
+            if (params_.alignmentRestricted) {
+                MIX_AUDIT_CHECK(
+                    report, entry.wbase % span == 0,
+                    "set %u: window base 0x%llx not aligned to 0x%llx",
+                    s, (unsigned long long)entry.wbase,
+                    (unsigned long long)span);
+            }
+            MIX_AUDIT_CHECK(report, entry.wpbase % page == 0,
+                            "set %u: physical anchor 0x%llx not %s "
+                            "page aligned",
+                            s, (unsigned long long)entry.wpbase,
+                            pageSizeName(entry.size));
+
+            // Small pages are never mirrored: the entry must sit in
+            // the one set its (window) index selects.
+            if (entry.size == PageSize::Size4K) {
+                MIX_AUDIT_CHECK(
+                    report, indexOf(entry.wbase) == s,
+                    "set %u: 4K window 0x%llx indexed to set %u", s,
+                    (unsigned long long)entry.wbase,
+                    indexOf(entry.wbase));
+                continue;
+            }
+
+            for (unsigned slot = 0; slot < group; slot++) {
+                if (!entry.slotPresent(slot, params_.mode))
+                    continue;
+                const PAddr slot_pa =
+                    entry.wpbase
+                    + static_cast<std::uint64_t>(slot) * page;
+                auto key = std::make_tuple(
+                    static_cast<std::uint8_t>(entry.size), entry.wbase,
+                    slot);
+                auto [it, inserted] = covered.emplace(
+                    key, std::make_pair(slot_pa, entry.perms));
+                if (inserted)
+                    continue;
+                MIX_AUDIT_CHECK(
+                    report, it->second.first == slot_pa,
+                    "mirror disagreement: %s page 0x%llx maps to "
+                    "PA 0x%llx in one set, 0x%llx in set %u",
+                    pageSizeName(entry.size),
+                    (unsigned long long)(entry.wbase + slot * page),
+                    (unsigned long long)it->second.first,
+                    (unsigned long long)slot_pa, s);
+                MIX_AUDIT_CHECK(
+                    report, it->second.second == entry.perms,
+                    "mirror disagreement: %s page 0x%llx carries "
+                    "different permissions in set %u",
+                    pageSizeName(entry.size),
+                    (unsigned long long)(entry.wbase + slot * page),
+                    s);
+            }
+
+            if (population(entry) == 1) {
+                unsigned slot = 0;
+                if (bitmap_mode) {
+                    slot = static_cast<unsigned>(
+                        std::countr_zero(entry.bitmap));
+                } else {
+                    slot = entry.runStart;
+                }
+                auto dirty_key = std::make_tuple(
+                    static_cast<std::uint8_t>(entry.size), entry.wbase,
+                    slot);
+                auto [dit, dinserted] =
+                    singletons.emplace(dirty_key, entry.dirty);
+                if (!dinserted) {
+                    MIX_AUDIT_CHECK(
+                        report, dit->second == entry.dirty,
+                        "stale dirty mirror: singleton %s page "
+                        "0x%llx is dirty in one set, clean in set %u "
+                        "(Sec. 4.4 protocol)",
+                        pageSizeName(entry.size),
+                        (unsigned long long)(entry.wbase + slot * page),
+                        s);
+                }
+            }
+        }
     }
 }
 

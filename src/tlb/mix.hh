@@ -93,6 +93,22 @@ class MixTlb : public BaseTlb
     /** Mirror copies written per superpage fill (for energy studies). */
     double mirrorWrites() const { return mirrorWrites_.value(); }
 
+    /**
+     * Structural audit of every set (Sec. 4.1/4.3/4.4 invariants):
+     * mirror copies of one superpage window must agree on physical
+     * anchor and permissions across sets, singleton mirrors must agree
+     * on the dirty bit, membership must stay inside the aligned
+     * maxCoalesce (or colt4k) window, and small-page entries must live
+     * in the one set their index selects.
+     */
+    void auditSets(contracts::AuditReport &report) const;
+
+    void
+    audit(contracts::AuditReport &report) const override
+    {
+        auditSets(report);
+    }
+
   private:
     /**
      * One MIX TLB entry. The entry covers an aligned *window* of
@@ -162,6 +178,9 @@ class MixTlb : public BaseTlb
 
     /** Number of present pages in @p entry. */
     unsigned population(const Entry &entry) const;
+
+    /** Test-only backdoor for the corruption-injection audit tests. */
+    friend struct MixTlbTestAccess;
 };
 
 } // namespace mixtlb::tlb

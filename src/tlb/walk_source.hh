@@ -60,6 +60,17 @@ class NativeWalkSource : public WalkSource
         walker_.pwc().invalidate(vbase, size);
     }
 
+    bool hasRefTranslate() const override { return true; }
+
+    std::optional<PAddr>
+    refTranslate(VAddr vaddr) override
+    {
+        auto xlate = table_.translate(vaddr);
+        if (!xlate)
+            return std::nullopt;
+        return xlate->translate(vaddr);
+    }
+
     pt::Walker &walker() { return walker_; }
 
   private:

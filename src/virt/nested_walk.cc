@@ -218,4 +218,13 @@ NestedWalkSource::setDirty(VAddr gva)
     guestProc_.pageTable().setDirty(gva);
 }
 
+std::optional<PAddr>
+NestedWalkSource::refTranslate(VAddr gva)
+{
+    auto guest = guestProc_.pageTable().translate(gva);
+    if (!guest)
+        return std::nullopt;
+    return vm_.hostPhysIfMapped(guest->translate(gva));
+}
+
 } // namespace mixtlb::virt

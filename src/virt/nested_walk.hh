@@ -40,6 +40,15 @@ class NestedWalkSource : public tlb::WalkSource
     std::optional<PAddr> leafPteAddr(VAddr gva) override;
     void setDirty(VAddr gva) override;
 
+    bool hasRefTranslate() const override { return true; }
+
+    /**
+     * Two-dimensional reference translation: the guest page table maps
+     * gVA -> gPA functionally, then the EPT maps gPA -> sPA — no TLBs,
+     * no walker caches, nothing faulted in.
+     */
+    std::optional<PAddr> refTranslate(VAddr gva) override;
+
   private:
     Vm &vm_;
     os::Process &guestProc_;

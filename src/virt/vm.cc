@@ -57,4 +57,11 @@ Vm::hostLeaf(PAddr gpa, bool is_write)
     return leaf;
 }
 
+void
+Vm::audit(contracts::AuditReport &report) const
+{
+    guestPhys_->audit(report);
+    eptProc_->audit(report);
+}
+
 } // namespace mixtlb::virt

@@ -76,6 +76,9 @@ class Vm
 
     std::uint64_t guestMemBytes() const { return params_.guestMemBytes; }
 
+    /** Audit guest-physical memory and the hypervisor's EPT process. */
+    void audit(contracts::AuditReport &report) const;
+
     stats::StatGroup &statGroup() { return stats_; }
 
   private:
