@@ -50,6 +50,8 @@ runGpu(const GpuRunConfig &config)
         gpu_system.core((va >> PageShift4K) % config.cores)
             .access(va, true);
     }
+    double warm_fallbacks =
+        root.scalar("proc.thp_fallbacks").value();
     root.resetStats();
 
     std::vector<std::unique_ptr<workload::TraceGenerator>> gens;
@@ -67,10 +69,12 @@ runGpu(const GpuRunConfig &config)
         l2->audit(report);
         for (unsigned core = 0; core < config.cores; core++)
             gpu_system.core(core).l1().audit(report);
-        contracts::enforce(report);
+        contracts::require(report);
     }
 
     RunResult result;
+    result.thpFallbacks =
+        warm_fallbacks + root.scalar("proc.thp_fallbacks").value();
     double translation_cycles = 0, l1_hits = 0, accesses = 0;
     double walks = 0, walk_accesses = 0, data_cycles = 0;
     perf::EnergyInputs energy;
@@ -219,10 +223,13 @@ resultJson(const RunResult &result)
     metrics["accesses_per_walk"] = result.accessesPerWalk;
     metrics["superpage_fraction"] =
         result.distribution.superpageFraction();
+    metrics["thp_fallbacks"] = result.thpFallbacks;
 
     auto &energy = out["energy"];
     energy["l1_ways_read"] = result.energy.l1WaysRead;
     energy["l2_ways_read"] = result.energy.l2WaysRead;
+    energy["l1_entries"] = result.energy.l1Entries;
+    energy["l2_entries"] = result.energy.l2Entries;
     energy["l1_fills"] = result.energy.l1Fills;
     energy["l2_fills"] = result.energy.l2Fills;
     energy["fill_burst_factor"] = result.energy.fillBurstFactor;
@@ -231,6 +238,8 @@ resultJson(const RunResult &result)
     energy["dirty_ops"] = result.energy.dirtyOps;
     energy["invalidations"] = result.energy.invalidations;
     energy["predictor_lookups"] = result.energy.predictorLookups;
+    energy["skew_timestamps"] = result.energy.skewTimestamps;
+    energy["total_cycles"] = result.energy.totalCycles;
     auto breakdown = perf::EnergyModel{}.compute(result.energy);
     energy["lookup_pj"] = breakdown.lookup;
     energy["walk_pj"] = breakdown.walk;
@@ -243,52 +252,333 @@ resultJson(const RunResult &result)
             ? breakdown.total()
                   / static_cast<double>(result.metrics.refs)
             : 0.0;
+
+    auto &distribution = out["distribution"];
+    distribution["bytes_4k"] = result.distribution.bytes4k;
+    distribution["bytes_2m"] = result.distribution.bytes2m;
+    distribution["bytes_1g"] = result.distribution.bytes1g;
     return out;
 }
 
+namespace
+{
+
+double
+numberAt(const json::Value &object, const char *key)
+{
+    const json::Value *value = object.find(key);
+    return value ? value->number() : 0.0;
+}
+
+} // anonymous namespace
+
+RunResult
+resultFromJson(const json::Value &record)
+{
+    RunResult result;
+    const json::Value *metrics = record.find("metrics");
+    if (metrics) {
+        result.metrics.refs = static_cast<std::uint64_t>(
+            numberAt(*metrics, "refs"));
+        result.metrics.translationCycles =
+            numberAt(*metrics, "translation_cycles");
+        result.metrics.baseCycles = numberAt(*metrics, "base_cycles");
+        result.metrics.overheadCycles =
+            numberAt(*metrics, "overhead_cycles");
+        result.metrics.totalCycles = numberAt(*metrics, "total_cycles");
+        result.l1MissRate = numberAt(*metrics, "l1_miss_rate");
+        result.walksPerKref = numberAt(*metrics, "walks_per_kref");
+        result.accessesPerWalk =
+            numberAt(*metrics, "accesses_per_walk");
+        result.thpFallbacks = numberAt(*metrics, "thp_fallbacks");
+    }
+    const json::Value *energy = record.find("energy");
+    if (energy) {
+        result.energy.l1WaysRead = numberAt(*energy, "l1_ways_read");
+        result.energy.l2WaysRead = numberAt(*energy, "l2_ways_read");
+        result.energy.l1Entries = static_cast<std::uint64_t>(
+            numberAt(*energy, "l1_entries"));
+        result.energy.l2Entries = static_cast<std::uint64_t>(
+            numberAt(*energy, "l2_entries"));
+        result.energy.l1Fills = numberAt(*energy, "l1_fills");
+        result.energy.l2Fills = numberAt(*energy, "l2_fills");
+        result.energy.fillBurstFactor =
+            numberAt(*energy, "fill_burst_factor");
+        result.energy.walkAccesses = numberAt(*energy, "walk_accesses");
+        result.energy.walkDramAccesses =
+            numberAt(*energy, "walk_dram_accesses");
+        result.energy.dirtyOps = numberAt(*energy, "dirty_ops");
+        result.energy.invalidations =
+            numberAt(*energy, "invalidations");
+        result.energy.predictorLookups =
+            numberAt(*energy, "predictor_lookups");
+        const json::Value *skew = energy->find("skew_timestamps");
+        result.energy.skewTimestamps = skew && skew->boolean();
+        result.energy.totalCycles = numberAt(*energy, "total_cycles");
+    }
+    const json::Value *distribution = record.find("distribution");
+    if (distribution) {
+        result.distribution.bytes4k = static_cast<std::uint64_t>(
+            numberAt(*distribution, "bytes_4k"));
+        result.distribution.bytes2m = static_cast<std::uint64_t>(
+            numberAt(*distribution, "bytes_2m"));
+        result.distribution.bytes1g = static_cast<std::uint64_t>(
+            numberAt(*distribution, "bytes_1g"));
+    }
+    return result;
+}
+
+namespace
+{
+
+sim::SweepParams
+sweepParamsFromArgs(const sim::CliArgs &args)
+{
+    sim::SweepParams params;
+    params.jobs = static_cast<unsigned>(args.getU64("jobs", 0));
+    params.retries = static_cast<unsigned>(args.getU64("retries", 1));
+    params.deadlineSeconds = args.getDouble("deadline", 0.0);
+    params.faults =
+        fault::FaultConfig::parse(args.getString("inject", ""));
+    return params;
+}
+
+/** The full per-point record stored in the report and checkpoint. */
+json::Value
+makeRecord(const SweepJob &job, const RunResult &result,
+           const sim::PointStatus &status, bool injecting)
+{
+    auto record = json::Value::object();
+    record["section"] = job.section;
+    record["label"] = job.label;
+    record["config"] = configJson(job);
+    record["status"] = status.ok ? "ok" : "failed";
+    record["attempts"] = status.attempts;
+    if (status.ok) {
+        auto blocks = resultJson(result);
+        record["metrics"] = blocks["metrics"];
+        record["energy"] = blocks["energy"];
+        record["distribution"] = blocks["distribution"];
+    } else {
+        auto &error = record["error"];
+        error["kind"] = status.errorKind;
+        error["message"] = status.errorMessage;
+    }
+    if (injecting) {
+        auto &faults = record["faults"];
+        for (std::size_t s = 0; s < fault::SiteCount; s++) {
+            faults[fault::siteName(static_cast<fault::Site>(s))] =
+                status.faults[s];
+        }
+    }
+    return record;
+}
+
+} // anonymous namespace
+
 BenchSweep::BenchSweep(const sim::CliArgs &args, std::string benchmark)
-    : runner_(sim::SweepParams{
-          static_cast<unsigned>(args.getU64("jobs", 0))}),
+    : runner_(sweepParamsFromArgs(args)),
       jsonPath_(args.getString("json", "")),
+      allowFailures_(args.has("allow-failures")),
       doc_(json::Value::object())
 {
     contracts::setParanoia(
         static_cast<unsigned>(args.getU64("paranoia", 0)));
+
+    std::string inject = args.getString("inject", "");
+    injecting_ = !inject.empty();
+
     doc_["benchmark"] = std::move(benchmark);
     doc_["jobs"] = runner_.jobs();
     doc_["paranoia"] = contracts::paranoia();
+    doc_["retries"] = args.getU64("retries", 1);
+    if (injecting_)
+        doc_["inject"] = inject;
     doc_["results"] = json::Value::array();
+    doc_["failures"] = json::Value::array();
+
+    // Checkpointing: on by default whenever a JSON report is requested
+    // (the journal rides alongside it); `--resume` points at a prior
+    // run's journal and keeps appending to it.
+    std::string resume = args.getString("resume", "");
+    checkpointPath_ = args.getString(
+        "checkpoint", jsonPath_.empty() ? "" : jsonPath_ + ".ckpt");
+    if (!resume.empty()) {
+        loadCheckpoint(resume);
+        checkpointPath_ = resume;
+    }
+    if (!checkpointPath_.empty()) {
+        checkpoint_ = std::fopen(checkpointPath_.c_str(),
+                                 resume.empty() ? "w" : "a");
+        fatal_if(!checkpoint_, "cannot open checkpoint '%s'",
+                 checkpointPath_.c_str());
+    }
+}
+
+BenchSweep::~BenchSweep()
+{
+    if (checkpoint_)
+        std::fclose(checkpoint_);
+}
+
+void
+BenchSweep::loadCheckpoint(const std::string &path)
+{
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    fatal_if(!file, "cannot read resume checkpoint '%s'", path.c_str());
+    std::string content;
+    char buffer[4096];
+    std::size_t got;
+    while ((got = std::fread(buffer, 1, sizeof(buffer), file)) > 0)
+        content.append(buffer, got);
+    std::fclose(file);
+
+    std::size_t pos = 0;
+    while (pos < content.size()) {
+        std::size_t newline = content.find('\n', pos);
+        std::string line =
+            newline == std::string::npos
+                ? content.substr(pos)
+                : content.substr(pos, newline - pos);
+        pos = newline == std::string::npos ? content.size()
+                                           : newline + 1;
+        if (line.empty())
+            continue;
+        auto parsed = json::Value::parse(line);
+        if (!parsed) {
+            // A SIGKILL mid-append leaves a truncated final line; the
+            // undamaged prefix is still a valid resume point.
+            warn("checkpoint '%s': discarding a truncated trailing "
+                 "line",
+                 path.c_str());
+            break;
+        }
+        const json::Value *index = parsed->find("i");
+        const json::Value *record = parsed->find("record");
+        fatal_if(!index || !index->isNumber() || !record,
+                 "checkpoint '%s' is not a mixtlb sweep journal",
+                 path.c_str());
+        resumed_[static_cast<std::size_t>(index->number())] = *record;
+    }
+    inform("resume: %zu completed points loaded from %s",
+           resumed_.size(), path.c_str());
+}
+
+void
+BenchSweep::appendCheckpoint(std::size_t global_index,
+                             const json::Value &record)
+{
+    if (!checkpoint_)
+        return;
+    auto line = json::Value::object();
+    line["i"] = static_cast<std::uint64_t>(global_index);
+    line["record"] = record;
+    std::string text = line.dump(0);
+    text += '\n';
+    std::lock_guard<std::mutex> lock(checkpointMutex_);
+    std::fwrite(text.data(), 1, text.size(), checkpoint_);
+    // One flushed line per completed point: a kill at any moment
+    // loses at most the in-flight point.
+    std::fflush(checkpoint_);
 }
 
 std::vector<RunResult>
 BenchSweep::run(const SweepGrid &grid)
 {
     const auto &jobs = grid.jobs();
-    auto results = runner_.run<RunResult>(
+    const std::size_t base = globalIndex_;
+    globalIndex_ += jobs.size();
+
+    std::vector<json::Value> records(jobs.size());
+    std::vector<sim::PointStatus> statuses;
+    auto results = runner_.runChecked<RunResult>(
         jobs.size(),
-        [&jobs](std::size_t index) { return runJob(jobs[index]); });
+        [&jobs](std::size_t i) { return runJob(jobs[i]); },
+        [&jobs](std::size_t i) { return effectiveSeed(jobs[i]); },
+        statuses,
+        [this, base](std::size_t i) {
+            return resumed_.count(base + i) != 0;
+        },
+        [&](std::size_t i, const RunResult &result,
+            const sim::PointStatus &status) {
+            if (!status.ran)
+                return;
+            records[i] = makeRecord(jobs[i], result, status,
+                                    injecting_);
+            appendCheckpoint(base + i, records[i]);
+        });
+
     for (std::size_t i = 0; i < jobs.size(); i++) {
-        auto record = json::Value::object();
-        record["section"] = jobs[i].section;
-        record["label"] = jobs[i].label;
-        record["config"] = configJson(jobs[i]);
-        auto blocks = resultJson(results[i]);
-        record["metrics"] = blocks["metrics"];
-        record["energy"] = blocks["energy"];
-        doc_["results"].push(std::move(record));
+        if (!statuses[i].ran) {
+            // Restored from the checkpoint: the stored record is
+            // reused verbatim, so a resumed report is bit-identical
+            // to an uninterrupted one — but first prove the journal
+            // belongs to *this* sweep.
+            const json::Value &stored = resumed_.at(base + i);
+            const json::Value *label = stored.find("label");
+            fatal_if(!label || label->str() != jobs[i].label,
+                     "resume checkpoint does not match this sweep "
+                     "(point %zu is '%s', expected '%s')",
+                     base + i,
+                     label ? label->str().c_str() : "<missing>",
+                     jobs[i].label.c_str());
+            const json::Value *config = stored.find("config");
+            fatal_if(!config || config->dump(0)
+                                    != configJson(jobs[i]).dump(0),
+                     "resume checkpoint config mismatch at point %zu "
+                     "('%s')",
+                     base + i, jobs[i].label.c_str());
+            records[i] = stored;
+            results[i] = resultFromJson(stored);
+        }
+
+        const json::Value *state = records[i].find("status");
+        const bool ok = state && state->str() == "ok";
+        if (!ok) {
+            failures_++;
+            auto failure = json::Value::object();
+            failure["index"] = static_cast<std::uint64_t>(base + i);
+            failure["section"] = jobs[i].section;
+            failure["label"] = jobs[i].label;
+            const json::Value *error = records[i].find("error");
+            if (error)
+                failure["error"] = *error;
+            const json::Value *attempts = records[i].find("attempts");
+            if (attempts)
+                failure["attempts"] = *attempts;
+            doc_["failures"].push(std::move(failure));
+
+            const json::Value *kind =
+                error ? error->find("kind") : nullptr;
+            warn("sweep point %zu (%s/%s) quarantined: %s",
+                 base + i, jobs[i].section.c_str(),
+                 jobs[i].label.c_str(),
+                 kind ? kind->str().c_str() : "unknown");
+        }
+        doc_["results"].push(records[i]);
     }
     return results;
 }
 
-void
+int
 BenchSweep::finish()
 {
-    if (jsonPath_.empty())
-        return;
-    if (!json::writeFile(jsonPath_, doc_))
-        fatal("cannot write JSON results to %s", jsonPath_.c_str());
-    inform("wrote %zu results to %s", doc_["results"].size(),
-           jsonPath_.c_str());
+    if (checkpoint_) {
+        std::fclose(checkpoint_);
+        checkpoint_ = nullptr;
+    }
+    if (failures_ > 0) {
+        warn("%zu of %zu sweep points quarantined (see the report's "
+             "\"failures\" block)",
+             failures_, globalIndex_);
+    }
+    if (!jsonPath_.empty()) {
+        if (!json::writeFile(jsonPath_, doc_))
+            fatal("cannot write JSON results to %s", jsonPath_.c_str());
+        inform("wrote %zu results to %s", doc_["results"].size(),
+               jsonPath_.c_str());
+    }
+    return failures_ == 0 || allowFailures_ ? 0 : 1;
 }
 
 } // namespace mixtlb::bench

@@ -14,6 +14,8 @@
 #define MIXTLB_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <map>
+#include <mutex>
 #include <string>
 #include <variant>
 #include <vector>
@@ -53,6 +55,14 @@ struct RunResult
     double l1MissRate = 0;
     double walksPerKref = 0;
     double accessesPerWalk = 0;
+    /**
+     * THS superpage requests that fell back to 4KB pages, summed over
+     * the whole run including warmup (warmup is where allocation
+     * happens, and the stat reset at startMeasurement() would
+     * otherwise discard it). The fault soak asserts this goes nonzero
+     * under injected buddy failure.
+     */
+    double thpFallbacks = 0;
     os::PageSizeDistribution distribution{};
 };
 
@@ -92,6 +102,8 @@ runNative(const NativeRunConfig &config)
 
     VAddr base = machine.mapArena(config.footprintBytes);
     machine.warmup(base, config.footprintBytes, config.warmStep);
+    double warm_fallbacks =
+        machine.root().scalar("proc.thp_fallbacks").value();
     machine.startMeasurement();
     auto gen = workload::makeGenerator(config.workload, base,
                                        config.footprintBytes,
@@ -99,6 +111,9 @@ runNative(const NativeRunConfig &config)
     machine.run(*gen, config.refs);
 
     RunResult result;
+    result.thpFallbacks =
+        warm_fallbacks
+        + machine.root().scalar("proc.thp_fallbacks").value();
     result.metrics = machine.metrics();
     result.energy = machine.energyInputs();
     auto &hier = machine.tlbs();
@@ -170,6 +185,13 @@ runVirt(const VirtRunConfig &config)
         bases.push_back(machine.mapArena(vm, footprint));
         machine.warmup(vm, bases[vm], footprint);
     }
+    double warm_fallbacks = 0;
+    for (unsigned vm = 0; vm < config.numVms; vm++) {
+        warm_fallbacks += machine.root()
+                              .scalar("guest" + std::to_string(vm)
+                                      + ".thp_fallbacks")
+                              .value();
+    }
     machine.startMeasurement();
     for (unsigned vm = 0; vm < config.numVms; vm++) {
         auto gen = workload::makeGenerator(config.workload, bases[vm],
@@ -181,6 +203,7 @@ runVirt(const VirtRunConfig &config)
     RunResult result;
     result.metrics = machine.metrics();
     result.energy = machine.energyInputs();
+    result.thpFallbacks = warm_fallbacks;
     double walks = 0, accesses = 0, walk_accesses = 0, l1_hits = 0;
     for (unsigned vm = 0; vm < config.numVms; vm++) {
         auto prefix = "tlb" + std::to_string(vm) + ".";
@@ -189,6 +212,11 @@ runVirt(const VirtRunConfig &config)
         walk_accesses +=
             machine.root().scalar(prefix + "walk_accesses").value();
         l1_hits += machine.root().scalar(prefix + "l1_hits").value();
+        result.thpFallbacks +=
+            machine.root()
+                .scalar("guest" + std::to_string(vm)
+                        + ".thp_fallbacks")
+                .value();
     }
     result.l1MissRate = 1.0 - l1_hits / accesses;
     result.walksPerKref = 1000.0 * walks / accesses;
@@ -269,37 +297,83 @@ std::uint64_t effectiveSeed(const SweepJob &job);
 RunResult runJob(const SweepJob &job);
 
 /**
- * The per-bench sweep harness: parses `--jobs N` (worker threads,
- * default hardware_concurrency), `--json <path>`, and `--paranoia N`
- * (global invariant-checking level: 1 = audits at phase boundaries,
- * 2 = + differential translation oracle, 3 = + periodic mid-run
- * audits) from @p args, runs grids concurrently, and accumulates every
- * result into a machine-readable report written by finish().
+ * The per-bench sweep harness. Parsed flags:
+ *  - `--jobs N` worker threads (default hardware_concurrency)
+ *  - `--json <path>` machine-readable report, written atomically
+ *  - `--paranoia N` global invariant-checking level (1 = audits at
+ *    phase boundaries, 2 = + differential translation oracle, 3 = +
+ *    periodic mid-run audits)
+ *  - `--inject site=rate[@point],...` deterministic fault injection
+ *  - `--retries N` extra attempts for a failing point (default 1)
+ *  - `--deadline S` cooperative per-point deadline in seconds
+ *  - `--checkpoint <path>` completed-point journal (default
+ *    `<json>.ckpt` when `--json` is given)
+ *  - `--resume <checkpoint>` reuse completed points from a previous
+ *    (killed) run of the *same* sweep; the final JSON is bit-identical
+ *    to an uninterrupted run
+ *  - `--allow-failures` exit 0 even when points were quarantined
+ *
+ * Failing points no longer kill the process: they are retried with
+ * the same deterministic seed, then quarantined into the report's
+ * "failures" block while every other point completes.
  */
 class BenchSweep
 {
   public:
     BenchSweep(const sim::CliArgs &args, std::string benchmark);
+    ~BenchSweep();
+
+    BenchSweep(const BenchSweep &) = delete;
+    BenchSweep &operator=(const BenchSweep &) = delete;
 
     /** Run @p grid; results are indexed exactly like grid.jobs(). */
     std::vector<RunResult> run(const SweepGrid &grid);
 
-    /** Write the JSON report if `--json` was given. Call once at end. */
-    void finish();
+    /**
+     * Write the JSON report if `--json` was given and report the
+     * process exit code: 0 when every point succeeded (or
+     * `--allow-failures` was given), 1 otherwise. Call once at end;
+     * benches `return sweep.finish();`.
+     */
+    int finish();
 
     unsigned jobs() const { return runner_.jobs(); }
+    std::size_t failures() const { return failures_; }
+
+    /** The accumulated report document (tests inspect this). */
+    const json::Value &doc() const { return doc_; }
 
   private:
     sim::SweepRunner runner_;
     std::string jsonPath_;
+    std::string checkpointPath_;
+    bool allowFailures_ = false;
+    bool injecting_ = false;
+    std::size_t failures_ = 0;
+    /** Jobs across all run() calls so far (checkpoint indexing). */
+    std::size_t globalIndex_ = 0;
+    /** Completed-point records loaded from `--resume`. */
+    std::map<std::size_t, json::Value> resumed_;
+    std::FILE *checkpoint_ = nullptr;
+    std::mutex checkpointMutex_;
     json::Value doc_;
+
+    void loadCheckpoint(const std::string &path);
+    void appendCheckpoint(std::size_t global_index,
+                          const json::Value &record);
 };
 
-/** The "metrics" + "energy" JSON blocks for one run. */
+/** The "metrics" + "energy" + "distribution" JSON blocks for one run. */
 json::Value resultJson(const RunResult &result);
 
 /** The "config" JSON block for one job. */
 json::Value configJson(const SweepJob &job);
+
+/**
+ * Rebuild a RunResult from a record produced by resultJson() (used on
+ * `--resume` so figure tables can still print restored points).
+ */
+RunResult resultFromJson(const json::Value &record);
 
 } // namespace mixtlb::bench
 

@@ -178,6 +178,5 @@ main(int argc, char **argv)
     std::printf("\nPaper shape: MIX wins everywhere; virtualized and "
                 "GPU columns show the\nlargest factors because each "
                 "avoided miss saves the most cycles there.\n");
-    sweep.finish();
-    return 0;
+    return sweep.finish();
 }

@@ -154,6 +154,5 @@ main(int argc, char **argv)
                 "closer.\n",
                 split_above_10, workloads.size(), mix_above_10,
                 workloads.size());
-    sweep.finish();
-    return 0;
+    return sweep.finish();
 }

@@ -98,6 +98,5 @@ main(int argc, char **argv)
                 "fragmentation (small pages);\nCOLT++ adds ~a few %% "
                 "where superpages abound; MIX exceeds both and "
                 "MIX+COLT\nis highest everywhere.\n");
-    sweep.finish();
-    return 0;
+    return sweep.finish();
 }

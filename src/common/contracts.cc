@@ -80,4 +80,12 @@ enforce(const AuditReport &report)
     std::exit(1);
 }
 
+void
+require(const AuditReport &report)
+{
+    if (report.ok())
+        return;
+    throw SimError("audit", "", report.summary());
+}
+
 } // namespace mixtlb::contracts

@@ -34,10 +34,47 @@
 #define MIXTLB_COMMON_CONTRACTS_HH
 
 #include <cstddef>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/logging.hh"
+
+namespace mixtlb
+{
+
+/**
+ * The recoverable error tier: a failure of *one simulation point*, not
+ * of the program. Raised with MIX_RAISE on per-point paths (warmup
+ * OOM, trace corruption, deadline expiry, audit failure under a
+ * resilient sweep) and caught by SweepRunner::runChecked, which
+ * quarantines the point instead of killing the process. Contrast with
+ * MIX_EXPECT / fatal(), which remain process-fatal for programming and
+ * configuration errors.
+ */
+class SimError : public std::runtime_error
+{
+  public:
+    SimError(std::string kind, std::string where, const std::string &msg)
+        : std::runtime_error(where.empty() ? kind + ": " + msg
+                                           : kind + ": " + where + ": " +
+                                                 msg),
+          kind_(std::move(kind)), where_(std::move(where))
+    {}
+
+    /** Stable machine-readable category ("oom", "deadline", ...). */
+    const std::string &kind() const { return kind_; }
+
+    /** Source location ("file.cc:123"), empty if not raised by macro. */
+    const std::string &where() const { return where_; }
+
+  private:
+    std::string kind_;
+    std::string where_;
+};
+
+} // namespace mixtlb
 
 namespace mixtlb::contracts
 {
@@ -94,6 +131,13 @@ class AuditReport
 /** Exit fatally (code 1) if @p report recorded any violation. */
 void enforce(const AuditReport &report);
 
+/**
+ * Recoverable sibling of enforce(): throw SimError("audit") if
+ * @p report recorded any violation, so a resilient sweep can
+ * quarantine the offending point while other points keep running.
+ */
+void require(const AuditReport &report);
+
 } // namespace mixtlb::contracts
 
 /**
@@ -109,6 +153,18 @@ void enforce(const AuditReport &report);
                 ::mixtlb::logging_detail::vformat("" __VA_ARGS__));       \
         }                                                                 \
     } while (0)
+
+/**
+ * Raise a recoverable SimError of category @p kind (a short stable
+ * string like "oom") with a printf-formatted message. Use on
+ * per-point simulation paths where failure should quarantine the
+ * point, not abort the process.
+ */
+#define MIX_RAISE(kind, ...)                                              \
+    throw ::mixtlb::SimError(                                             \
+        (kind),                                                           \
+        ::mixtlb::logging_detail::vformat("%s:%d", __FILE__, __LINE__),   \
+        ::mixtlb::logging_detail::vformat("" __VA_ARGS__))
 
 /**
  * Record a failed structural invariant into an AuditReport without

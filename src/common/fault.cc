@@ -1,0 +1,200 @@
+#include "fault.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace mixtlb::fault
+{
+
+namespace
+{
+
+constexpr const char *SiteNames[SiteCount] = {
+    "buddy-alloc",
+    "walk-latency",
+    "pressure-burst",
+    "trace-corrupt",
+};
+
+/** Decorrelates the per-site substreams of one point's seed. */
+constexpr std::uint64_t SiteSalt[SiteCount] = {
+    0x9e3779b97f4a7c15ULL,
+    0xbf58476d1ce4e5b9ULL,
+    0x94d049bb133111ebULL,
+    0xd6e8feb86659fd93ULL,
+};
+
+thread_local FaultScope *g_scope = nullptr;
+
+/** splitmix64 finalizer: the schedule's stateless hash. */
+std::uint64_t
+mix64(std::uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rateToThreshold(double rate)
+{
+    if (rate <= 0.0)
+        return 0;
+    if (rate >= 1.0)
+        return ~0ULL;
+    // 2^64 * rate, kept below the always-fire sentinel.
+    auto threshold = static_cast<std::uint64_t>(
+        rate * 18446744073709551616.0);
+    return threshold ? threshold : 1;
+}
+
+} // anonymous namespace
+
+const char *
+siteName(Site site)
+{
+    return SiteNames[static_cast<std::size_t>(site)];
+}
+
+std::optional<Site>
+siteFromName(const std::string &name)
+{
+    for (std::size_t i = 0; i < SiteCount; i++) {
+        if (name == SiteNames[i])
+            return static_cast<Site>(i);
+    }
+    return std::nullopt;
+}
+
+bool
+FaultConfig::any() const
+{
+    for (const auto &site : sites) {
+        if (site.rate > 0.0)
+            return true;
+    }
+    return false;
+}
+
+FaultConfig
+FaultConfig::parse(const std::string &spec)
+{
+    FaultConfig config;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        std::string token = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (token.empty())
+            continue;
+
+        std::size_t eq = token.find('=');
+        fatal_if(eq == std::string::npos,
+                 "--inject token '%s' is not site=rate[@point]",
+                 token.c_str());
+        std::string name = token.substr(0, eq);
+        auto site = siteFromName(name);
+        fatal_if(!site, "--inject names unknown fault site '%s'",
+                 name.c_str());
+
+        std::string rate_str = token.substr(eq + 1);
+        SiteRate entry;
+        std::size_t at = rate_str.find('@');
+        if (at != std::string::npos) {
+            entry.pointLimited = true;
+            entry.point = std::strtoull(
+                rate_str.c_str() + at + 1, nullptr, 0);
+            rate_str.resize(at);
+        }
+        char *end = nullptr;
+        entry.rate = std::strtod(rate_str.c_str(), &end);
+        fatal_if(end == rate_str.c_str() || *end != '\0' ||
+                     entry.rate < 0.0 || entry.rate > 1.0,
+                 "--inject rate '%s' for site '%s' is not a "
+                 "probability in [0,1]",
+                 rate_str.c_str(), name.c_str());
+        config.sites[static_cast<std::size_t>(*site)] = entry;
+    }
+    return config;
+}
+
+FaultScope::FaultScope(const FaultConfig &config, std::uint64_t seed,
+                       std::uint64_t point_index,
+                       double deadline_seconds)
+    : previous_(g_scope)
+{
+    session_.seed = seed;
+    for (std::size_t i = 0; i < SiteCount; i++) {
+        const SiteRate &site = config.sites[i];
+        if (site.pointLimited && site.point != point_index)
+            continue;
+        session_.thresholds[i] = rateToThreshold(site.rate);
+    }
+    if (deadline_seconds > 0.0) {
+        session_.deadlineArmed = true;
+        session_.deadline =
+            std::chrono::steady_clock::now()
+            + std::chrono::duration_cast<
+                  std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(deadline_seconds));
+    }
+    g_scope = this;
+}
+
+FaultScope::~FaultScope()
+{
+    g_scope = previous_;
+}
+
+std::uint64_t
+FaultScope::fired(Site site) const
+{
+    return session_.fired[static_cast<std::size_t>(site)];
+}
+
+std::array<std::uint64_t, SiteCount>
+FaultScope::firedCounts() const
+{
+    return session_.fired;
+}
+
+bool
+fire(Site site)
+{
+    FaultScope *scope = g_scope;
+    if (!scope)
+        return false;
+    auto &session = scope->session_;
+    auto index = static_cast<std::size_t>(site);
+    std::uint64_t threshold = session.thresholds[index];
+    if (!threshold)
+        return false;
+    std::uint64_t draw = session.draws[index]++;
+    bool hit = threshold == ~0ULL ||
+               mix64(session.seed ^ SiteSalt[index] ^
+                     (draw * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL))
+                   < threshold;
+    if (hit)
+        session.fired[index]++;
+    return hit;
+}
+
+bool
+deadlineExpired()
+{
+    FaultScope *scope = g_scope;
+    if (!scope || !scope->session_.deadlineArmed)
+        return false;
+    return std::chrono::steady_clock::now() > scope->session_.deadline;
+}
+
+bool
+active()
+{
+    return g_scope != nullptr;
+}
+
+} // namespace mixtlb::fault

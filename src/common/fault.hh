@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Deterministic fault injection: the controlled way to exercise the
+ * simulator's degradation and recovery paths (THS 4KB fallback,
+ * reservation abandonment, sweep-point quarantine) instead of waiting
+ * for them to fire incidentally.
+ *
+ * Design rules:
+ *  - Faults are *scheduled from the sweep-point seed*, never from
+ *    wall-clock time or thread identity. Whether draw number n of site
+ *    s fires is a pure function of (seed, s, n), so `--jobs 1` and
+ *    `--jobs N` see the identical fault schedule, and a retried point
+ *    re-experiences exactly the same faults.
+ *  - Injection is scoped: a FaultScope installs a thread-local session
+ *    for the duration of one simulation point. Code outside any scope
+ *    (unit tests, examples) never faults.
+ *  - Sites are enumerated and named; `--inject site=rate,...` enables
+ *    them. A rate may be pinned to a single grid point with
+ *    `site=rate@point` (e.g. `buddy-alloc=1.0@17` starves exactly
+ *    point 17 of the sweep).
+ *
+ * The scope also carries the per-point deadline for the sweep
+ * watchdog: deadlineExpired() is polled from the simulation loops so
+ * a wedged point can be abandoned cooperatively (raised as a
+ * recoverable SimError, not a process abort).
+ */
+
+#ifndef MIXTLB_COMMON_FAULT_HH
+#define MIXTLB_COMMON_FAULT_HH
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace mixtlb::fault
+{
+
+/** Every named injection point in the simulator. */
+enum class Site : std::uint8_t
+{
+    BuddyAlloc,    ///< physical frame/superpage allocation fails
+    WalkLatency,   ///< a page-table walk takes a latency spike
+    PressureBurst, ///< memhog transiently hogs a burst of free memory
+    TraceCorrupt,  ///< a trace-file record arrives corrupted
+};
+
+/** Number of sites (array extent for per-site state). */
+inline constexpr std::size_t SiteCount = 4;
+
+const char *siteName(Site site);
+std::optional<Site> siteFromName(const std::string &name);
+
+/** Per-site injection rate, optionally pinned to one sweep point. */
+struct SiteRate
+{
+    double rate = 0.0;        ///< probability per draw, in [0, 1]
+    bool pointLimited = false;///< only inject at one grid point
+    std::uint64_t point = 0;  ///< that grid point's index
+};
+
+/** A full injection configuration (what `--inject` parses into). */
+struct FaultConfig
+{
+    std::array<SiteRate, SiteCount> sites{};
+
+    /** True if any site has a nonzero rate. */
+    bool any() const;
+
+    const SiteRate &at(Site site) const
+    {
+        return sites[static_cast<std::size_t>(site)];
+    }
+
+    /**
+     * Parse "site=rate[@point][,site=rate[@point]...]" (empty spec =
+     * no injection). Unknown site names and malformed rates are
+     * configuration errors and exit fatally.
+     */
+    static FaultConfig parse(const std::string &spec);
+};
+
+/**
+ * Installs a deterministic fault session for the current thread, for
+ * the duration of one simulation point. Nestable (the previous
+ * session is restored on destruction); never shared across threads.
+ */
+class FaultScope
+{
+  public:
+    /**
+     * @param config the sites and rates to inject
+     * @param seed the sweep point's deterministic seed
+     * @param point_index the point's grid index (for @point pinning)
+     * @param deadline_seconds cooperative per-point deadline;
+     *        0 disables the watchdog
+     */
+    FaultScope(const FaultConfig &config, std::uint64_t seed,
+               std::uint64_t point_index, double deadline_seconds = 0.0);
+    ~FaultScope();
+
+    FaultScope(const FaultScope &) = delete;
+    FaultScope &operator=(const FaultScope &) = delete;
+
+    /** Faults this scope has injected at @p site so far. */
+    std::uint64_t fired(Site site) const;
+
+    /** Per-site fired counts, indexed by Site. */
+    std::array<std::uint64_t, SiteCount> firedCounts() const;
+
+  private:
+    struct Session
+    {
+        std::uint64_t seed = 0;
+        /** Fire thresholds scaled to 2^64; 0 = site disabled. */
+        std::array<std::uint64_t, SiteCount> thresholds{};
+        std::array<std::uint64_t, SiteCount> draws{};
+        std::array<std::uint64_t, SiteCount> fired{};
+        bool deadlineArmed = false;
+        std::chrono::steady_clock::time_point deadline{};
+    };
+
+    friend bool fire(Site site);
+    friend bool deadlineExpired();
+
+    Session session_;
+    FaultScope *previous_;
+};
+
+/**
+ * Draw the next scheduled fault decision for @p site. Returns false
+ * when no FaultScope is active on this thread or the site is off.
+ */
+bool fire(Site site);
+
+/** True if the active scope's deadline is armed and has passed. */
+bool deadlineExpired();
+
+/** True if a FaultScope is active on the current thread. */
+bool active();
+
+} // namespace mixtlb::fault
+
+#endif // MIXTLB_COMMON_FAULT_HH

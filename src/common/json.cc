@@ -2,11 +2,253 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/logging.hh"
 
 namespace mixtlb::json
 {
+
+namespace
+{
+
+/**
+ * Recursive-descent parser over the serialised forms dump() emits
+ * (which is standard JSON, so any conforming document parses).
+ */
+struct Parser
+{
+    const char *cur;
+    const char *end;
+    int depth = 0;
+
+    /** Generous for result documents; guards runaway recursion. */
+    static constexpr int MaxDepth = 64;
+
+    void
+    skipWs()
+    {
+        while (cur < end && (*cur == ' ' || *cur == '\t' ||
+                             *cur == '\n' || *cur == '\r')) {
+            cur++;
+        }
+    }
+
+    bool
+    literal(const char *text)
+    {
+        const char *p = cur;
+        while (*text) {
+            if (p >= end || *p != *text)
+                return false;
+            p++;
+            text++;
+        }
+        cur = p;
+        return true;
+    }
+
+    static void
+    appendUtf8(std::string &out, std::uint32_t cp)
+    {
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xc0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        } else if (cp < 0x10000) {
+            out += static_cast<char>(0xe0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        } else {
+            out += static_cast<char>(0xf0 | (cp >> 18));
+            out += static_cast<char>(0x80 | ((cp >> 12) & 0x3f));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        }
+    }
+
+    bool
+    hex4(std::uint32_t &out)
+    {
+        out = 0;
+        for (int i = 0; i < 4; i++) {
+            if (cur >= end)
+                return false;
+            char c = *cur++;
+            out <<= 4;
+            if (c >= '0' && c <= '9')
+                out |= static_cast<std::uint32_t>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                out |= static_cast<std::uint32_t>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                out |= static_cast<std::uint32_t>(c - 'A' + 10);
+            else
+                return false;
+        }
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (cur >= end || *cur != '"')
+            return false;
+        cur++;
+        while (cur < end && *cur != '"') {
+            char c = *cur++;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (cur >= end)
+                return false;
+            char esc = *cur++;
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                std::uint32_t cp;
+                if (!hex4(cp))
+                    return false;
+                if (cp >= 0xd800 && cp <= 0xdbff) {
+                    // High surrogate: a low surrogate must follow.
+                    std::uint32_t lo;
+                    if (!literal("\\u") || !hex4(lo) || lo < 0xdc00 ||
+                        lo > 0xdfff) {
+                        return false;
+                    }
+                    cp = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+                }
+                appendUtf8(out, cp);
+                break;
+              }
+              default:
+                return false;
+            }
+        }
+        if (cur >= end)
+            return false;
+        cur++; // closing quote
+        return true;
+    }
+
+    bool
+    parseValue(Value &out)
+    {
+        if (depth >= MaxDepth)
+            return false;
+        skipWs();
+        if (cur >= end)
+            return false;
+        switch (*cur) {
+          case 'n':
+            return literal("null");
+          case 't':
+            if (!literal("true"))
+                return false;
+            out = Value(true);
+            return true;
+          case 'f':
+            if (!literal("false"))
+                return false;
+            out = Value(false);
+            return true;
+          case '"': {
+            std::string text;
+            if (!parseString(text))
+                return false;
+            out = Value(std::move(text));
+            return true;
+          }
+          case '[': {
+            cur++;
+            out = Value::array();
+            depth++;
+            skipWs();
+            if (cur < end && *cur == ']') {
+                cur++;
+                depth--;
+                return true;
+            }
+            while (true) {
+                Value element;
+                if (!parseValue(element))
+                    return false;
+                out.push(std::move(element));
+                skipWs();
+                if (cur >= end)
+                    return false;
+                if (*cur == ',') {
+                    cur++;
+                    continue;
+                }
+                if (*cur == ']') {
+                    cur++;
+                    depth--;
+                    return true;
+                }
+                return false;
+            }
+          }
+          case '{': {
+            cur++;
+            out = Value::object();
+            depth++;
+            skipWs();
+            if (cur < end && *cur == '}') {
+                cur++;
+                depth--;
+                return true;
+            }
+            while (true) {
+                skipWs();
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                skipWs();
+                if (cur >= end || *cur != ':')
+                    return false;
+                cur++;
+                Value member;
+                if (!parseValue(member))
+                    return false;
+                out[key] = std::move(member);
+                skipWs();
+                if (cur >= end)
+                    return false;
+                if (*cur == ',') {
+                    cur++;
+                    continue;
+                }
+                if (*cur == '}') {
+                    cur++;
+                    depth--;
+                    return true;
+                }
+                return false;
+            }
+          }
+          default: {
+            char *parsed_end = nullptr;
+            double number = std::strtod(cur, &parsed_end);
+            if (parsed_end == cur || parsed_end > end)
+                return false;
+            cur = parsed_end;
+            out = Value(number);
+            return true;
+          }
+        }
+    }
+};
+
+} // anonymous namespace
 
 Value
 Value::object()
@@ -22,6 +264,31 @@ Value::array()
     Value value;
     value.kind_ = Kind::Array;
     return value;
+}
+
+std::optional<Value>
+Value::parse(const std::string &text)
+{
+    Parser parser{text.c_str(), text.c_str() + text.size()};
+    Value value;
+    if (!parser.parseValue(value))
+        return std::nullopt;
+    parser.skipWs();
+    if (parser.cur != parser.end)
+        return std::nullopt; // trailing garbage
+    return value;
+}
+
+const Value *
+Value::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (const auto &member : children_) {
+        if (member.first == key)
+            return &member.second;
+    }
+    return nullptr;
 }
 
 Value &
@@ -160,14 +427,22 @@ Value::dump(int indent) const
 bool
 writeFile(const std::string &path, const Value &value)
 {
-    std::FILE *file = std::fopen(path.c_str(), "w");
+    // Write-then-rename: a crash mid-write leaves only the temp file
+    // behind, never a truncated document at the final path.
+    const std::string tmp = path + ".tmp";
+    std::FILE *file = std::fopen(tmp.c_str(), "w");
     if (!file)
         return false;
     std::string text = value.dump();
     text += '\n';
     bool ok = std::fwrite(text.data(), 1, text.size(), file)
               == text.size();
+    ok = std::fflush(file) == 0 && ok;
     ok = std::fclose(file) == 0 && ok;
+    if (ok)
+        ok = std::rename(tmp.c_str(), path.c_str()) == 0;
+    if (!ok)
+        std::remove(tmp.c_str());
     return ok;
 }
 

@@ -5,6 +5,12 @@
  * result emission needs: objects (insertion-ordered), arrays, strings,
  * numbers, booleans, and null, serialised with proper escaping so any
  * standard parser can ingest the output.
+ *
+ * Also a matching reader: Value::parse() plus the const accessors,
+ * enough for the sweep harness to reload its own checkpoint files on
+ * `--resume` (and for tests to round-trip documents). Numbers are
+ * stored as double — exactly what the writer emits — so a parse of our
+ * own output is lossless.
  */
 
 #ifndef MIXTLB_COMMON_JSON_HH
@@ -12,6 +18,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -39,8 +46,37 @@ class Value
     static Value object();
     static Value array();
 
+    /**
+     * Parse one JSON document (trailing whitespace allowed, trailing
+     * garbage is an error). @return nullopt on malformed input.
+     */
+    static std::optional<Value> parse(const std::string &text);
+
     bool isObject() const { return kind_ == Kind::Object; }
     bool isArray() const { return kind_ == Kind::Array; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const Value *find(const std::string &key) const;
+
+    /** The numeric payload (0.0 unless isNumber()). */
+    double number() const { return number_; }
+    /** The string payload (empty unless isString()). */
+    const std::string &str() const { return string_; }
+    /** The boolean payload (false unless isBool()). */
+    bool boolean() const { return bool_; }
+
+    /**
+     * Children, in insertion order: object members keyed by name,
+     * array elements with empty keys.
+     */
+    const std::vector<std::pair<std::string, Value>> &members() const
+    {
+        return children_;
+    }
 
     /**
      * Member access on an object, creating the member (as null) when
@@ -84,7 +120,12 @@ class Value
     static void dumpNumber(std::string &out, double value);
 };
 
-/** Serialise @p value to @p path. @return false on I/O failure. */
+/**
+ * Serialise @p value to @p path atomically: the text is written to
+ * `path + ".tmp"` and renamed into place, so readers never observe a
+ * truncated document even if the writer is killed mid-write.
+ * @return false on I/O failure (the temp file is cleaned up).
+ */
 bool writeFile(const std::string &path, const Value &value);
 
 } // namespace mixtlb::json

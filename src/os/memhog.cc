@@ -82,9 +82,33 @@ Memhog::fragment(double fraction, std::uint64_t seed)
         mm_.registerMovable(movable_[tag], this, tag);
 }
 
+std::uint64_t
+Memhog::burstAcquire(std::uint64_t frames)
+{
+    auto &mem = mm_.phys();
+    std::uint64_t got = 0;
+    for (; got < frames; got++) {
+        auto pfn = mem.allocFrames(0, mem::FrameUse::Pinned);
+        if (!pfn)
+            break;
+        burst_.push_back(*pfn);
+    }
+    return got;
+}
+
+void
+Memhog::burstRelease()
+{
+    auto &mem = mm_.phys();
+    for (Pfn pfn : burst_)
+        mem.freeFrames(pfn, 0);
+    burst_.clear();
+}
+
 void
 Memhog::release()
 {
+    burstRelease();
     auto &mem = mm_.phys();
     for (std::uint64_t tag = 0; tag < movable_.size(); tag++) {
         mm_.unregisterMovable(movable_[tag]);

@@ -47,11 +47,23 @@ class Memhog : public MovableOwner
     /** Hog @p fraction of total memory; see the file comment. */
     void fragment(double fraction, std::uint64_t seed = 1);
 
-    /** Release everything. */
+    /** Release everything (including any outstanding burst). */
     void release();
+
+    /**
+     * Transiently pin up to @p frames additional single frames (a
+     * pressure burst: memhog's working set spiking). Stacks on top of
+     * the steady-state fragment() set; undone by burstRelease().
+     * @return frames actually claimed (free memory may run short).
+     */
+    std::uint64_t burstAcquire(std::uint64_t frames);
+
+    /** Release the frames claimed by burstAcquire(). */
+    void burstRelease();
 
     std::uint64_t movableFrames() const { return movable_.size(); }
     std::uint64_t unmovableBlocks() const { return unmovable_.size(); }
+    std::uint64_t burstFrames() const { return burst_.size(); }
 
     // MovableOwner: compaction moved one of our frames.
     void relocate(std::uint64_t tag, Pfn from, Pfn to) override;
@@ -64,6 +76,8 @@ class Memhog : public MovableOwner
     std::vector<Pfn> movable_;
     /** Unmovable 2MB pageblocks. */
     std::vector<Pfn> unmovable_;
+    /** Transient pressure-burst frames (order 0, pinned). */
+    std::vector<Pfn> burst_;
 };
 
 } // namespace mixtlb::os

@@ -1,5 +1,6 @@
 #include "memory_manager.hh"
 
+#include "common/fault.hh"
 #include "common/logging.hh"
 
 namespace mixtlb::os
@@ -50,6 +51,14 @@ std::optional<Pfn>
 MemoryManager::allocContiguous(unsigned order, mem::FrameUse use,
                                bool allow_compaction)
 {
+    // Injected buddy failure for superpage requests: the caller's
+    // graceful-degradation path (THS falls back to 4KB and records it)
+    // is exactly what the fault soak exercises. Order-0 requests are
+    // not failed here — their retry/OOM handling lives at the
+    // page-fault layer.
+    if (order > 0 && fault::fire(fault::Site::BuddyAlloc))
+        return std::nullopt;
+
     if (order == 0 || mem_.buddy().freeBlocksAt(order) > 0 ||
         (mem_.buddy().largestFreeOrder().value_or(0) >= order)) {
         auto pfn = mem_.allocFrames(order, use);

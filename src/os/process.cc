@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/fault.hh"
 #include "common/intmath.hh"
 #include "common/logging.hh"
 
@@ -164,7 +165,15 @@ Process::faultSmall(VAddr vaddr)
     // data-frame success is never followed by a fatal PT-frame OOM.
     if (mm_.phys().buddy().freeFrames() < 8)
         return TouchResult::OutOfMemory;
-    auto pfn = mm_.phys().allocFrames(0, mem::FrameUse::AppSmall);
+    // Injected allocation failures here are transient (a loaded kernel
+    // retries reclaim), so take a few attempts before reporting OOM; a
+    // rate-1.0 injection still starves the fault deterministically.
+    std::optional<Pfn> pfn;
+    for (unsigned attempt = 0; attempt < 3 && !pfn; attempt++) {
+        if (fault::fire(fault::Site::BuddyAlloc))
+            continue;
+        pfn = mm_.phys().allocFrames(0, mem::FrameUse::AppSmall);
+    }
     if (!pfn)
         return TouchResult::OutOfMemory;
     VAddr vbase = pageBase(vaddr, PageSize::Size4K);

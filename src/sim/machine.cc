@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/contracts.hh"
+#include "common/fault.hh"
 #include "common/logging.hh"
 
 namespace mixtlb::sim
@@ -9,6 +11,13 @@ namespace mixtlb::sim
 
 /** Mid-run audit cadence at paranoia >= 3 (must be a power of two). */
 constexpr std::uint64_t AuditPeriod = 1ULL << 16;
+
+/**
+ * Cadence for the cooperative checks inside the reference loops: the
+ * per-point deadline poll and the pressure-burst fault draw (must be a
+ * power of two).
+ */
+constexpr std::uint64_t CheckPeriod = 1ULL << 10;
 
 Machine::Machine(const MachineParams &params)
     : params_(params), root_(params.name), mem_(params.memBytes),
@@ -70,11 +79,27 @@ Machine::run(workload::TraceGenerator &gen, std::uint64_t refs)
             dataCycles_ += static_cast<double>(caches_.access(
                 result.paddr, ref.type == AccessType::Write));
         }
+        if ((done & (CheckPeriod - 1)) == CheckPeriod - 1) {
+            if (fault::deadlineExpired()) {
+                memhog_.burstRelease();
+                MIX_RAISE("deadline",
+                          "machine %s exceeded per-point deadline "
+                          "after %llu refs",
+                          params_.name.c_str(),
+                          (unsigned long long)done);
+            }
+            // Pressure bursts are transient: the previous burst (if
+            // any) ends at this boundary, and a new one may begin.
+            memhog_.burstRelease();
+            if (fault::fire(fault::Site::PressureBurst))
+                memhog_.burstAcquire(mem_.buddy().freeFrames() / 2);
+        }
         if (contracts::paranoia() >= 3 &&
             (done & (AuditPeriod - 1)) == AuditPeriod - 1) {
             auditAll();
         }
     }
+    memhog_.burstRelease();
     refs_ += done;
     if (contracts::paranoia() >= 1)
         auditAll();
@@ -85,19 +110,45 @@ void
 Machine::touchSequential(VAddr base, std::uint64_t bytes,
                          std::uint64_t step)
 {
-    for (std::uint64_t off = 0; off < bytes; off += step) {
-        if (proc_->touch(base + off) == os::TouchResult::OutOfMemory)
-            fatal("touchSequential ran out of memory");
+    std::uint64_t steps = 0;
+    for (std::uint64_t off = 0; off < bytes; off += step, steps++) {
+        if (proc_->touch(base + off) == os::TouchResult::OutOfMemory) {
+            MIX_RAISE("oom",
+                      "machine %s: touchSequential ran out of memory "
+                      "at offset %llu of %llu bytes",
+                      params_.name.c_str(), (unsigned long long)off,
+                      (unsigned long long)bytes);
+        }
+        if ((steps & (CheckPeriod - 1)) == CheckPeriod - 1 &&
+            fault::deadlineExpired()) {
+            MIX_RAISE("deadline",
+                      "machine %s exceeded per-point deadline during "
+                      "touchSequential",
+                      params_.name.c_str());
+        }
     }
 }
 
 void
 Machine::warmup(VAddr base, std::uint64_t bytes, std::uint64_t step)
 {
-    for (std::uint64_t off = 0; off < bytes; off += step) {
+    std::uint64_t steps = 0;
+    for (std::uint64_t off = 0; off < bytes; off += step, steps++) {
         auto result = hier_->access(base + off, true);
-        if (!result.ok)
-            fatal("warmup ran out of memory");
+        if (!result.ok) {
+            MIX_RAISE("oom",
+                      "machine %s: warmup ran out of memory at offset "
+                      "%llu of %llu bytes",
+                      params_.name.c_str(), (unsigned long long)off,
+                      (unsigned long long)bytes);
+        }
+        if ((steps & (CheckPeriod - 1)) == CheckPeriod - 1 &&
+            fault::deadlineExpired()) {
+            MIX_RAISE("deadline",
+                      "machine %s exceeded per-point deadline during "
+                      "warmup",
+                      params_.name.c_str());
+        }
     }
     if (contracts::paranoia() >= 1)
         auditAll();
@@ -111,7 +162,7 @@ Machine::auditAll() const
     proc_->audit(report); // covers the page table's radix invariants
     hier_->l1().audit(report);
     hier_->l2().audit(report);
-    contracts::enforce(report);
+    contracts::require(report);
 }
 
 void
@@ -269,6 +320,13 @@ VirtMachine::run(unsigned vm, workload::TraceGenerator &gen,
             dataCycles_ += static_cast<double>(caches_.access(
                 result.paddr, ref.type == AccessType::Write));
         }
+        if ((done & (CheckPeriod - 1)) == CheckPeriod - 1 &&
+            fault::deadlineExpired()) {
+            MIX_RAISE("deadline",
+                      "vm %u exceeded per-point deadline after %llu "
+                      "refs",
+                      vm, (unsigned long long)done);
+        }
         if (contracts::paranoia() >= 3 &&
             (done & (AuditPeriod - 1)) == AuditPeriod - 1) {
             auditAll();
@@ -284,10 +342,23 @@ void
 VirtMachine::warmup(unsigned vm, VAddr base, std::uint64_t bytes)
 {
     auto &hier = *hiers_.at(vm);
-    for (std::uint64_t off = 0; off < bytes; off += PageBytes4K) {
+    std::uint64_t steps = 0;
+    for (std::uint64_t off = 0; off < bytes;
+         off += PageBytes4K, steps++) {
         auto result = hier.access(base + off, true);
-        if (!result.ok)
-            fatal("vm warmup ran out of memory");
+        if (!result.ok) {
+            MIX_RAISE("oom",
+                      "vm %u warmup ran out of memory at offset %llu "
+                      "of %llu bytes",
+                      vm, (unsigned long long)off,
+                      (unsigned long long)bytes);
+        }
+        if ((steps & (CheckPeriod - 1)) == CheckPeriod - 1 &&
+            fault::deadlineExpired()) {
+            MIX_RAISE("deadline",
+                      "vm %u exceeded per-point deadline during warmup",
+                      vm);
+        }
     }
     if (contracts::paranoia() >= 1)
         auditAll();
@@ -306,7 +377,7 @@ VirtMachine::auditAll() const
         hier->l1().audit(report);
         hier->l2().audit(report);
     }
-    contracts::enforce(report);
+    contracts::require(report);
 }
 
 void

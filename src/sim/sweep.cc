@@ -19,7 +19,8 @@ sweepPointSeed(std::uint64_t base_seed, std::uint64_t index)
 }
 
 SweepRunner::SweepRunner(SweepParams params)
-    : jobs_(params.jobs ? params.jobs : ThreadPool::defaultThreads())
+    : params_(params),
+      jobs_(params.jobs ? params.jobs : ThreadPool::defaultThreads())
 {
 }
 

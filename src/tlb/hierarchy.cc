@@ -1,10 +1,18 @@
 #include "hierarchy.hh"
 
+#include "common/fault.hh"
 #include "common/intmath.hh"
 #include "common/logging.hh"
 
 namespace mixtlb::tlb
 {
+
+/**
+ * Injected walk-latency spike (fault::Site::WalkLatency): the extra
+ * cycles a walk pays when its PTE fetches collide with DRAM traffic —
+ * roughly two additional memory round trips.
+ */
+constexpr Cycles WalkLatencySpikeCycles = 200;
 
 TlbHierarchy::TlbHierarchy(const std::string &name,
                            stats::StatGroup *parent,
@@ -139,6 +147,8 @@ TlbHierarchy::access(VAddr vaddr, bool is_store)
     ++walks_;
     pt::WalkResult walk = source_.walk(vaddr, is_store);
     result.cycles += chargeWalk(walk);
+    if (fault::fire(fault::Site::WalkLatency))
+        result.cycles += WalkLatencySpikeCycles;
     if (walk.pageFault()) {
         ++pageFaults_;
         result.faulted = true;

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "common/contracts.hh"
+#include "common/fault.hh"
 #include "common/logging.hh"
 
 namespace mixtlb::workload
@@ -77,17 +79,48 @@ TraceWriter::~TraceWriter()
 }
 
 TraceFileGen::TraceFileGen(const std::string &path)
-    : file_(std::fopen(path.c_str(), "rb"))
+    : file_(std::fopen(path.c_str(), "rb")), path_(path)
 {
-    fatal_if(!file_, "cannot open trace file '%s'", path.c_str());
+    // Validation failures raise recoverable SimErrors: a corrupt trace
+    // fails the point that replays it, not the whole sweep. A throwing
+    // constructor skips the destructor, so close file_ by hand first.
+    if (!file_)
+        MIX_RAISE("io", "cannot open trace file '%s'", path.c_str());
+
     Header header{};
-    fatal_if(std::fread(&header, sizeof(header), 1, file_) != 1,
-             "trace header read failed");
-    fatal_if(std::memcmp(header.magic, Magic, 4) != 0,
-             "'%s' is not a mixtlb trace", path.c_str());
-    fatal_if(header.version != Version, "unsupported trace version %u",
-             header.version);
-    fatal_if(header.count == 0, "empty trace '%s'", path.c_str());
+    bool header_ok =
+        std::fread(&header, sizeof(header), 1, file_) == 1;
+    const char *problem = nullptr;
+    if (!header_ok)
+        problem = "truncated header";
+    else if (std::memcmp(header.magic, Magic, 4) != 0)
+        problem = "bad magic (not a mixtlb trace)";
+    else if (header.version != Version)
+        problem = "unsupported version";
+    else if (header.count == 0)
+        problem = "empty trace (zero records)";
+
+    if (!problem) {
+        // The payload must hold exactly header.count records; a short
+        // file means the writer was killed mid-record or the file was
+        // truncated in transit.
+        std::fseek(file_, 0, SEEK_END);
+        long size = std::ftell(file_);
+        std::fseek(file_, sizeof(Header), SEEK_SET);
+        auto expected = static_cast<std::uint64_t>(sizeof(Header))
+                        + header.count * sizeof(Record);
+        if (size < 0 ||
+            static_cast<std::uint64_t>(size) != expected) {
+            problem = "size does not match record count (truncated?)";
+        }
+    }
+
+    if (problem) {
+        std::fclose(file_);
+        file_ = nullptr;
+        MIX_RAISE("trace-corrupt", "trace '%s': %s", path.c_str(),
+                  problem);
+    }
     count_ = header.count;
 }
 
@@ -110,9 +143,30 @@ TraceFileGen::next()
     if (cursor_ >= count_)
         rewindToData();
     Record record{};
-    fatal_if(std::fread(&record, sizeof(record), 1, file_) != 1,
-             "trace record read failed");
+    if (std::fread(&record, sizeof(record), 1, file_) != 1) {
+        MIX_RAISE("trace-corrupt",
+                  "trace '%s': record %llu read failed", path_.c_str(),
+                  (unsigned long long)cursor_);
+    }
     cursor_++;
+    // The trace-corruption fault site models a record damaged on disk
+    // or in transit; it must trip the same validation a genuinely
+    // corrupt file would.
+    if (fault::fire(fault::Site::TraceCorrupt))
+        record.type = 0xff;
+    if (record.type > static_cast<std::uint8_t>(AccessType::Write)) {
+        MIX_RAISE("trace-corrupt",
+                  "trace '%s': record %llu has invalid access type %u",
+                  path_.c_str(), (unsigned long long)(cursor_ - 1),
+                  record.type);
+    }
+    if (record.vaddr >= (1ULL << 48)) {
+        MIX_RAISE("trace-corrupt",
+                  "trace '%s': record %llu address 0x%llx exceeds the "
+                  "48-bit virtual address space",
+                  path_.c_str(), (unsigned long long)(cursor_ - 1),
+                  (unsigned long long)record.vaddr);
+    }
     MemRef ref;
     ref.vaddr = record.vaddr;
     ref.type = static_cast<AccessType>(record.type);

@@ -60,7 +60,8 @@ class TraceFileGen : public TraceGenerator
 
   private:
     std::FILE *file_;
-    std::uint64_t count_;
+    std::string path_;
+    std::uint64_t count_ = 0;
     std::uint64_t cursor_ = 0;
 
     void rewindToData();

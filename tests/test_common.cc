@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <cstdio>
 #include <map>
 #include <sstream>
 #include <stdexcept>
@@ -258,6 +260,99 @@ TEST(Json, ObjectsAndArraysKeepInsertionOrder)
     EXPECT_EQ(stripped, doc.dump(0));
 }
 
+TEST(Json, ParseRoundTripsItsOwnOutput)
+{
+    auto doc = json::Value::object();
+    doc["benchmark"] = "fig14";
+    doc["jobs"] = 8u;
+    doc["rate"] = 0.1; // not exactly representable: needs %.17g
+    doc["big"] = 1e12;
+    doc["negative"] = -42;
+    doc["flag"] = true;
+    doc["nothing"] = json::Value{};
+    doc["text"] = "q\"b\\s\nnl\tt";
+    auto &results = doc["results"];
+    auto row = json::Value::object();
+    row["label"] = "mcf/THS/mix";
+    row["improvement"] = 12.25;
+    results.push(std::move(row));
+    results.push(json::Value::object());
+
+    for (int indent : {0, 2}) {
+        auto parsed = json::Value::parse(doc.dump(indent));
+        ASSERT_TRUE(parsed.has_value()) << indent;
+        // Insertion order, numbers, and escapes all survive, so the
+        // re-dump is byte-identical (the checkpoint/resume contract).
+        EXPECT_EQ(parsed->dump(0), doc.dump(0)) << indent;
+    }
+
+    auto parsed = json::Value::parse(doc.dump(0));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_DOUBLE_EQ(parsed->find("rate")->number(), 0.1);
+    EXPECT_TRUE(parsed->find("flag")->boolean());
+    EXPECT_TRUE(parsed->find("nothing")->isNull());
+    EXPECT_EQ(parsed->find("text")->str(), "q\"b\\s\nnl\tt");
+    EXPECT_EQ(parsed->find("results")->size(), 2u);
+    EXPECT_EQ(parsed->find("absent"), nullptr);
+}
+
+TEST(Json, ParseHandlesUnicodeEscapes)
+{
+    auto parsed = json::Value::parse("\"a\\u00e9\\u4e2d\"");
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->str(), "a\xc3\xa9\xe4\xb8\xad");
+    // A surrogate pair encodes one astral-plane code point.
+    auto pair = json::Value::parse("\"\\ud83d\\ude00\"");
+    ASSERT_TRUE(pair.has_value());
+    EXPECT_EQ(pair->str(), "\xf0\x9f\x98\x80");
+}
+
+TEST(Json, ParseRejectsMalformedDocuments)
+{
+    using json::Value;
+    EXPECT_FALSE(Value::parse("").has_value());
+    EXPECT_FALSE(Value::parse("{").has_value());
+    EXPECT_FALSE(Value::parse("{\"a\": 1,}").has_value());
+    EXPECT_FALSE(Value::parse("[1, 2").has_value());
+    EXPECT_FALSE(Value::parse("\"unterminated").has_value());
+    EXPECT_FALSE(Value::parse("\"bad\\escape\"").has_value());
+    EXPECT_FALSE(Value::parse("nul").has_value());
+    EXPECT_FALSE(Value::parse("1 trailing").has_value());
+    EXPECT_FALSE(Value::parse("{} {}").has_value());
+    // A truncated checkpoint line is malformed, never misparsed.
+    EXPECT_FALSE(Value::parse("{\"i\": 3, \"record\": {\"la")
+                     .has_value());
+}
+
+TEST(Json, WriteFileIsAtomicAndCleansUp)
+{
+    const std::string path = "/tmp/mixtlb_test_json_atomic.json";
+    auto doc = json::Value::object();
+    doc["value"] = 1;
+    ASSERT_TRUE(json::writeFile(path, doc));
+    // The temp file was renamed into place, not left behind.
+    std::FILE *tmp = std::fopen((path + ".tmp").c_str(), "rb");
+    EXPECT_EQ(tmp, nullptr);
+    if (tmp)
+        std::fclose(tmp);
+
+    // Overwrite: readers see the old or the new doc, never a torn one.
+    doc["value"] = 2;
+    ASSERT_TRUE(json::writeFile(path, doc));
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(file, nullptr);
+    std::string content(4096, '\0');
+    content.resize(std::fread(content.data(), 1, content.size(), file));
+    std::fclose(file);
+    auto parsed = json::Value::parse(content);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->find("value")->number(), 2.0);
+    std::remove(path.c_str());
+
+    // Unwritable destination: failure is reported, no tmp litter.
+    EXPECT_FALSE(json::writeFile("/nonexistent-dir/out.json", doc));
+}
+
 TEST(ThreadPool, RunsEveryTaskExactlyOnce)
 {
     std::vector<int> counts(257, 0);
@@ -285,4 +380,43 @@ TEST(ThreadPool, WaitRethrowsTaskException)
         });
     }
     EXPECT_THROW(pool.wait(), std::runtime_error);
+}
+
+TEST(ThreadPool, FailedTaskDoesNotCancelOthers)
+{
+    ThreadPool pool(4);
+    std::atomic<int> completed{0};
+    for (int i = 0; i < 64; i++) {
+        pool.submit([&completed, i] {
+            if (i == 3)
+                throw std::runtime_error("one bad task");
+            completed++;
+        });
+    }
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    // Every other task still ran to completion: the pool quarantines
+    // the exception, it does not cancel the batch.
+    EXPECT_EQ(completed.load(), 63);
+}
+
+TEST(ThreadPool, RemainsUsableAfterARethrow)
+{
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("first batch"); });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+
+    // The error slot was cleared: the next batch runs cleanly.
+    std::atomic<int> completed{0};
+    for (int i = 0; i < 8; i++)
+        pool.submit([&completed] { completed++; });
+    pool.wait();
+    EXPECT_EQ(completed.load(), 8);
+}
+
+TEST(ThreadPool, UnretrievedExceptionIsSafeAtDestruction)
+{
+    // A caller that never calls wait() must still get a clean join,
+    // not a std::terminate from an in-flight exception.
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("never retrieved"); });
 }

@@ -131,6 +131,60 @@ TEST(Contracts, EnforceIsSilentWhenClean)
 }
 
 // ---------------------------------------------------------------------
+// The recoverable error tier: SimError / MIX_RAISE / require().
+
+TEST(Contracts, RaiseCarriesKindLocationAndMessage)
+{
+    try {
+        MIX_RAISE("oom", "ran out after %d frames", 512);
+        FAIL() << "MIX_RAISE did not throw";
+    } catch (const SimError &error) {
+        EXPECT_EQ(error.kind(), "oom");
+        EXPECT_NE(error.where().find("test_contracts.cc"),
+                  std::string::npos);
+        std::string what = error.what();
+        EXPECT_NE(what.find("oom"), std::string::npos);
+        EXPECT_NE(what.find("ran out after 512 frames"),
+                  std::string::npos);
+    }
+}
+
+TEST(Contracts, SimErrorIsARuntimeError)
+{
+    // runChecked's std::exception fallback must catch SimError
+    // subclasses through the standard hierarchy.
+    try {
+        MIX_RAISE("deadline", "wedged");
+        FAIL() << "MIX_RAISE did not throw";
+    } catch (const std::runtime_error &error) {
+        EXPECT_NE(std::string(error.what()).find("deadline"),
+                  std::string::npos);
+    }
+}
+
+TEST(Contracts, RequireThrowsRecoverablyOnViolations)
+{
+    contracts::AuditReport report("sweep-audit");
+    report.fail("f.cc", 9, "broken invariant");
+    try {
+        contracts::require(report);
+        FAIL() << "require() accepted a failing report";
+    } catch (const SimError &error) {
+        EXPECT_EQ(error.kind(), "audit");
+        EXPECT_NE(std::string(error.what()).find("sweep-audit"),
+                  std::string::npos);
+        EXPECT_NE(std::string(error.what()).find("broken invariant"),
+                  std::string::npos);
+    }
+}
+
+TEST(Contracts, RequireIsSilentWhenClean)
+{
+    contracts::AuditReport report;
+    contracts::require(report); // must not throw
+}
+
+// ---------------------------------------------------------------------
 // intmath domain contracts (the old silent-UB cases).
 
 TEST(IntMathDeathTest, FloorLog2OfZeroDies)

@@ -105,6 +105,21 @@ TEST(SweepRunner, PairedJobsShareSeeds)
               effectiveSeed(grid.jobs()[2]));
 }
 
+TEST(SweepRunner, RunPropagatesBodyExceptions)
+{
+    // The plain (non-checked) runner must surface a worker exception
+    // through wait() as a rethrow, not a std::terminate.
+    SweepRunner runner(SweepParams{4});
+    EXPECT_THROW(
+        runner.run<int>(16,
+                        [](std::size_t index) -> int {
+                            if (index == 7)
+                                throw std::runtime_error("boom");
+                            return static_cast<int>(index);
+                        }),
+        std::runtime_error);
+}
+
 TEST(SweepRunner, ParallelSweepIsBitIdenticalToSerial)
 {
     auto grid = smallGrid();

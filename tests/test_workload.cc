@@ -7,9 +7,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <filesystem>
 #include <set>
 
+#include "common/contracts.hh"
+#include "common/fault.hh"
 #include "workload/generator.hh"
+#include "workload/trace_file.hh"
 
 using namespace mixtlb;
 using namespace mixtlb::workload;
@@ -158,4 +163,154 @@ TEST(WorkloadDeathTest, UnknownNameFails)
     EXPECT_DEATH(
         { makeGenerator("no-such-workload", Base, 8 * MiB, 1); },
         "unknown workload");
+}
+
+// ---------------------------------------------------------------------
+// Trace-file validation: damaged traces raise recoverable SimErrors
+// (kind "trace-corrupt") so a sweep quarantines the replaying point.
+
+namespace
+{
+
+/** Record a small valid trace and return its path. */
+std::string
+recordedTrace(const char *name)
+{
+    std::string path = std::string("/tmp/") + name;
+    auto gen = makeGenerator("gups", Base, 8 * MiB, 6);
+    recordTrace(*gen, 64, path);
+    return path;
+}
+
+/** Expect constructing a TraceFileGen for @p path to raise. */
+void
+expectCorrupt(const std::string &path, const char *fragment)
+{
+    try {
+        TraceFileGen bad(path);
+        FAIL() << "damaged trace accepted (" << fragment << ")";
+    } catch (const SimError &error) {
+        EXPECT_EQ(error.kind(), "trace-corrupt");
+        EXPECT_NE(std::string(error.what()).find(fragment),
+                  std::string::npos)
+            << error.what();
+    }
+}
+
+/** Overwrite @p size bytes at @p offset in the file at @p path. */
+void
+patchFile(const std::string &path, long offset, const void *bytes,
+          std::size_t size)
+{
+    std::FILE *file = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(file, nullptr);
+    std::fseek(file, offset, SEEK_SET);
+    ASSERT_EQ(std::fwrite(bytes, 1, size, file), size);
+    std::fclose(file);
+}
+
+constexpr long HeaderBytes = 16; ///< magic + version + count
+constexpr long RecordBytes = 9;  ///< packed vaddr + type
+
+} // anonymous namespace
+
+TEST(TraceValidation, MissingFileRaisesIoError)
+{
+    try {
+        TraceFileGen gone("/tmp/mixtlb_no_such_trace.bin");
+        FAIL() << "missing trace accepted";
+    } catch (const SimError &error) {
+        EXPECT_EQ(error.kind(), "io");
+    }
+}
+
+TEST(TraceValidation, TruncatedPayloadIsRejected)
+{
+    auto path = recordedTrace("mixtlb_test_trace_trunc.bin");
+    ASSERT_EQ(std::filesystem::file_size(path),
+              static_cast<std::uintmax_t>(HeaderBytes
+                                          + 64 * RecordBytes));
+    std::filesystem::resize_file(path,
+                                 HeaderBytes + 64 * RecordBytes - 1);
+    expectCorrupt(path, "size does not match");
+    std::remove(path.c_str());
+}
+
+TEST(TraceValidation, TruncatedHeaderIsRejected)
+{
+    auto path = recordedTrace("mixtlb_test_trace_hdr.bin");
+    std::filesystem::resize_file(path, HeaderBytes - 4);
+    expectCorrupt(path, "truncated header");
+    std::remove(path.c_str());
+}
+
+TEST(TraceValidation, UnsupportedVersionIsRejected)
+{
+    auto path = recordedTrace("mixtlb_test_trace_ver.bin");
+    std::uint32_t version = 99;
+    patchFile(path, 4, &version, sizeof(version));
+    expectCorrupt(path, "unsupported version");
+    std::remove(path.c_str());
+}
+
+TEST(TraceValidation, EmptyTraceIsRejected)
+{
+    const std::string path = "/tmp/mixtlb_test_trace_empty.bin";
+    auto gen = makeGenerator("gups", Base, 8 * MiB, 6);
+    recordTrace(*gen, 0, path); // header only, count = 0
+    expectCorrupt(path, "empty trace");
+    std::remove(path.c_str());
+}
+
+TEST(TraceValidation, InvalidRecordTypeIsRejectedAtRead)
+{
+    auto path = recordedTrace("mixtlb_test_trace_type.bin");
+    std::uint8_t bad_type = 0x7f;
+    patchFile(path, HeaderBytes + 5 * RecordBytes + 8, &bad_type,
+              sizeof(bad_type));
+    TraceFileGen replay(path);
+    for (int i = 0; i < 5; i++)
+        replay.next();
+    try {
+        replay.next();
+        FAIL() << "invalid access type accepted";
+    } catch (const SimError &error) {
+        EXPECT_EQ(error.kind(), "trace-corrupt");
+        EXPECT_NE(std::string(error.what()).find("invalid access type"),
+                  std::string::npos);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceValidation, OutOfRangeAddressIsRejectedAtRead)
+{
+    auto path = recordedTrace("mixtlb_test_trace_vaddr.bin");
+    std::uint64_t bad_vaddr = 1ULL << 52;
+    patchFile(path, HeaderBytes, &bad_vaddr, sizeof(bad_vaddr));
+    TraceFileGen replay(path);
+    try {
+        replay.next();
+        FAIL() << "out-of-range address accepted";
+    } catch (const SimError &error) {
+        EXPECT_EQ(error.kind(), "trace-corrupt");
+        EXPECT_NE(std::string(error.what()).find("48-bit"),
+                  std::string::npos);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceValidation, InjectedCorruptionTripsTheSameValidation)
+{
+    auto path = recordedTrace("mixtlb_test_trace_inject.bin");
+    TraceFileGen replay(path);
+    auto faults = fault::FaultConfig::parse("trace-corrupt=1.0");
+    fault::FaultScope scope(faults, 31, 0);
+    try {
+        replay.next();
+        FAIL() << "injected corruption not detected";
+    } catch (const SimError &error) {
+        EXPECT_EQ(error.kind(), "trace-corrupt");
+    }
+    EXPECT_EQ(scope.fired(fault::Site::TraceCorrupt), 1u);
+    std::remove(path.c_str());
 }
