@@ -1,6 +1,7 @@
 #include "bench_common.hh"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/contracts.hh"
 #include "common/logging.hh"
@@ -380,6 +381,7 @@ BenchSweep::BenchSweep(const sim::CliArgs &args, std::string benchmark)
     : runner_(sweepParamsFromArgs(args)),
       jsonPath_(args.getString("json", "")),
       allowFailures_(args.has("allow-failures")),
+      timing_(!args.has("no-timing")),
       doc_(json::Value::object())
 {
     contracts::setParanoia(
@@ -491,9 +493,21 @@ BenchSweep::run(const SweepGrid &grid)
 
     std::vector<json::Value> records(jobs.size());
     std::vector<sim::PointStatus> statuses;
+    // Wall-clock per point (the final attempt when retried). Kept out
+    // of the modeled statistics: it annotates the report only, and
+    // `--no-timing` drops it for byte-stable golden comparisons.
+    std::vector<double> wallSeconds(jobs.size(), 0.0);
     auto results = runner_.runChecked<RunResult>(
         jobs.size(),
-        [&jobs](std::size_t i) { return runJob(jobs[i]); },
+        [&jobs, &wallSeconds](std::size_t i) {
+            auto start = std::chrono::steady_clock::now();
+            RunResult result = runJob(jobs[i]);
+            wallSeconds[i] =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+            return result;
+        },
         [&jobs](std::size_t i) { return effectiveSeed(jobs[i]); },
         statuses,
         [this, base](std::size_t i) {
@@ -505,6 +519,15 @@ BenchSweep::run(const SweepGrid &grid)
                 return;
             records[i] = makeRecord(jobs[i], result, status,
                                     injecting_);
+            if (timing_ && status.ok) {
+                auto &timing = records[i]["timing"];
+                timing["wall_seconds"] = wallSeconds[i];
+                timing["refs_per_sec"] =
+                    wallSeconds[i] > 0
+                        ? static_cast<double>(result.metrics.refs)
+                              / wallSeconds[i]
+                        : 0.0;
+            }
             appendCheckpoint(base + i, records[i]);
         });
 

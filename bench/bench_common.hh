@@ -207,11 +207,11 @@ runVirt(const VirtRunConfig &config)
     double walks = 0, accesses = 0, walk_accesses = 0, l1_hits = 0;
     for (unsigned vm = 0; vm < config.numVms; vm++) {
         auto prefix = "tlb" + std::to_string(vm) + ".";
-        walks += machine.root().scalar(prefix + "walks").value();
-        accesses += machine.root().scalar(prefix + "accesses").value();
+        walks += machine.root().value(prefix + "walks");
+        accesses += machine.root().value(prefix + "accesses");
         walk_accesses +=
-            machine.root().scalar(prefix + "walk_accesses").value();
-        l1_hits += machine.root().scalar(prefix + "l1_hits").value();
+            machine.root().value(prefix + "walk_accesses");
+        l1_hits += machine.root().value(prefix + "l1_hits");
         result.thpFallbacks +=
             machine.root()
                 .scalar("guest" + std::to_string(vm)
@@ -312,6 +312,8 @@ RunResult runJob(const SweepJob &job);
  *    (killed) run of the *same* sweep; the final JSON is bit-identical
  *    to an uninterrupted run
  *  - `--allow-failures` exit 0 even when points were quarantined
+ *  - `--no-timing` omit the per-point "timing" block (wall_seconds,
+ *    refs_per_sec) — for byte-stable golden comparisons across runs
  *
  * Failing points no longer kill the process: they are retried with
  * the same deterministic seed, then quarantined into the report's
@@ -349,6 +351,7 @@ class BenchSweep
     std::string checkpointPath_;
     bool allowFailures_ = false;
     bool injecting_ = false;
+    bool timing_ = true;
     std::size_t failures_ = 0;
     /** Jobs across all run() calls so far (checkpoint indexing). */
     std::size_t globalIndex_ = 0;

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Self-measuring throughput harness for the per-reference hot path:
+ * replays a fixed gups + stream reference mix through each TLB design
+ * on a native machine and reports simulator throughput (refs/sec and
+ * ns per simulated lookup) per design.
+ *
+ * Unlike the figure benches, the numbers here are *host* wall-clock
+ * measurements of the simulator itself — the repo's perf trajectory
+ * baseline. `--json` (default BENCH_hotpath.json) emits the report
+ * that tools/check_perf.py validates in CI.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "common/json.hh"
+#include "workload/generator.hh"
+
+using namespace mixtlb;
+using namespace mixtlb::bench;
+
+namespace
+{
+
+struct MixPoint
+{
+    /** JSON label for the reference family. */
+    const char *label;
+    /** Workload name handed to makeGenerator(). */
+    const char *workload;
+};
+
+/** The fixed mix: worst-case random RMWs plus a unit-stride sweep. */
+constexpr MixPoint ReferenceMix[] = {
+    {"gups", "gups"},
+    {"stream", "streamcluster"},
+};
+
+constexpr sim::TlbDesign Designs[] = {
+    sim::TlbDesign::Split,     sim::TlbDesign::Mix,
+    sim::TlbDesign::MixColt,   sim::TlbDesign::HashRehash,
+    sim::TlbDesign::Skew,
+};
+
+double
+seconds(std::chrono::steady_clock::time_point start,
+        std::chrono::steady_clock::time_point stop)
+{
+    return std::chrono::duration<double>(stop - start).count();
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    sim::CliArgs args(argc, argv);
+    const std::uint64_t refs = args.getU64("refs", 1000000);
+    const std::uint64_t footprint =
+        args.getU64("footprint-mb", 64) * MiB;
+    const std::uint64_t mem = args.getU64("mem-mb", 512) * MiB;
+    const std::uint64_t seed = args.getU64("seed", 3);
+    const std::string json_path =
+        args.getString("json", "BENCH_hotpath.json");
+
+    auto doc = json::Value::object();
+    doc["benchmark"] = "hotpath";
+    doc["refs_per_workload"] = refs;
+    doc["footprint_bytes"] = footprint;
+    doc["designs"] = json::Value::array();
+
+    sim::Table table({"design", "workload", "refs/sec", "ns/lookup"});
+
+    for (sim::TlbDesign design : Designs) {
+        sim::MachineParams params;
+        params.name = sim::designName(design);
+        params.memBytes = mem;
+        params.design = design;
+        params.seed = seed;
+        params.caches = scaledCaches();
+        sim::Machine machine(params);
+
+        VAddr base = machine.mapArena(footprint);
+        machine.warmup(base, footprint);
+        machine.startMeasurement();
+
+        auto entry = json::Value::object();
+        entry["design"] = sim::designName(design);
+        auto workloads = json::Value::object();
+        double total_refs = 0, total_seconds = 0;
+
+        for (const MixPoint &point : ReferenceMix) {
+            auto gen = workload::makeGenerator(point.workload, base,
+                                               footprint, seed);
+            auto start = std::chrono::steady_clock::now();
+            std::uint64_t done = machine.run(*gen, refs);
+            auto stop = std::chrono::steady_clock::now();
+
+            const double wall = seconds(start, stop);
+            const double rate = wall > 0 ? done / wall : 0.0;
+            const double ns = done > 0 ? 1e9 * wall / done : 0.0;
+            total_refs += static_cast<double>(done);
+            total_seconds += wall;
+
+            auto sample = json::Value::object();
+            sample["refs"] = done;
+            sample["wall_seconds"] = wall;
+            sample["refs_per_sec"] = rate;
+            sample["ns_per_ref"] = ns;
+            workloads[point.label] = std::move(sample);
+
+            table.addRow({sim::designName(design), point.label,
+                          sim::Table::fmt(rate, 0),
+                          sim::Table::fmt(ns, 1)});
+        }
+
+        entry["workloads"] = std::move(workloads);
+        entry["refs_per_sec"] =
+            total_seconds > 0 ? total_refs / total_seconds : 0.0;
+        entry["ns_per_ref"] =
+            total_refs > 0 ? 1e9 * total_seconds / total_refs : 0.0;
+        doc["designs"].push(std::move(entry));
+    }
+
+    table.print();
+    if (!json::writeFile(json_path, doc)) {
+        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+        return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+    return 0;
+}

@@ -63,13 +63,13 @@ main(int argc, char **argv)
         // Aggregate hierarchy counters across vCPUs.
         for (unsigned vm = 0; vm < vms; vm++) {
             const auto &scalars = machine.root();
-            walks += scalars.scalar("tlb" + std::to_string(vm)
-                                    + ".walks").value();
+            walks += scalars.value("tlb" + std::to_string(vm)
+                                  + ".walks");
             walk_accesses +=
-                scalars.scalar("tlb" + std::to_string(vm)
-                               + ".walk_accesses").value();
-            accesses += scalars.scalar("tlb" + std::to_string(vm)
-                                       + ".accesses").value();
+                scalars.value("tlb" + std::to_string(vm)
+                             + ".walk_accesses");
+            accesses += scalars.value("tlb" + std::to_string(vm)
+                                     + ".accesses");
         }
 
         double improvement = 0;

@@ -62,8 +62,21 @@ StatGroup::~StatGroup()
 Scalar &
 StatGroup::addScalar(const std::string &name, const std::string &desc)
 {
+    panic_if(counters_.count(name), "duplicate scalar stat %s",
+             name.c_str());
     auto [it, inserted] = scalars_.try_emplace(name);
     panic_if(!inserted, "duplicate scalar stat %s", name.c_str());
+    it->second.desc = desc;
+    return it->second.stat;
+}
+
+Counter &
+StatGroup::addCounter(const std::string &name, const std::string &desc)
+{
+    panic_if(scalars_.count(name), "duplicate counter stat %s",
+             name.c_str());
+    auto [it, inserted] = counters_.try_emplace(name);
+    panic_if(!inserted, "duplicate counter stat %s", name.c_str());
     it->second.desc = desc;
     return it->second.stat;
 }
@@ -109,6 +122,46 @@ StatGroup::scalar(const std::string &name) const
     return it->second.stat;
 }
 
+const Counter &
+StatGroup::counter(const std::string &name) const
+{
+    auto dot = name.find('.');
+    if (dot != std::string::npos) {
+        const std::string head = name.substr(0, dot);
+        for (const auto *child : children_) {
+            if (child->name_ == head)
+                return child->counter(name.substr(dot + 1));
+        }
+        panic("unknown stat group %s under %s",
+              head.c_str(), path().c_str());
+    }
+    auto it = counters_.find(name);
+    panic_if(it == counters_.end(), "unknown counter stat %s.%s",
+             path().c_str(), name.c_str());
+    return it->second.stat;
+}
+
+double
+StatGroup::value(const std::string &name) const
+{
+    auto dot = name.find('.');
+    if (dot != std::string::npos) {
+        const std::string head = name.substr(0, dot);
+        for (const auto *child : children_) {
+            if (child->name_ == head)
+                return child->value(name.substr(dot + 1));
+        }
+        panic("unknown stat group %s under %s",
+              head.c_str(), path().c_str());
+    }
+    if (auto it = counters_.find(name); it != counters_.end())
+        return static_cast<double>(it->second.stat.value());
+    auto it = scalars_.find(name);
+    panic_if(it == scalars_.end(), "unknown stat %s.%s",
+             path().c_str(), name.c_str());
+    return it->second.stat.value();
+}
+
 std::string
 StatGroup::path() const
 {
@@ -121,6 +174,11 @@ void
 StatGroup::dump(std::ostream &os) const
 {
     const std::string prefix = path();
+    for (const auto &[name, entry] : counters_) {
+        os << std::left << std::setw(48) << (prefix + "." + name)
+           << std::setw(16) << entry.stat.value()
+           << "# " << entry.desc << "\n";
+    }
     for (const auto &[name, entry] : scalars_) {
         os << std::left << std::setw(48) << (prefix + "." + name)
            << std::setw(16) << entry.stat.value()
@@ -146,6 +204,8 @@ void
 StatGroup::resetStats()
 {
     for (auto &[name, entry] : scalars_)
+        entry.stat.reset();
+    for (auto &[name, entry] : counters_)
         entry.stat.reset();
     for (auto &[name, entry] : dists_)
         entry.stat.reset();

@@ -36,6 +36,26 @@ class Scalar
     double value_ = 0.0;
 };
 
+/**
+ * An integer event counter. Unlike Scalar (double-backed, which
+ * silently loses precision once a count passes 2^53), Counter
+ * accumulates in a uint64_t and converts to double only at report
+ * time — the right type for hot-path event counts like TLB probes
+ * and walk accesses.
+ */
+class Counter
+{
+  public:
+    Counter &operator++() { value_ += 1; return *this; }
+    Counter &operator+=(std::uint64_t v) { value_ += v; return *this; }
+
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
 /** A simple sampled distribution (min/max/mean plus fixed buckets). */
 class Distribution
 {
@@ -81,6 +101,9 @@ class StatGroup
     /** Register a scalar under @p name; returns it for in-place use. */
     Scalar &addScalar(const std::string &name, const std::string &desc);
 
+    /** Register an integer counter under @p name. */
+    Counter &addCounter(const std::string &name, const std::string &desc);
+
     /** Register a distribution under @p name. */
     Distribution &addDistribution(const std::string &name,
                                   const std::string &desc,
@@ -92,6 +115,16 @@ class StatGroup
 
     /** Look up a previously registered scalar; panics if missing. */
     const Scalar &scalar(const std::string &name) const;
+
+    /** Look up a previously registered counter; panics if missing. */
+    const Counter &counter(const std::string &name) const;
+
+    /**
+     * Value of the statistic at dotted path @p name — a Counter
+     * (converted to double) or a Scalar. Panics if neither exists, so
+     * call sites don't care which concrete type a stat migrated to.
+     */
+    double value(const std::string &name) const;
 
     /** Dotted path from the root group. */
     std::string path() const;
@@ -106,6 +139,7 @@ class StatGroup
 
   private:
     struct ScalarEntry { Scalar stat; std::string desc; };
+    struct CounterEntry { Counter stat; std::string desc; };
     struct DistEntry { Distribution stat; std::string desc; };
     struct FormulaEntry { Formula formula; std::string desc; };
 
@@ -114,6 +148,7 @@ class StatGroup
     std::vector<StatGroup *> children_;
     // std::map keeps dump output deterministically sorted.
     std::map<std::string, ScalarEntry> scalars_;
+    std::map<std::string, CounterEntry> counters_;
     std::map<std::string, DistEntry> dists_;
     std::map<std::string, FormulaEntry> formulas_;
 };

@@ -1,5 +1,7 @@
 #include "gpu_system.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace mixtlb::gpu
@@ -11,8 +13,8 @@ GpuSystem::GpuSystem(const GpuParams &params, stats::StatGroup *parent,
                      tlb::WalkSource &source,
                      cache::CacheHierarchy &caches)
     : params_(params), stats_("gpu", parent),
-      totalRefs_(stats_.addScalar("refs", "references issued")),
-      translationCycles_(stats_.addScalar("translation_cycles",
+      totalRefs_(stats_.addCounter("refs", "references issued")),
+      translationCycles_(stats_.addCounter("translation_cycles",
           "translation cycles across all cores"))
 {
     fatal_if(params.numCores == 0, "GPU with zero shader cores");
@@ -33,22 +35,27 @@ GpuSystem::run(
              "one generator per shader core required");
     Cycles cycles = 0;
     std::uint64_t issued = 0;
+    // One warp's worth of references, generated in a batch per
+    // scheduling turn (the buffer is reused across all turns).
+    std::vector<MemRef> warp(params_.warpRefs);
     while (issued < total_refs) {
         for (unsigned core = 0; core < cores_.size() &&
                                 issued < total_refs; core++) {
-            for (unsigned i = 0; i < params_.warpRefs &&
-                                 issued < total_refs; i++) {
-                MemRef ref = per_core[core]->next();
+            const auto turn = static_cast<std::size_t>(
+                std::min<std::uint64_t>(params_.warpRefs,
+                                        total_refs - issued));
+            per_core[core]->nextBatch(warp.data(), turn);
+            for (std::size_t i = 0; i < turn; i++) {
                 auto result = cores_[core]->access(
-                    ref.vaddr, ref.type == AccessType::Write);
+                    warp[i].vaddr, warp[i].type == AccessType::Write);
                 fatal_if(!result.ok, "GPU access failed (host OOM?)");
                 cycles += result.cycles;
-                issued++;
             }
+            issued += turn;
         }
     }
-    totalRefs_ += static_cast<double>(issued);
-    translationCycles_ += static_cast<double>(cycles);
+    totalRefs_ += issued;
+    translationCycles_ += cycles;
     return cycles;
 }
 

@@ -67,8 +67,8 @@ class GpuSystem
     GpuParams params_;
     stats::StatGroup stats_;
     std::vector<std::unique_ptr<tlb::TlbHierarchy>> cores_;
-    stats::Scalar &totalRefs_;
-    stats::Scalar &translationCycles_;
+    stats::Counter &totalRefs_;
+    stats::Counter &translationCycles_;
 };
 
 } // namespace mixtlb::gpu

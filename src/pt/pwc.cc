@@ -10,9 +10,9 @@ namespace mixtlb::pt
 PagingStructureCache::PagingStructureCache(const PwcParams &params,
                                            stats::StatGroup *parent)
     : params_(params), stats_("pwc", parent),
-      hits_(stats_.addScalar("hits", "paging-structure cache hits")),
-      misses_(stats_.addScalar("misses",
-                               "walks that started at the root"))
+      hits_(stats_.addCounter("hits", "paging-structure cache hits")),
+      misses_(stats_.addCounter("misses",
+                                "walks that started at the root"))
 {
 }
 

@@ -75,8 +75,8 @@ class PagingStructureCache
     std::list<Entry> lru_; ///< front = MRU
 
     stats::StatGroup stats_;
-    stats::Scalar &hits_;
-    stats::Scalar &misses_;
+    stats::Counter &hits_;
+    stats::Counter &misses_;
 };
 
 } // namespace mixtlb::pt

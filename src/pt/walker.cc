@@ -1,5 +1,6 @@
 #include "walker.hh"
 
+#include "common/contracts.hh"
 #include "common/intmath.hh"
 #include "common/logging.hh"
 
@@ -10,14 +11,18 @@ Walker::Walker(const PageTable &table, stats::StatGroup *parent,
                unsigned scan_lines, PwcParams pwc)
     : table_(table), scanLines_(scan_lines), stats_("walker", parent),
       pwc_(pwc, &stats_),
-      walks_(stats_.addScalar("walks", "page table walks performed")),
-      pageFaults_(stats_.addScalar("page_faults",
-                                   "walks that found no mapping")),
-      memAccesses_(stats_.addScalar("mem_accesses",
-                                    "memory accesses issued by walks")),
-      dirtyUpdates_(stats_.addScalar("dirty_updates",
-                                     "dirty-bit update micro-ops"))
+      walks_(stats_.addCounter("walks", "page table walks performed")),
+      pageFaults_(stats_.addCounter("page_faults",
+                                    "walks that found no mapping")),
+      memAccesses_(stats_.addCounter("mem_accesses",
+                                     "memory accesses issued by walks")),
+      dirtyUpdates_(stats_.addCounter("dirty_updates",
+                                      "dirty-bit update micro-ops"))
 {
+    MIX_EXPECT(scan_lines >= 1 && scan_lines <= MaxLineSlots
+                                                    / PtesPerCacheLine,
+               "walker scan_lines %u outside [1, %zu]", scan_lines,
+               MaxLineSlots / PtesPerCacheLine);
 }
 
 WalkResult

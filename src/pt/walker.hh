@@ -19,8 +19,8 @@
 #include <array>
 #include <cstdint>
 #include <optional>
-#include <vector>
 
+#include "common/inline_vec.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "pt/page_table.hh"
@@ -37,6 +37,20 @@ struct LinePte
     Translation xlate{};
 };
 
+/**
+ * Architectural bounds on WalkResult's lists, so walks never heap
+ * allocate. A native walk touches <= 4 levels plus up to scanLines-1
+ * extra leaf lines; the 2-D nested walk composes a <= 4-access host
+ * walk per guest level (appended twice when the first attempt EPT
+ * faults), one guest PTE line per level, and a final host walk for the
+ * data GPA: 4 * (2 * 4 + 1) + 8 = 44 accesses worst case.
+ */
+constexpr std::size_t MaxWalkAccesses = 48;
+/** fillAccesses holds at most scanLines - 1 <= 7 extra lines. */
+constexpr std::size_t MaxFillAccesses = 8;
+/** The decoded leaf group: at most 8 lines x 8 PTEs per line. */
+constexpr std::size_t MaxLineSlots = 64;
+
 /** Everything a TLB fill needs to know about one walk. */
 struct WalkResult
 {
@@ -44,7 +58,7 @@ struct WalkResult
     std::optional<Translation> leaf;
 
     /** Cacheline-aligned physical addresses touched, root first. */
-    std::vector<PAddr> accesses;
+    InlineVec<PAddr, MaxWalkAccesses> accesses;
 
     /**
      * Additional accesses issued by the fill/coalescing logic off the
@@ -52,7 +66,7 @@ struct WalkResult
      * and energy and perturb the caches, but add no translation
      * latency (Sec. 4.5).
      */
-    std::vector<PAddr> fillAccesses;
+    InlineVec<PAddr, MaxFillAccesses> fillAccesses;
 
     /**
      * The PTE slots around the leaf, in ascending virtual-address
@@ -63,7 +77,7 @@ struct WalkResult
      * several lines, each extra line charged as a memory access.
      * Only populated on a successful walk.
      */
-    std::vector<LinePte> line;
+    InlineVec<LinePte, MaxLineSlots> line;
     unsigned leafSlot = 0;
 
     /** Page size of each slot's granularity (all slots share a level). */
@@ -112,10 +126,10 @@ class Walker
 
     stats::StatGroup stats_;
     PagingStructureCache pwc_;
-    stats::Scalar &walks_;
-    stats::Scalar &pageFaults_;
-    stats::Scalar &memAccesses_;
-    stats::Scalar &dirtyUpdates_;
+    stats::Counter &walks_;
+    stats::Counter &pageFaults_;
+    stats::Counter &memAccesses_;
+    stats::Counter &dirtyUpdates_;
 
     /** Decode the leaf line(s) around @p pte_addr into @p result. */
     void fillLine(VAddr vaddr, PAddr pte_addr, unsigned level,

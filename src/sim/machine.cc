@@ -65,21 +65,40 @@ Machine::mapArena(std::uint64_t bytes)
 std::uint64_t
 Machine::run(workload::TraceGenerator &gen, std::uint64_t refs)
 {
+    // References are generated and replayed one CheckPeriod-aligned
+    // batch at a time: the deadline poll and the pressure-burst fault
+    // draw run between batches, at exactly the same points in the
+    // reference stream as the old per-reference loop — so fault
+    // schedules and every modeled statistic stay bit-identical.
+    MemRef batch[CheckPeriod];
+    const bool data_through_caches = params_.dataRefsThroughCaches;
     std::uint64_t done = 0;
-    for (; done < refs; done++) {
-        MemRef ref = gen.next();
-        auto result = hier_->access(ref.vaddr,
-                                    ref.type == AccessType::Write);
-        if (!result.ok) {
-            warn("machine %s out of memory after %llu refs",
-                 params_.name.c_str(), (unsigned long long)done);
+    bool oom = false;
+    while (done < refs && !oom) {
+        const auto chunk = static_cast<std::size_t>(
+            std::min<std::uint64_t>(
+                CheckPeriod - (done & (CheckPeriod - 1)), refs - done));
+        gen.nextBatch(batch, chunk);
+        std::uint64_t data_cycles = 0;
+        std::size_t i = 0;
+        for (; i < chunk; i++) {
+            const bool is_store = batch[i].type == AccessType::Write;
+            auto result = hier_->access(batch[i].vaddr, is_store);
+            if (!result.ok) {
+                warn("machine %s out of memory after %llu refs",
+                     params_.name.c_str(),
+                     (unsigned long long)(done + i));
+                oom = true;
+                break;
+            }
+            if (data_through_caches)
+                data_cycles += caches_.access(result.paddr, is_store);
+        }
+        done += i;
+        dataCycles_ += data_cycles;
+        if (oom)
             break;
-        }
-        if (params_.dataRefsThroughCaches) {
-            dataCycles_ += static_cast<double>(caches_.access(
-                result.paddr, ref.type == AccessType::Write));
-        }
-        if ((done & (CheckPeriod - 1)) == CheckPeriod - 1) {
+        if ((done & (CheckPeriod - 1)) == 0) {
             if (fault::deadlineExpired()) {
                 memhog_.burstRelease();
                 MIX_RAISE("deadline",
@@ -95,7 +114,7 @@ Machine::run(workload::TraceGenerator &gen, std::uint64_t refs)
                 memhog_.burstAcquire(mem_.buddy().freeFrames() / 2);
         }
         if (contracts::paranoia() >= 3 &&
-            (done & (AuditPeriod - 1)) == AuditPeriod - 1) {
+            (done & (AuditPeriod - 1)) == 0) {
             auditAll();
         }
     }
@@ -170,14 +189,15 @@ Machine::startMeasurement()
 {
     root_.resetStats();
     refs_ = 0;
-    dataCycles_ = 0.0;
+    dataCycles_ = 0;
 }
 
 perf::RunMetrics
 Machine::metrics(const perf::PerfParams &params) const
 {
     return perf::computeMetrics(refs_, hier_->translationCycleCount(),
-                                dataCycles_, params);
+                                static_cast<double>(dataCycles_),
+                                params);
 }
 
 perf::EnergyInputs
@@ -306,21 +326,36 @@ VirtMachine::run(unsigned vm, workload::TraceGenerator &gen,
                  std::uint64_t refs)
 {
     auto &hier = *hiers_.at(vm);
+    // Batched like Machine::run: polls land at the same reference-
+    // stream positions as the old per-reference loop.
+    MemRef batch[CheckPeriod];
+    const bool data_through_caches = params_.dataRefsThroughCaches;
     std::uint64_t done = 0;
-    for (; done < refs; done++) {
-        MemRef ref = gen.next();
-        auto result = hier.access(ref.vaddr,
-                                  ref.type == AccessType::Write);
-        if (!result.ok) {
-            warn("vm %u out of memory after %llu refs", vm,
-                 (unsigned long long)done);
+    bool oom = false;
+    while (done < refs && !oom) {
+        const auto chunk = static_cast<std::size_t>(
+            std::min<std::uint64_t>(
+                CheckPeriod - (done & (CheckPeriod - 1)), refs - done));
+        gen.nextBatch(batch, chunk);
+        std::uint64_t data_cycles = 0;
+        std::size_t i = 0;
+        for (; i < chunk; i++) {
+            const bool is_store = batch[i].type == AccessType::Write;
+            auto result = hier.access(batch[i].vaddr, is_store);
+            if (!result.ok) {
+                warn("vm %u out of memory after %llu refs", vm,
+                     (unsigned long long)(done + i));
+                oom = true;
+                break;
+            }
+            if (data_through_caches)
+                data_cycles += caches_.access(result.paddr, is_store);
+        }
+        done += i;
+        dataCycles_ += data_cycles;
+        if (oom)
             break;
-        }
-        if (params_.dataRefsThroughCaches) {
-            dataCycles_ += static_cast<double>(caches_.access(
-                result.paddr, ref.type == AccessType::Write));
-        }
-        if ((done & (CheckPeriod - 1)) == CheckPeriod - 1 &&
+        if ((done & (CheckPeriod - 1)) == 0 &&
             fault::deadlineExpired()) {
             MIX_RAISE("deadline",
                       "vm %u exceeded per-point deadline after %llu "
@@ -328,7 +363,7 @@ VirtMachine::run(unsigned vm, workload::TraceGenerator &gen,
                       vm, (unsigned long long)done);
         }
         if (contracts::paranoia() >= 3 &&
-            (done & (AuditPeriod - 1)) == AuditPeriod - 1) {
+            (done & (AuditPeriod - 1)) == 0) {
             auditAll();
         }
     }
@@ -385,7 +420,7 @@ VirtMachine::startMeasurement()
 {
     root_.resetStats();
     refs_ = 0;
-    dataCycles_ = 0.0;
+    dataCycles_ = 0;
 }
 
 os::PageSizeDistribution
@@ -450,7 +485,9 @@ VirtMachine::metrics(const perf::PerfParams &params) const
     double cycles = 0;
     for (const auto &hier : hiers_)
         cycles += hier->translationCycleCount();
-    return perf::computeMetrics(refs_, cycles, dataCycles_, params);
+    return perf::computeMetrics(refs_, cycles,
+                                static_cast<double>(dataCycles_),
+                                params);
 }
 
 perf::EnergyInputs

@@ -114,7 +114,8 @@ class Machine
     std::unique_ptr<tlb::NativeWalkSource> source_;
     std::unique_ptr<tlb::TlbHierarchy> hier_;
     std::uint64_t refs_ = 0;
-    double dataCycles_ = 0.0;
+    /** Hot counter: integral cycles, converted to double at report. */
+    std::uint64_t dataCycles_ = 0;
 };
 
 struct VirtMachineParams
@@ -187,7 +188,8 @@ class VirtMachine
     std::vector<std::unique_ptr<virt::NestedWalkSource>> sources_;
     std::vector<std::unique_ptr<tlb::TlbHierarchy>> hiers_;
     std::uint64_t refs_ = 0;
-    double dataCycles_ = 0.0;
+    /** Hot counter: integral cycles, converted to double at report. */
+    std::uint64_t dataCycles_ = 0;
 };
 
 /** Harvest energy inputs from any hierarchy's stat tree. */

@@ -130,23 +130,31 @@ class BaseTlb
 
     stats::StatGroup &statGroup() { return stats_; }
 
-    double hits() const { return hits_.value(); }
-    double misses() const { return misses_.value(); }
-    double fillCount() const { return fills_.value(); }
-    double coalesceCount() const { return coalesces_.value(); }
-    double invalidationCount() const { return invalidations_.value(); }
-    double probeCount() const { return probesTotal_.value(); }
-    double waysReadCount() const { return waysReadTotal_.value(); }
+    double hits() const { return double(hits_.value()); }
+    double misses() const { return double(misses_.value()); }
+    double fillCount() const { return double(fills_.value()); }
+    double coalesceCount() const { return double(coalesces_.value()); }
+    double
+    invalidationCount() const
+    {
+        return double(invalidations_.value());
+    }
+    double probeCount() const { return double(probesTotal_.value()); }
+    double
+    waysReadCount() const
+    {
+        return double(waysReadTotal_.value());
+    }
 
   protected:
     stats::StatGroup stats_;
-    stats::Scalar &hits_;
-    stats::Scalar &misses_;
-    stats::Scalar &fills_;        ///< entry writes, incl. every mirror
-    stats::Scalar &coalesces_;    ///< fills merged into existing entries
-    stats::Scalar &invalidations_;
-    stats::Scalar &probesTotal_;  ///< probe rounds summed over lookups
-    stats::Scalar &waysReadTotal_;///< entries read summed over lookups
+    stats::Counter &hits_;
+    stats::Counter &misses_;
+    stats::Counter &fills_;       ///< entry writes, incl. every mirror
+    stats::Counter &coalesces_;   ///< fills merged into existing entries
+    stats::Counter &invalidations_;
+    stats::Counter &probesTotal_; ///< probe rounds summed over lookups
+    stats::Counter &waysReadTotal_;///< entries read summed over lookups
 
     void
     recordLookup(const TlbLookup &result)

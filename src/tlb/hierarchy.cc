@@ -23,49 +23,56 @@ TlbHierarchy::TlbHierarchy(const std::string &name,
                            TlbHierarchyParams params)
     : stats_(name, parent), l1_(std::move(l1)), l2_(std::move(l2)),
       source_(source), caches_(caches), params_(params),
-      accesses_(stats_.addScalar("accesses", "translated references")),
-      l1Hits_(stats_.addScalar("l1_hits", "L1 TLB hits")),
-      l2Hits_(stats_.addScalar("l2_hits", "L2 TLB hits")),
-      walks_(stats_.addScalar("walks", "page table walks")),
-      walkCycles_(stats_.addScalar("walk_cycles",
-                                   "cycles spent in walks")),
-      walkAccesses_(stats_.addScalar("walk_accesses",
+      accesses_(stats_.addCounter("accesses", "translated references")),
+      l1Hits_(stats_.addCounter("l1_hits", "L1 TLB hits")),
+      l2Hits_(stats_.addCounter("l2_hits", "L2 TLB hits")),
+      walks_(stats_.addCounter("walks", "page table walks")),
+      walkCycles_(stats_.addCounter("walk_cycles",
+                                    "cycles spent in walks")),
+      walkAccesses_(stats_.addCounter("walk_accesses",
           "memory references issued by walks")),
-      walkDramAccesses_(stats_.addScalar("walk_dram_accesses",
+      walkDramAccesses_(stats_.addCounter("walk_dram_accesses",
           "walk references that reached DRAM")),
-      pageFaults_(stats_.addScalar("page_faults", "demand page faults")),
-      dirtyMicroOps_(stats_.addScalar("dirty_micro_ops",
+      pageFaults_(stats_.addCounter("page_faults",
+                                    "demand page faults")),
+      dirtyMicroOps_(stats_.addCounter("dirty_micro_ops",
           "dirty-bit update micro-ops injected")),
-      translationCycles_(stats_.addScalar("translation_cycles",
+      translationCycles_(stats_.addCounter("translation_cycles",
           "total address translation cycles")),
-      oracleChecks_(stats_.addScalar("oracle_checks",
+      oracleChecks_(stats_.addCounter("oracle_checks",
           "translations cross-checked against the reference walk"))
 {
     stats_.addFormula("l1_miss_rate", "L1 TLB miss fraction", [this] {
-        double total = accesses_.value();
-        return total > 0 ? 1.0 - l1Hits_.value() / total : 0.0;
+        double total = double(accesses_.value());
+        return total > 0 ? 1.0 - double(l1Hits_.value()) / total : 0.0;
     });
+}
+
+Cycles
+TlbHierarchy::chargeAccesses(std::span<const PAddr> accesses,
+                             bool charge_latency)
+{
+    Cycles cycles = 0;
+    for (PAddr paddr : accesses) {
+        auto level = caches_.accessLevel(paddr, false);
+        if (charge_latency)
+            cycles += caches_.levelLatency(level);
+        ++walkAccesses_;
+        if (level == cache::HitLevel::Memory)
+            ++walkDramAccesses_;
+    }
+    return cycles;
 }
 
 Cycles
 TlbHierarchy::chargeWalk(const pt::WalkResult &walk)
 {
-    Cycles cycles = 0;
-    for (PAddr paddr : walk.accesses) {
-        auto level = caches_.accessLevel(paddr, false);
-        cycles += caches_.levelLatency(level);
-        ++walkAccesses_;
-        if (level == cache::HitLevel::Memory)
-            ++walkDramAccesses_;
-    }
+    Cycles cycles = chargeAccesses(
+        {walk.accesses.data(), walk.accesses.size()}, true);
     // Fill-logic accesses (wide PTE scans) run off the critical path:
     // they perturb the caches and cost energy but add no latency.
-    for (PAddr paddr : walk.fillAccesses) {
-        auto level = caches_.accessLevel(paddr, false);
-        ++walkAccesses_;
-        if (level == cache::HitLevel::Memory)
-            ++walkDramAccesses_;
-    }
+    chargeAccesses({walk.fillAccesses.data(), walk.fillAccesses.size()},
+                   false);
     return cycles;
 }
 
@@ -162,7 +169,7 @@ TlbHierarchy::access(VAddr vaddr, bool is_store)
         result.cycles += chargeWalk(walk);
         panic_if(walk.pageFault(), "walk faulted after fault service");
     }
-    walkCycles_ += static_cast<double>(result.cycles);
+    walkCycles_ += result.cycles;
 
     FillInfo fill;
     fill.leaf = *walk.leaf;

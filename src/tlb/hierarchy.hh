@@ -12,6 +12,7 @@
 
 #include <functional>
 #include <memory>
+#include <span>
 
 #include "cache/cache.hh"
 #include "common/stats.hh"
@@ -112,21 +113,33 @@ class TlbHierarchy
     const BaseTlb &l1() const { return *l1_; }
     const BaseTlb &l2() const { return *l2_; }
 
-    double accessCount() const { return accesses_.value(); }
-    double l1HitCount() const { return l1Hits_.value(); }
-    double l2HitCount() const { return l2Hits_.value(); }
-    double walkCount() const { return walks_.value(); }
+    double accessCount() const { return double(accesses_.value()); }
+    double l1HitCount() const { return double(l1Hits_.value()); }
+    double l2HitCount() const { return double(l2Hits_.value()); }
+    double walkCount() const { return double(walks_.value()); }
     double translationCycleCount() const
     {
-        return translationCycles_.value();
+        return double(translationCycles_.value());
     }
-    double walkAccessCount() const { return walkAccesses_.value(); }
+    double
+    walkAccessCount() const
+    {
+        return double(walkAccesses_.value());
+    }
     double walkDramAccessCount() const
     {
-        return walkDramAccesses_.value();
+        return double(walkDramAccesses_.value());
     }
-    double dirtyMicroOpCount() const { return dirtyMicroOps_.value(); }
-    double oracleCheckCount() const { return oracleChecks_.value(); }
+    double
+    dirtyMicroOpCount() const
+    {
+        return double(dirtyMicroOps_.value());
+    }
+    double
+    oracleCheckCount() const
+    {
+        return double(oracleChecks_.value());
+    }
 
     stats::StatGroup &statGroup() { return stats_; }
 
@@ -138,20 +151,28 @@ class TlbHierarchy
     cache::CacheHierarchy &caches_;
     TlbHierarchyParams params_;
 
-    stats::Scalar &accesses_;
-    stats::Scalar &l1Hits_;
-    stats::Scalar &l2Hits_;
-    stats::Scalar &walks_;
-    stats::Scalar &walkCycles_;
-    stats::Scalar &walkAccesses_;
-    stats::Scalar &walkDramAccesses_;
-    stats::Scalar &pageFaults_;
-    stats::Scalar &dirtyMicroOps_;
-    stats::Scalar &translationCycles_;
-    stats::Scalar &oracleChecks_;
+    stats::Counter &accesses_;
+    stats::Counter &l1Hits_;
+    stats::Counter &l2Hits_;
+    stats::Counter &walks_;
+    stats::Counter &walkCycles_;
+    stats::Counter &walkAccesses_;
+    stats::Counter &walkDramAccesses_;
+    stats::Counter &pageFaults_;
+    stats::Counter &dirtyMicroOps_;
+    stats::Counter &translationCycles_;
+    stats::Counter &oracleChecks_;
 
     /** Charge a walk's memory accesses through the caches. */
     Cycles chargeWalk(const pt::WalkResult &walk);
+
+    /**
+     * Push one access list through the caches. Critical-path accesses
+     * (@p charge_latency) add each hit level's latency to the returned
+     * cycles; off-path fill scans cost bandwidth/energy only.
+     */
+    Cycles chargeAccesses(std::span<const PAddr> accesses,
+                          bool charge_latency);
 
     /** Issue the dirty-bit micro-op for a store to a clean entry. */
     Cycles dirtyMicroOp(VAddr vaddr);

@@ -15,11 +15,11 @@ namespace mixtlb::tlb
 MixTlb::MixTlb(const std::string &name, stats::StatGroup *parent,
                const MixTlbParams &params)
     : BaseTlb(name, parent), params_(params),
-      mirrorWrites_(stats_.addScalar("mirror_writes",
+      mirrorWrites_(stats_.addCounter("mirror_writes",
           "superpage mirror copies written on fills")),
-      duplicatesRemoved_(stats_.addScalar("duplicates_removed",
+      duplicatesRemoved_(stats_.addCounter("duplicates_removed",
           "duplicate mirrors collapsed on probe (Sec. 4.3)")),
-      extensions_(stats_.addScalar("extensions",
+      extensions_(stats_.addCounter("extensions",
           "existing bundles extended by later fills (Sec. 4.2)"))
 {
     MIX_EXPECT(params.assoc > 0 && params.entries > 0 &&
@@ -37,7 +37,12 @@ MixTlb::MixTlb(const std::string &name, stats::StatGroup *parent,
     maxCoalesce_ = params.maxCoalesce ? params.maxCoalesce : numSets_;
     if (params.mode == CoalesceMode::Bitmap && maxCoalesce_ > 64)
         maxCoalesce_ = 64; // a 64-bit map is the storage ceiling
+    setMask_ = (numSets_ & (numSets_ - 1)) == 0 ? numSets_ - 1 : 0;
+    colt4kShift_ =
+        static_cast<unsigned>(std::countr_zero(params.colt4k));
     sets_.resize(numSets_);
+    for (auto &set : sets_)
+        set.reserve(params_.assoc + 1);
 }
 
 bool
@@ -51,10 +56,13 @@ MixTlb::Entry::slotPresent(unsigned slot, CoalesceMode mode) const
 unsigned
 MixTlb::indexOf(VAddr vaddr) const
 {
-    if (params_.superpageIndexBits)
-        return static_cast<unsigned>((vaddr >> PageShift2M) % numSets_);
-    std::uint64_t vpn = vaddr >> PageShift4K;
-    return static_cast<unsigned>((vpn / params_.colt4k) % numSets_);
+    const std::uint64_t index =
+        params_.superpageIndexBits
+            ? vaddr >> PageShift2M
+            : vaddr >> (PageShift4K + colt4kShift_);
+    if (setMask_)
+        return static_cast<unsigned>(index & setMask_);
+    return static_cast<unsigned>(index % numSets_);
 }
 
 unsigned
@@ -137,25 +145,29 @@ MixTlb::lookup(VAddr vaddr, bool is_store)
     result.waysRead = params_.assoc;
     auto &set = sets_[indexOf(vaddr)];
 
-    auto it = std::find_if(set.begin(), set.end(), [&](const Entry &e) {
-        return entryCovers(e, vaddr);
-    });
-    if (it != set.end()) {
-        // Sec. 4.3: the probe tag-compares the whole set, so duplicate
-        // mirrors of the matched bundle are visible; collapse them.
-        auto dup = set.begin();
-        while (dup != set.end()) {
-            if (dup != it && compatible(*it, *dup)) {
-                merge(*it, *dup);
-                dup = set.erase(dup);
-                ++duplicatesRemoved_;
-            } else {
-                ++dup;
-            }
+    std::size_t hit = set.size();
+    for (std::size_t i = 0; i < set.size(); i++) {
+        if (entryCovers(set[i], vaddr)) {
+            hit = i;
+            break;
         }
     }
-    if (it != set.end()) {
-        set.splice(set.begin(), set, it);
+    if (hit != set.size()) {
+        // Sec. 4.3: the probe tag-compares the whole set, so duplicate
+        // mirrors of the matched bundle are visible; collapse them.
+        for (std::size_t i = 0; i < set.size();) {
+            if (i != hit && compatible(set[hit], set[i])) {
+                merge(set[hit], set[i]);
+                set.erase(set.begin() + static_cast<long>(i));
+                if (i < hit)
+                    hit--;
+                ++duplicatesRemoved_;
+            } else {
+                i++;
+            }
+        }
+        std::rotate(set.begin(), set.begin() + static_cast<long>(hit),
+                    set.begin() + static_cast<long>(hit) + 1);
         const Entry &entry = set.front();
         result.hit = true;
         result.xlate.size = entry.size;
@@ -266,13 +278,13 @@ MixTlb::insertIntoSet(unsigned set_idx, const Entry &entry)
     if (it != set.end()) {
         unsigned before = population(*it);
         merge(*it, entry);
-        set.splice(set.begin(), set, it);
+        std::rotate(set.begin(), it, it + 1); // move to MRU
         if (population(set.front()) > before)
             ++extensions_;
         ++coalesces_;
         return;
     }
-    set.push_front(entry);
+    set.insert(set.begin(), entry);
     if (set.size() > params_.assoc)
         set.pop_back();
     ++fills_;
@@ -287,7 +299,7 @@ MixTlb::blindInsert(unsigned set_idx, const Entry &entry)
     // existing copy (scanning every set on fill would cost too much
     // energy); duplicates this creates collapse on a later probe.
     auto &set = sets_[set_idx];
-    set.push_front(entry);
+    set.insert(set.begin(), entry);
     if (set.size() > params_.assoc)
         set.pop_back();
     ++fills_;
@@ -454,7 +466,7 @@ MixTlb::markDirty(VAddr vaddr)
     // member is dirty; hardware only knows that for singletons.
     bool superpage_covered = false;
     bool small_covered = false;
-    auto mark = [&](std::list<Entry> &set) {
+    auto mark = [&](std::vector<Entry> &set) {
         for (auto &entry : set) {
             if (!entryCovers(entry, vaddr))
                 continue;

@@ -34,7 +34,6 @@
 #ifndef MIXTLB_TLB_MIX_HH
 #define MIXTLB_TLB_MIX_HH
 
-#include <list>
 #include <vector>
 
 #include "tlb/base.hh"
@@ -91,7 +90,7 @@ class MixTlb : public BaseTlb
     unsigned maxCoalesce() const { return maxCoalesce_; }
 
     /** Mirror copies written per superpage fill (for energy studies). */
-    double mirrorWrites() const { return mirrorWrites_.value(); }
+    double mirrorWrites() const { return double(mirrorWrites_.value()); }
 
     /**
      * Structural audit of every set (Sec. 4.1/4.3/4.4 invariants):
@@ -134,13 +133,17 @@ class MixTlb : public BaseTlb
     MixTlbParams params_;
     unsigned numSets_;
     unsigned maxCoalesce_;
+    /** Mask for power-of-two set counts; 0 selects the modulo path. */
+    std::uint64_t setMask_;
+    /** log2(colt4k); colt4k is enforced to be a power of two. */
+    unsigned colt4kShift_;
 
-    /** Front = MRU. */
-    std::vector<std::list<Entry>> sets_;
+    /** Flat per-set arrays, front = MRU. */
+    std::vector<std::vector<Entry>> sets_;
 
-    stats::Scalar &mirrorWrites_;
-    stats::Scalar &duplicatesRemoved_;
-    stats::Scalar &extensions_;
+    stats::Counter &mirrorWrites_;
+    stats::Counter &duplicatesRemoved_;
+    stats::Counter &extensions_;
 
     /** The set probed for @p vaddr (small-page or ablation indexing). */
     unsigned indexOf(VAddr vaddr) const;

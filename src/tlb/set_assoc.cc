@@ -15,7 +15,10 @@ SetAssocTlb::SetAssocTlb(const std::string &name, stats::StatGroup *parent,
     fatal_if(assoc == 0 || entries == 0 || entries % assoc != 0,
              "TLB geometry does not divide evenly");
     numSets_ = entries / assoc;
+    setMask_ = (numSets_ & (numSets_ - 1)) == 0 ? numSets_ - 1 : 0;
     sets_.resize(numSets_);
+    for (auto &set : sets_)
+        set.reserve(assoc_ + 1);
 }
 
 TlbLookup
@@ -30,10 +33,10 @@ SetAssocTlb::lookup(VAddr vaddr, bool is_store)
         return e.vpn == vpn;
     });
     if (it != set.end()) {
-        set.splice(set.begin(), set, it);
         result.hit = true;
         result.xlate = it->xlate;
         result.entryDirty = it->dirty;
+        std::rotate(set.begin(), it, it + 1); // move to MRU
     }
     recordLookup(result);
     return result;
@@ -53,10 +56,10 @@ SetAssocTlb::fill(const FillInfo &fill)
     if (it != set.end()) {
         it->xlate = fill.leaf;
         it->dirty = fill.leaf.dirty;
-        set.splice(set.begin(), set, it);
+        std::rotate(set.begin(), it, it + 1);
         return;
     }
-    set.push_front(Entry{vpn, fill.leaf, fill.leaf.dirty});
+    set.insert(set.begin(), Entry{vpn, fill.leaf, fill.leaf.dirty});
     if (set.size() > assoc_)
         set.pop_back();
     ++fills_;
@@ -70,7 +73,7 @@ SetAssocTlb::invalidate(VAddr vbase, PageSize size)
     ++invalidations_;
     std::uint64_t vpn = vpnOf(vbase, size_);
     auto &set = sets_[setOf(vpn)];
-    set.remove_if([&](const Entry &e) { return e.vpn == vpn; });
+    std::erase_if(set, [&](const Entry &e) { return e.vpn == vpn; });
 }
 
 void
@@ -99,6 +102,7 @@ FullyAssocTlb::FullyAssocTlb(const std::string &name,
     : BaseTlb(name, parent), entries_(entries)
 {
     fatal_if(entries == 0, "empty fully-associative TLB");
+    lru_.reserve(entries_ + 1);
     for (PageSize size : sizes)
         sizeMask_[static_cast<unsigned>(size)] = true;
 }
@@ -119,10 +123,10 @@ FullyAssocTlb::lookup(VAddr vaddr, bool is_store)
         return e.xlate.covers(vaddr);
     });
     if (it != lru_.end()) {
-        lru_.splice(lru_.begin(), lru_, it);
         result.hit = true;
         result.xlate = it->xlate;
         result.entryDirty = it->dirty;
+        std::rotate(lru_.begin(), it, it + 1); // move to MRU
     }
     recordLookup(result);
     return result;
@@ -141,10 +145,10 @@ FullyAssocTlb::fill(const FillInfo &fill)
     if (it != lru_.end()) {
         it->xlate = fill.leaf;
         it->dirty = fill.leaf.dirty;
-        lru_.splice(lru_.begin(), lru_, it);
+        std::rotate(lru_.begin(), it, it + 1);
         return;
     }
-    lru_.push_front(Entry{fill.leaf, fill.leaf.dirty});
+    lru_.insert(lru_.begin(), Entry{fill.leaf, fill.leaf.dirty});
     if (lru_.size() > entries_)
         lru_.pop_back();
     ++fills_;
@@ -154,7 +158,7 @@ void
 FullyAssocTlb::invalidate(VAddr vbase, PageSize size)
 {
     ++invalidations_;
-    lru_.remove_if([&](const Entry &e) {
+    std::erase_if(lru_, [&](const Entry &e) {
         return e.xlate.size == size && e.xlate.vbase == vbase;
     });
 }

@@ -8,7 +8,6 @@
 #ifndef MIXTLB_TLB_SET_ASSOC_HH
 #define MIXTLB_TLB_SET_ASSOC_HH
 
-#include <list>
 #include <vector>
 
 #include "tlb/base.hh"
@@ -55,10 +54,16 @@ class SetAssocTlb : public BaseTlb
     unsigned assoc_;
     PageSize size_;
     std::uint64_t numSets_;
-    /** Front = MRU. */
-    std::vector<std::list<Entry>> sets_;
+    /** Mask for power-of-two set counts; 0 selects the modulo path. */
+    std::uint64_t setMask_;
+    /** Flat per-set arrays, front = MRU (small, so shifts are cheap). */
+    std::vector<std::vector<Entry>> sets_;
 
-    std::uint64_t setOf(std::uint64_t vpn) const { return vpn % numSets_; }
+    std::uint64_t
+    setOf(std::uint64_t vpn) const
+    {
+        return setMask_ ? (vpn & setMask_) : vpn % numSets_;
+    }
 };
 
 /**
@@ -95,7 +100,7 @@ class FullyAssocTlb : public BaseTlb
 
     std::uint64_t entries_;
     bool sizeMask_[NumPageSizes] = {};
-    std::list<Entry> lru_; ///< front = MRU
+    std::vector<Entry> lru_; ///< front = MRU
 };
 
 } // namespace mixtlb::tlb

@@ -12,30 +12,28 @@ NestedWalkSource::NestedWalkSource(Vm &vm, os::Process &guest_proc,
     : vm_(vm), guestProc_(guest_proc), scanLines_(scan_lines),
       stats_("nested", parent),
       eptWalker_(vm.ept(), &stats_),
-      nestedWalks_(stats_.addScalar("walks", "nested 2-D walks")),
-      guestFaultsSeen_(stats_.addScalar("guest_faults",
-                                        "guest page faults observed"))
+      nestedWalks_(stats_.addCounter("walks", "nested 2-D walks")),
+      guestFaultsSeen_(stats_.addCounter("guest_faults",
+                                         "guest page faults observed"))
 {
 }
 
 std::optional<pt::Translation>
 NestedWalkSource::hostWalk(PAddr gpa, bool is_write,
-                           std::vector<PAddr> &accesses)
+                           InlineVec<PAddr, pt::MaxWalkAccesses> &accesses)
 {
     VAddr hva = vm_.eptHva(gpa);
     pt::WalkResult host = eptWalker_.walk(hva, is_write);
     if (host.pageFault()) {
         // EPT violation: the hypervisor backs the page, then the
         // hardware re-walks. Both walks' accesses are paid.
-        accesses.insert(accesses.end(), host.accesses.begin(),
-                        host.accesses.end());
+        accesses.append(host.accesses.begin(), host.accesses.end());
         if (!vm_.hostLeaf(gpa, is_write))
             return std::nullopt; // host OOM
         host = eptWalker_.walk(hva, is_write);
         panic_if(host.pageFault(), "EPT fault after backing");
     }
-    accesses.insert(accesses.end(), host.accesses.begin(),
-                    host.accesses.end());
+    accesses.append(host.accesses.begin(), host.accesses.end());
     return host.leaf;
 }
 

@@ -57,16 +57,17 @@ class NestedWalkSource : public tlb::WalkSource
     stats::StatGroup stats_;
     /** Host walker over the EPT (charged per guest-level reference). */
     pt::Walker eptWalker_;
-    stats::Scalar &nestedWalks_;
-    stats::Scalar &guestFaultsSeen_;
+    stats::Counter &nestedWalks_;
+    stats::Counter &guestFaultsSeen_;
 
     /**
      * Translate a guest-physical address through the EPT, appending the
      * host walk's accesses to @p accesses; faults host memory in on
      * EPT violations.
      */
-    std::optional<pt::Translation> hostWalk(PAddr gpa, bool is_write,
-                                            std::vector<PAddr> &accesses);
+    std::optional<pt::Translation>
+    hostWalk(PAddr gpa, bool is_write,
+             InlineVec<PAddr, pt::MaxWalkAccesses> &accesses);
 
     /** Effective (gva, spa, size) leaf from guest + host leaves. */
     static pt::Translation effectiveLeaf(VAddr gva,

@@ -28,6 +28,33 @@ GupsGen::next()
     return ref;
 }
 
+void
+GupsGen::nextBatch(MemRef *out, std::size_t n)
+{
+    std::size_t i = 0;
+    if (i < n && havePending_) {
+        havePending_ = false;
+        out[i] = pending_;
+        out[i].type = AccessType::Write;
+        i++;
+    }
+    while (i < n) {
+        MemRef ref;
+        ref.vaddr = base_ + (rng_.nextBounded(bytes_ / 8) * 8);
+        ref.type = AccessType::Read;
+        out[i++] = ref;
+        if (i < n) {
+            out[i] = ref;
+            out[i].type = AccessType::Write;
+            i++;
+        } else {
+            // The write half of the pair lands in the next batch.
+            pending_ = ref;
+            havePending_ = true;
+        }
+    }
+}
+
 StreamGen::StreamGen(VAddr base, std::uint64_t bytes, std::uint64_t seed,
                      unsigned stride, double write_ratio)
     : base_(base), bytes_(bytes), stride_(stride),
@@ -47,6 +74,19 @@ StreamGen::next()
     if (cursor_ >= bytes_)
         cursor_ = 0;
     return ref;
+}
+
+void
+StreamGen::nextBatch(MemRef *out, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; i++) {
+        out[i].vaddr = base_ + cursor_;
+        out[i].type = rng_.chance(writeRatio_) ? AccessType::Write
+                                               : AccessType::Read;
+        cursor_ += stride_;
+        if (cursor_ >= bytes_)
+            cursor_ = 0;
+    }
 }
 
 PointerChaseGen::PointerChaseGen(VAddr base, std::uint64_t bytes,
@@ -114,6 +154,19 @@ KeyValueGen::KeyValueGen(VAddr base, std::uint64_t bytes,
 
 MemRef
 KeyValueGen::next()
+{
+    return produce();
+}
+
+void
+KeyValueGen::nextBatch(MemRef *out, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; i++)
+        out[i] = produce();
+}
+
+MemRef
+KeyValueGen::produce()
 {
     MemRef ref;
     if (objRemaining_ > 0) {

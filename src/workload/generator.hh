@@ -14,6 +14,7 @@
 #ifndef MIXTLB_WORKLOAD_GENERATOR_HH
 #define MIXTLB_WORKLOAD_GENERATOR_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -34,6 +35,19 @@ class TraceGenerator
     /** Produce the next reference. */
     virtual MemRef next() = 0;
 
+    /**
+     * Produce the next @p n references into @p out — the same stream
+     * next() would yield, with one virtual dispatch per batch instead
+     * of per reference. Hot families override this; the default just
+     * loops next().
+     */
+    virtual void
+    nextBatch(MemRef *out, std::size_t n)
+    {
+        for (std::size_t i = 0; i < n; i++)
+            out[i] = next();
+    }
+
     /** Human-readable generator family name. */
     virtual const char *family() const = 0;
 };
@@ -47,6 +61,7 @@ class GupsGen : public TraceGenerator
   public:
     GupsGen(VAddr base, std::uint64_t bytes, std::uint64_t seed);
     MemRef next() override;
+    void nextBatch(MemRef *out, std::size_t n) override;
     const char *family() const override { return "gups"; }
 
   private:
@@ -67,6 +82,7 @@ class StreamGen : public TraceGenerator
     StreamGen(VAddr base, std::uint64_t bytes, std::uint64_t seed,
               unsigned stride = 64, double write_ratio = 0.3);
     MemRef next() override;
+    void nextBatch(MemRef *out, std::size_t n) override;
     const char *family() const override { return "stream"; }
 
   private:
@@ -136,6 +152,7 @@ class KeyValueGen : public TraceGenerator
                 unsigned value_bytes = 512, double zipf_theta = 0.99,
                 double write_ratio = 0.1);
     MemRef next() override;
+    void nextBatch(MemRef *out, std::size_t n) override;
     const char *family() const override { return "kv"; }
 
   private:
@@ -150,6 +167,8 @@ class KeyValueGen : public TraceGenerator
     VAddr objCursor_ = 0;
     unsigned objRemaining_ = 0;
     bool objWrite_ = false;
+
+    MemRef produce();
 };
 
 /**

@@ -13,6 +13,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/inline_vec.hh"
 #include "common/intmath.hh"
 #include "common/json.hh"
 #include "common/random.hh"
@@ -419,4 +420,117 @@ TEST(ThreadPool, UnretrievedExceptionIsSafeAtDestruction)
     // not a std::terminate from an in-flight exception.
     ThreadPool pool(2);
     pool.submit([] { throw std::runtime_error("never retrieved"); });
+}
+
+// ---------------------------------------------------------------------
+// InlineVec: the fixed-capacity vector backing the walk hot path.
+
+TEST(InlineVec, PushIndexIterateClear)
+{
+    InlineVec<int, 8> vec;
+    EXPECT_TRUE(vec.empty());
+    EXPECT_EQ(vec.capacity(), 8u);
+    for (int i = 0; i < 5; i++)
+        vec.push_back(i * 10);
+    EXPECT_EQ(vec.size(), 5u);
+    EXPECT_EQ(vec[0], 0);
+    EXPECT_EQ(vec[4], 40);
+    int sum = 0;
+    for (int value : vec)
+        sum += value;
+    EXPECT_EQ(sum, 100);
+    vec.clear();
+    EXPECT_TRUE(vec.empty());
+    EXPECT_EQ(vec.begin(), vec.end());
+}
+
+TEST(InlineVec, CopyTakesOnlyLiveElements)
+{
+    InlineVec<int, 4> vec;
+    vec.push_back(7);
+    vec.push_back(9);
+    InlineVec<int, 4> copy(vec);
+    EXPECT_EQ(copy.size(), 2u);
+    EXPECT_EQ(copy[0], 7);
+    EXPECT_EQ(copy[1], 9);
+    copy.push_back(11); // independent storage
+    EXPECT_EQ(vec.size(), 2u);
+    InlineVec<int, 4> assigned;
+    assigned.push_back(1);
+    assigned = vec;
+    EXPECT_EQ(assigned.size(), 2u);
+    EXPECT_EQ(assigned[1], 9);
+}
+
+TEST(InlineVec, AssignAndAppend)
+{
+    InlineVec<int, 8> vec;
+    vec.assign(3, 42);
+    ASSERT_EQ(vec.size(), 3u);
+    EXPECT_EQ(vec[2], 42);
+    const int more[] = {1, 2, 3};
+    vec.append(more, more + 3);
+    ASSERT_EQ(vec.size(), 6u);
+    EXPECT_EQ(vec[3], 1);
+    EXPECT_EQ(vec[5], 3);
+    vec.assign(2, 5); // assign replaces, not appends
+    ASSERT_EQ(vec.size(), 2u);
+    EXPECT_EQ(vec[1], 5);
+}
+
+TEST(InlineVecDeathTest, OverflowTrapsOnTheArchitecturalBound)
+{
+    InlineVec<int, 2> vec;
+    vec.push_back(1);
+    vec.push_back(2);
+    EXPECT_DEATH(vec.push_back(3), "InlineVec overflow");
+    InlineVec<int, 2> assigned;
+    EXPECT_DEATH(assigned.assign(3, 0), "InlineVec overflow");
+    const int more[] = {1, 2, 3};
+    InlineVec<int, 2> appended;
+    EXPECT_DEATH(appended.append(more, more + 3), "InlineVec overflow");
+}
+
+// ---------------------------------------------------------------------
+// stats::Counter: integer-precision hot counters beside Scalars.
+
+TEST(Stats, CountersAccumulateExactlyAndPrint)
+{
+    stats::StatGroup root("root");
+    auto &walks = root.addCounter("walks", "walk count");
+    ++walks;
+    walks += 41;
+    EXPECT_EQ(walks.value(), 42u);
+    EXPECT_DOUBLE_EQ(root.value("walks"), 42.0);
+    std::ostringstream out;
+    root.dump(out);
+    EXPECT_NE(out.str().find("walks"), std::string::npos);
+    root.resetStats();
+    EXPECT_EQ(walks.value(), 0u);
+}
+
+TEST(Stats, ValueReadsCountersAndScalarsThroughOnePath)
+{
+    stats::StatGroup root("root");
+    stats::StatGroup child("child", &root);
+    child.addCounter("hits", "") += 7;
+    child.addScalar("ratio", "") += 0.5;
+    EXPECT_DOUBLE_EQ(root.value("child.hits"), 7.0);
+    EXPECT_DOUBLE_EQ(root.value("child.ratio"), 0.5);
+}
+
+TEST(StatsDeathTest, CounterScalarNameCollisionPanics)
+{
+    stats::StatGroup root("root");
+    root.addCounter("x", "");
+    EXPECT_DEATH(root.addScalar("x", ""), "duplicate");
+    stats::StatGroup other("other");
+    other.addScalar("y", "");
+    EXPECT_DEATH(other.addCounter("y", ""), "duplicate");
+}
+
+TEST(StatsDeathTest, UnknownValueNamePanics)
+{
+    stats::StatGroup root("root");
+    EXPECT_DEATH(root.value("nope"), "unknown stat");
 }

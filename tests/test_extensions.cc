@@ -43,7 +43,7 @@ TEST(Pwc, ShortensRepeatedWalks)
     EXPECT_EQ(warm.accesses.size(), 1u); // PT base cached: leaf only
     ASSERT_FALSE(warm.pageFault());
     EXPECT_EQ(warm.leaf->translate(0x11000), 0x1000000u + 0x11000);
-    EXPECT_GT(root.scalar("walker.pwc.hits").value(), 0.0);
+    EXPECT_GT(root.value("walker.pwc.hits"), 0.0);
 }
 
 TEST(Pwc, DisabledByDefault)
@@ -103,7 +103,7 @@ TEST(Pwc, WorksInsideAMachine)
     machine.startMeasurement();
     auto gen = workload::makeGenerator("gups", base, 64 * MiB, 3);
     machine.run(*gen, 20000);
-    EXPECT_GT(machine.root().scalar("walker.pwc.hits").value(), 0.0);
+    EXPECT_GT(machine.root().value("walker.pwc.hits"), 0.0);
 }
 
 TEST(Reservation, PromotesWhenFullyTouched)

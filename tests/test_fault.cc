@@ -430,7 +430,7 @@ TEST(BenchSweepFault, QuarantineIsIdenticalAcrossJobCounts)
     auto run_with = [](const char *jobs) {
         auto args = makeArgs({"--jobs", jobs, "--retries", "1",
                               "--inject", "buddy-alloc=1.0@2",
-                              "--allow-failures"});
+                              "--allow-failures", "--no-timing"});
         auto sweep = std::make_unique<BenchSweep>(args, "parity");
         sweep->run(cheapGrid());
         return sweep;
@@ -492,7 +492,8 @@ TEST(BenchSweepFault, ResumeReproducesTheUninterruptedJson)
 
     // Reference: one uninterrupted serial run.
     {
-        auto args = makeArgs({"--jobs", "1", "--json", json_a});
+        auto args = makeArgs({"--jobs", "1", "--no-timing",
+                              "--json", json_a});
         BenchSweep sweep(args, "resume");
         sweep.run(cheapGrid());
         EXPECT_EQ(sweep.finish(), 0);
@@ -502,7 +503,8 @@ TEST(BenchSweepFault, ResumeReproducesTheUninterruptedJson)
     // first record plus a torn half-line, as a SIGKILL mid-append
     // would.
     {
-        auto args = makeArgs({"--jobs", "1", "--json", json_b});
+        auto args = makeArgs({"--jobs", "1", "--no-timing",
+                              "--json", json_b});
         BenchSweep sweep(args, "resume");
         sweep.run(cheapGrid());
         EXPECT_EQ(sweep.finish(), 0);
@@ -518,8 +520,9 @@ TEST(BenchSweepFault, ResumeReproducesTheUninterruptedJson)
     // Resume: point 0 restored from the journal, the rest re-run; the
     // final report must be byte-identical to the uninterrupted one.
     {
-        auto args = makeArgs({"--jobs", "1", "--json", json_c,
-                              "--resume", journal});
+        auto args = makeArgs({"--jobs", "1", "--no-timing",
+                              "--json", json_c, "--resume",
+                              journal});
         BenchSweep sweep(args, "resume");
         sweep.run(cheapGrid());
         EXPECT_EQ(sweep.finish(), 0);

@@ -106,8 +106,8 @@ TEST_F(MixFixture, SuperpageFillCoalescesContiguousNeighbours)
     auto chit = tlb.lookup(C + 0x4321, false);
     ASSERT_TRUE(chit.hit);
     EXPECT_EQ(chit.xlate.translate(C + 0x4321), 0x00204321u);
-    EXPECT_EQ(root.scalar("mix.coalesces").value()
-                  + root.scalar("mix.fills").value(),
+    EXPECT_EQ(root.value("mix.coalesces")
+                  + root.value("mix.fills"),
               2.0); // one entry per set, however accounted
 }
 
@@ -126,7 +126,7 @@ TEST_F(MixFixture, MirrorsServeEvenAndOddRegions)
         EXPECT_EQ(result.xlate.translate(B + region * PageBytes4K),
                   region * PageBytes4K);
     }
-    EXPECT_EQ(root.scalar("mix.mirror_writes").value(), 2.0);
+    EXPECT_EQ(root.value("mix.mirror_writes"), 2.0);
 }
 
 TEST_F(MixFixture, UnaccessedNeighbourNotCoalescedAtFill)
@@ -153,7 +153,7 @@ TEST_F(MixFixture, LaterFillExtendsExistingBundle)
     auto walk_c = walkFor(C);
     tlb.fill(fillFrom(walk_c));
     EXPECT_TRUE(tlb.lookup(C, false).hit);
-    EXPECT_GT(root.scalar("mix.extensions").value(), 0.0);
+    EXPECT_GT(root.value("mix.extensions"), 0.0);
 }
 
 TEST_F(MixFixture, NonContiguousPhysicalPagesDoNotCoalesce)
@@ -347,7 +347,7 @@ TEST_F(MixFixture, ColtModeCoalescesSmallPages)
                   0x00800000u + i * PageBytes4K);
     }
     // One entry in one set serves all four pages.
-    EXPECT_EQ(root.scalar("mixcolt.fills").value(), 1.0);
+    EXPECT_EQ(root.value("mixcolt.fills"), 1.0);
 }
 
 TEST_F(MixFixture, SuperpageIndexAblationConflictsOnSmallPages)

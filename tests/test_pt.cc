@@ -181,7 +181,7 @@ TEST_F(PtFixture, WalkSetsAccessedAndDirty)
     EXPECT_FALSE(xlate->dirty);
     walker.walk(0x7000, true);
     EXPECT_TRUE(table.translate(0x7000)->dirty);
-    EXPECT_EQ(root.scalar("walker.dirty_updates").value(), 1.0);
+    EXPECT_EQ(root.value("walker.dirty_updates"), 1.0);
 }
 
 TEST_F(PtFixture, PageFaultReportsPartialWalk)
@@ -189,7 +189,7 @@ TEST_F(PtFixture, PageFaultReportsPartialWalk)
     auto result = walker.walk(0xdead000, false);
     EXPECT_TRUE(result.pageFault());
     EXPECT_EQ(result.accesses.size(), 1u); // root line only
-    EXPECT_EQ(root.scalar("walker.page_faults").value(), 1.0);
+    EXPECT_EQ(root.value("walker.page_faults"), 1.0);
 }
 
 TEST_F(PtFixture, LineScanSeesContiguousSuperpages)

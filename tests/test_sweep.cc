@@ -10,6 +10,8 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
+#include <vector>
 
 #include "bench_common.hh"
 
@@ -139,4 +141,86 @@ TEST(SweepRunner, ParallelSweepIsBitIdenticalToSerial)
     auto again = run_with(8);
     for (std::size_t i = 0; i < serial.size(); i++)
         expectIdentical(parallel[i], again[i], jobs[i].label);
+}
+
+namespace
+{
+
+/** Build CliArgs from a flag list (argv[0] is prepended). */
+CliArgs
+makeSweepArgs(std::vector<std::string> flags)
+{
+    flags.insert(flags.begin(), "test");
+    std::vector<char *> argv;
+    argv.reserve(flags.size());
+    for (auto &flag : flags)
+        argv.push_back(flag.data());
+    return CliArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+/** The full report produced by one BenchSweep over smallGrid(). */
+json::Value
+goldenSweepDoc(const char *jobs)
+{
+    auto args = makeSweepArgs({"--jobs", jobs, "--no-timing"});
+    BenchSweep sweep(args, "golden");
+    sweep.run(smallGrid());
+    EXPECT_EQ(sweep.finish(), 0);
+    return sweep.doc();
+}
+
+} // anonymous namespace
+
+TEST(SweepRunner, GoldenReportBytesIdenticalAcrossJobCounts)
+{
+    // The headline determinism contract at the JSON layer: the full
+    // per-point records a --jobs 1 and a --jobs 8 sweep emit (with
+    // wall-clock timing suppressed) must serialize to the same bytes.
+    auto serial = goldenSweepDoc("1");
+    auto parallel = goldenSweepDoc("8");
+    const json::Value *serial_results = serial.find("results");
+    const json::Value *parallel_results = parallel.find("results");
+    ASSERT_NE(serial_results, nullptr);
+    ASSERT_NE(parallel_results, nullptr);
+    EXPECT_EQ(serial_results->dump(2), parallel_results->dump(2));
+    EXPECT_EQ(serial.find("failures")->dump(2),
+              parallel.find("failures")->dump(2));
+    EXPECT_EQ(serial_results->size(), smallGrid().size());
+}
+
+TEST(SweepRunner, TimingBlockPresentByDefaultAndSuppressible)
+{
+    SweepGrid grid;
+    NativeRunConfig config;
+    config.workload = "gups";
+    config.memBytes = 256 * MiB;
+    config.footprintBytes = 16 * MiB;
+    config.refs = 2000;
+    grid.add("native", "gups/split", config);
+
+    {
+        auto args = makeSweepArgs({"--jobs", "1"});
+        BenchSweep sweep(args, "timing");
+        sweep.run(grid);
+        EXPECT_EQ(sweep.finish(), 0);
+        const json::Value &record =
+            sweep.doc().find("results")->members().at(0).second;
+        const json::Value *timing = record.find("timing");
+        ASSERT_NE(timing, nullptr);
+        const json::Value *wall = timing->find("wall_seconds");
+        const json::Value *rate = timing->find("refs_per_sec");
+        ASSERT_NE(wall, nullptr);
+        ASSERT_NE(rate, nullptr);
+        EXPECT_GT(wall->number(), 0.0);
+        EXPECT_GT(rate->number(), 0.0);
+    }
+    {
+        auto args = makeSweepArgs({"--jobs", "1", "--no-timing"});
+        BenchSweep sweep(args, "timing");
+        sweep.run(grid);
+        EXPECT_EQ(sweep.finish(), 0);
+        const json::Value &record =
+            sweep.doc().find("results")->members().at(0).second;
+        EXPECT_EQ(record.find("timing"), nullptr);
+    }
 }

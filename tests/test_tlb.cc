@@ -331,7 +331,7 @@ TEST(Colt, CoalescesContiguousSmallPages)
         EXPECT_EQ(result.xlate.translate(0x10000 + i * PageBytes4K),
                   0x800000u + i * PageBytes4K);
     }
-    EXPECT_EQ(root.scalar("colt.fills").value(), 1.0);
+    EXPECT_EQ(root.value("colt.fills"), 1.0);
     ASSERT_TRUE(tlb.lookup(0x10000, false).bundle.has_value());
     EXPECT_EQ(tlb.lookup(0x10000, false).bundle->count, 4u);
 }
@@ -493,9 +493,9 @@ TEST_F(HierarchyFixture, StoreToCleanEntryIssuesDirtyMicroOp)
     auto hier = makeMixHierarchy();
     VAddr base = proc.mmap(64 * MiB);
     hier->access(base, false); // read: walker leaves D clear
-    EXPECT_EQ(root.scalar("mixh.dirty_micro_ops").value(), 0.0);
+    EXPECT_EQ(root.value("mixh.dirty_micro_ops"), 0.0);
     hier->access(base + 4, true); // store to clean entry
-    EXPECT_GT(root.scalar("mixh.dirty_micro_ops").value(), 0.0);
+    EXPECT_GT(root.value("mixh.dirty_micro_ops"), 0.0);
     EXPECT_TRUE(proc.pageTable().translate(base)->dirty);
 }
 

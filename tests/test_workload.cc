@@ -7,9 +7,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <iterator>
 #include <set>
+#include <string>
+#include <vector>
 
 #include "common/contracts.hh"
 #include "common/fault.hh"
@@ -313,4 +317,93 @@ TEST(TraceValidation, InjectedCorruptionTripsTheSameValidation)
     }
     EXPECT_EQ(scope.fired(fault::Site::TraceCorrupt), 1u);
     std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// nextBatch parity: for every generator family, nextBatch() must emit
+// exactly the stream next() would — including across batch boundaries
+// that split gups' read/write pairs — or batched run loops would
+// silently change every modeled statistic.
+
+namespace
+{
+
+/** Drain @p gen through nextBatch using a mixed chunk schedule. */
+std::vector<MemRef>
+drainBatched(TraceGenerator &gen, std::size_t total)
+{
+    // Chunk sizes deliberately mix odd, one, and large: every gups
+    // pair alignment and every internal-state carry gets exercised.
+    static constexpr std::size_t Chunks[] = {1, 3, 7, 64, 2, 129, 5};
+    std::vector<MemRef> out(total);
+    std::size_t done = 0, turn = 0;
+    while (done < total) {
+        std::size_t n = std::min(Chunks[turn++ % std::size(Chunks)],
+                                 total - done);
+        gen.nextBatch(out.data() + done, n);
+        done += n;
+    }
+    return out;
+}
+
+} // anonymous namespace
+
+TEST(Workload, NextBatchMatchesNextForEveryFamily)
+{
+    std::vector<std::string> names;
+    for (const auto &spec : cpuWorkloads())
+        names.push_back(spec.name);
+    for (const auto &spec : gpuWorkloads())
+        names.push_back(spec.name);
+    for (const auto &name : names) {
+        SCOPED_TRACE(name);
+        auto serial = makeGenerator(name, Base, 64 * MiB, 42);
+        auto batched = makeGenerator(name, Base, 64 * MiB, 42);
+        auto refs = drainBatched(*batched, 5000);
+        for (std::size_t i = 0; i < refs.size(); i++) {
+            MemRef want = serial->next();
+            ASSERT_EQ(refs[i].vaddr, want.vaddr) << "ref " << i;
+            ASSERT_EQ(static_cast<int>(refs[i].type),
+                      static_cast<int>(want.type))
+                << "ref " << i;
+        }
+    }
+}
+
+TEST(Workload, NextBatchCarriesGupsPairsAcrossBatchBoundaries)
+{
+    GupsGen serial(Base, 8 * MiB, 9);
+    GupsGen batched(Base, 8 * MiB, 9);
+    // Odd batch size: every batch ends mid-pair, so the write half
+    // must carry over as pending state.
+    std::vector<MemRef> refs(9);
+    for (int round = 0; round < 50; round++) {
+        batched.nextBatch(refs.data(), refs.size());
+        for (const MemRef &ref : refs) {
+            MemRef want = serial.next();
+            ASSERT_EQ(ref.vaddr, want.vaddr);
+            ASSERT_EQ(static_cast<int>(ref.type),
+                      static_cast<int>(want.type));
+        }
+    }
+}
+
+TEST(Workload, NextBatchInterleavesWithNext)
+{
+    // Mixing the two entry points must still be one coherent stream.
+    auto a = makeGenerator("gups", Base, 8 * MiB, 21);
+    auto b = makeGenerator("gups", Base, 8 * MiB, 21);
+    std::vector<MemRef> got;
+    MemRef buffer[5];
+    a->nextBatch(buffer, 5);
+    got.insert(got.end(), buffer, buffer + 5);
+    got.push_back(a->next());
+    a->nextBatch(buffer, 4);
+    got.insert(got.end(), buffer, buffer + 4);
+    for (const MemRef &ref : got) {
+        MemRef want = b->next();
+        ASSERT_EQ(ref.vaddr, want.vaddr);
+        ASSERT_EQ(static_cast<int>(ref.type),
+                  static_cast<int>(want.type));
+    }
 }

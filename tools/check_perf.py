@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Validate a hot-path throughput report (CI's perf-smoke job).
+
+`bench_hotpath` self-measures wall-clock refs/sec for a fixed
+gups + stream reference mix over every headline TLB design and writes
+`BENCH_hotpath.json`. This script proves the report is *usable as a
+perf artifact* — it is not a perf regression gate (CI machines vary),
+but it fails loudly when the harness silently lost coverage:
+
+  complete     every expected design is present
+  measured     every (design, workload) sample carries refs > 0,
+               wall_seconds > 0, and refs_per_sec > 0
+  coherent     the per-design aggregate refs_per_sec is positive and
+               no larger than its fastest workload sample
+
+Usage: tools/check_perf.py <BENCH_hotpath.json>
+       (exit 0 clean, 1 otherwise)
+"""
+
+import json
+import sys
+
+EXPECTED_DESIGNS = ["split", "mix", "mix+colt", "hash-rehash", "skew"]
+EXPECTED_WORKLOADS = ["gups", "stream"]
+
+
+def fail(message: str) -> None:
+    print(f"check_perf: FAIL: {message}")
+    sys.exit(1)
+
+
+def main() -> None:
+    if len(sys.argv) != 2:
+        fail("usage: check_perf.py <BENCH_hotpath.json>")
+    with open(sys.argv[1], encoding="utf-8") as handle:
+        report = json.load(handle)
+
+    designs = report.get("designs", [])
+    if not designs:
+        fail("report has no designs block")
+    by_name = {entry.get("design"): entry for entry in designs}
+    missing = [d for d in EXPECTED_DESIGNS if d not in by_name]
+    if missing:
+        fail(f"missing designs: {', '.join(missing)}")
+
+    for name in EXPECTED_DESIGNS:
+        entry = by_name[name]
+        workloads = entry.get("workloads", {})
+        for workload in EXPECTED_WORKLOADS:
+            sample = workloads.get(workload)
+            if sample is None:
+                fail(f"{name}: missing workload '{workload}'")
+            for key in ("refs", "wall_seconds", "refs_per_sec"):
+                value = sample.get(key, 0)
+                if not value or value <= 0:
+                    fail(f"{name}/{workload}: {key} is {value!r}")
+        aggregate = entry.get("refs_per_sec", 0)
+        if not aggregate or aggregate <= 0:
+            fail(f"{name}: aggregate refs_per_sec is {aggregate!r}")
+        fastest = max(
+            workloads[w]["refs_per_sec"] for w in EXPECTED_WORKLOADS
+        )
+        if aggregate > fastest * 1.001:
+            fail(
+                f"{name}: aggregate refs_per_sec ({aggregate:.0f}) "
+                f"exceeds its fastest sample ({fastest:.0f})"
+            )
+
+    total = sum(
+        by_name[n]["workloads"][w]["refs_per_sec"]
+        for n in EXPECTED_DESIGNS
+        for w in EXPECTED_WORKLOADS
+    )
+    print(
+        f"check_perf: OK: {len(EXPECTED_DESIGNS)} designs x "
+        f"{len(EXPECTED_WORKLOADS)} workloads, mean "
+        f"{total / (len(EXPECTED_DESIGNS) * len(EXPECTED_WORKLOADS)):,.0f} "
+        "refs/sec"
+    )
+
+
+if __name__ == "__main__":
+    main()
