@@ -115,6 +115,87 @@ runGpu(const GpuRunConfig &config)
     return result;
 }
 
+RunResult
+runMulti(const MultiRunConfig &config)
+{
+    sim::MultiMachineParams params;
+    params.name = sim::designName(config.design);
+    params.memBytes = config.memBytes;
+    params.quantum = config.quantum;
+    params.policy = config.policy;
+    params.design = config.design;
+    params.seed = config.seed;
+    params.caches = scaledCaches();
+    for (unsigned i = 0; i < config.numProcs; i++) {
+        os::ProcessParams pp;
+        pp.policy = config.procPolicy;
+        params.procs.push_back(pp);
+    }
+    sim::MultiMachine machine(params);
+
+    // "gups,stream" with 4 processes runs gups, stream, gups, stream.
+    std::vector<std::string> workloads;
+    for (std::size_t pos = 0; pos <= config.mix.size();) {
+        std::size_t comma = config.mix.find(',', pos);
+        if (comma == std::string::npos)
+            comma = config.mix.size();
+        if (comma > pos)
+            workloads.push_back(config.mix.substr(pos, comma - pos));
+        pos = comma + 1;
+    }
+    fatal_if(workloads.empty(), "empty workload mix '%s'",
+             config.mix.c_str());
+
+    std::vector<VAddr> bases;
+    for (unsigned i = 0; i < config.numProcs; i++) {
+        bases.push_back(
+            machine.mapArena(i, config.footprintPerProc));
+        machine.warmup(i, bases[i], config.footprintPerProc);
+    }
+    double warm_fallbacks = 0;
+    for (unsigned i = 0; i < config.numProcs; i++) {
+        warm_fallbacks += machine.root()
+                              .scalar("proc" + std::to_string(i)
+                                      + ".thp_fallbacks")
+                              .value();
+    }
+    machine.startMeasurement();
+    for (unsigned i = 0; i < config.numProcs; i++) {
+        machine.attachWorkload(
+            i, workload::makeGenerator(
+                   workloads[i % workloads.size()], bases[i],
+                   config.footprintPerProc,
+                   sim::sweepPointSeed(config.seed, i)));
+    }
+    machine.run(config.refsPerProc);
+
+    RunResult result;
+    result.thpFallbacks = warm_fallbacks;
+    for (unsigned i = 0; i < config.numProcs; i++) {
+        result.thpFallbacks +=
+            machine.root()
+                .scalar("proc" + std::to_string(i)
+                        + ".thp_fallbacks")
+                .value();
+    }
+    result.metrics = machine.metrics();
+    result.energy = machine.energyInputs();
+    auto &hier = machine.tlbs();
+    result.l1MissRate = 1.0 - hier.l1HitCount() / hier.accessCount();
+    result.walksPerKref =
+        1000.0 * hier.walkCount() / hier.accessCount();
+    result.accessesPerWalk =
+        hier.walkCount() > 0
+            ? hier.walkAccessCount() / hier.walkCount()
+            : 0.0;
+    result.distribution = machine.distribution(0);
+    for (unsigned i = 0; i < config.numProcs; i++)
+        result.procL1MissRates.push_back(machine.procL1MissRate(i));
+    result.contextSwitches = machine.contextSwitches();
+    result.fullFlushes = machine.fullFlushes();
+    return result;
+}
+
 std::size_t
 SweepGrid::add(std::string section, std::string label,
                BenchConfig config)
@@ -159,6 +240,8 @@ runJob(const SweepJob &job)
                 return runNative(config);
             else if constexpr (std::is_same_v<Config, VirtRunConfig>)
                 return runVirt(config);
+            else if constexpr (std::is_same_v<Config, MultiRunConfig>)
+                return runMulti(config);
             else
                 return runGpu(config);
         },
@@ -189,6 +272,16 @@ configJson(const SweepJob &job)
                 out["host_mem_bytes"] = config.hostMemBytes;
                 out["refs_per_vm"] = config.refsPerVm;
                 out["guest_memhog"] = config.guestMemhog;
+            } else if constexpr (std::is_same_v<Config,
+                                                MultiRunConfig>) {
+                out["kind"] = "multi";
+                out["policy"] = sim::switchPolicyName(config.policy);
+                out["num_procs"] = config.numProcs;
+                out["quantum"] = config.quantum;
+                out["mix"] = config.mix;
+                out["mem_bytes"] = config.memBytes;
+                out["footprint_per_proc"] = config.footprintPerProc;
+                out["refs_per_proc"] = config.refsPerProc;
             } else {
                 out["kind"] = "gpu";
                 out["kernel"] = config.kernel;
@@ -258,6 +351,16 @@ resultJson(const RunResult &result)
     distribution["bytes_4k"] = result.distribution.bytes4k;
     distribution["bytes_2m"] = result.distribution.bytes2m;
     distribution["bytes_1g"] = result.distribution.bytes1g;
+
+    if (!result.procL1MissRates.empty()) {
+        auto &multi = out["multi"];
+        multi["context_switches"] = result.contextSwitches;
+        multi["full_flushes"] = result.fullFlushes;
+        auto rates = json::Value::array();
+        for (double rate : result.procL1MissRates)
+            rates.push(rate);
+        multi["proc_l1_miss_rates"] = std::move(rates);
+    }
     return out;
 }
 
@@ -317,6 +420,18 @@ resultFromJson(const json::Value &record)
         result.energy.skewTimestamps = skew && skew->boolean();
         result.energy.totalCycles = numberAt(*energy, "total_cycles");
     }
+    const json::Value *multi = record.find("multi");
+    if (multi) {
+        result.contextSwitches = numberAt(*multi, "context_switches");
+        result.fullFlushes = numberAt(*multi, "full_flushes");
+        if (const json::Value *rates =
+                multi->find("proc_l1_miss_rates")) {
+            for (const auto &[key, rate] : rates->members()) {
+                (void)key;
+                result.procL1MissRates.push_back(rate.number());
+            }
+        }
+    }
     const json::Value *distribution = record.find("distribution");
     if (distribution) {
         result.distribution.bytes4k = static_cast<std::uint64_t>(
@@ -360,6 +475,8 @@ makeRecord(const SweepJob &job, const RunResult &result,
         record["metrics"] = blocks["metrics"];
         record["energy"] = blocks["energy"];
         record["distribution"] = blocks["distribution"];
+        if (const json::Value *multi = blocks.find("multi"))
+            record["multi"] = *multi;
     } else {
         auto &error = record["error"];
         error["kind"] = status.errorKind;

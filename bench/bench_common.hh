@@ -25,6 +25,7 @@
 #include "perf/energy_model.hh"
 #include "sim/cli.hh"
 #include "sim/machine.hh"
+#include "sim/multi_machine.hh"
 #include "sim/sweep.hh"
 
 namespace mixtlb::bench
@@ -64,6 +65,14 @@ struct RunResult
      */
     double thpFallbacks = 0;
     os::PageSizeDistribution distribution{};
+    /**
+     * Per-process L1 TLB miss rates, context switches, and policy
+     * flushes — populated by multiprogrammed runs only (the vector
+     * stays empty elsewhere, and the JSON "multi" block is omitted).
+     */
+    std::vector<double> procL1MissRates;
+    double contextSwitches = 0;
+    double fullFlushes = 0;
 };
 
 struct NativeRunConfig
@@ -240,9 +249,33 @@ struct GpuRunConfig
 /** One GPU run; translation cycles summed over shader cores. */
 RunResult runGpu(const GpuRunConfig &config);
 
+struct MultiRunConfig
+{
+    sim::TlbDesign design = sim::TlbDesign::Split;
+    sim::SwitchPolicy policy = sim::SwitchPolicy::AsidTagged;
+    unsigned numProcs = 2;
+    /** Translated references per scheduling slice. */
+    std::uint64_t quantum = 1024;
+    /** Comma-separated workload names, cycled across processes. */
+    std::string mix = "gups,stream";
+    os::PagePolicy procPolicy = os::PagePolicy::Thp;
+    std::uint64_t memBytes = 8 * GiB;
+    std::uint64_t footprintPerProc = 256 * MiB;
+    std::uint64_t refsPerProc = 60000;
+    std::uint64_t seed = 11;
+};
+
+/**
+ * One multiprogrammed run: N processes round-robin over a shared TLB
+ * hierarchy. Per-process workload seeds derive from the point seed via
+ * sweepPointSeed(seed, proc), so full-flush vs ASID-tagged pairs see
+ * identical reference streams.
+ */
+RunResult runMulti(const MultiRunConfig &config);
+
 /** Any configuration a sweep point can carry. */
-using BenchConfig =
-    std::variant<NativeRunConfig, VirtRunConfig, GpuRunConfig>;
+using BenchConfig = std::variant<NativeRunConfig, VirtRunConfig,
+                                 GpuRunConfig, MultiRunConfig>;
 
 /**
  * One entry of a sweep grid: a labelled configuration plus the

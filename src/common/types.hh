@@ -32,6 +32,13 @@ using Pfn = std::uint64_t;
 /** Simulation cycle / tick count. */
 using Cycles = std::uint64_t;
 
+/**
+ * An address-space identifier tagging TLB/PWC entries so translations
+ * from different processes can coexist (x86 PCID / ARM ASID). ASID 0 is
+ * the single-process default every structure starts in.
+ */
+using Asid = std::uint16_t;
+
 /** Number of bits in a 4KB page offset. */
 constexpr unsigned PageShift4K = 12;
 /** Number of bits in a 2MB page offset. */

@@ -24,6 +24,8 @@ PagingStructureCache::probe(VAddr vaddr)
     // Prefer the deepest (lowest-level) shortcut.
     auto best = lru_.end();
     for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+        if (it->asid != asid_)
+            continue;
         if ((vaddr >> levelShift(it->level + 1)) != it->prefix)
             continue;
         if (best == lru_.end() || it->level < best->level)
@@ -46,14 +48,15 @@ PagingStructureCache::insert(unsigned level, VAddr vaddr,
         return; // never cache the root itself
     std::uint64_t prefix = vaddr >> levelShift(level + 1);
     auto it = std::find_if(lru_.begin(), lru_.end(), [&](const Entry &e) {
-        return e.level == level && e.prefix == prefix;
+        return e.level == level && e.prefix == prefix &&
+               e.asid == asid_;
     });
     if (it != lru_.end()) {
         it->tableBase = table_base;
         lru_.splice(lru_.begin(), lru_, it);
         return;
     }
-    lru_.push_front(Entry{level, prefix, table_base});
+    lru_.push_front(Entry{level, prefix, asid_, table_base});
     if (lru_.size() > params_.entries)
         lru_.pop_back();
 }
@@ -76,6 +79,12 @@ void
 PagingStructureCache::invalidateAll()
 {
     lru_.clear();
+}
+
+void
+PagingStructureCache::invalidateAsid(Asid asid)
+{
+    lru_.remove_if([&](const Entry &e) { return e.asid == asid; });
 }
 
 } // namespace mixtlb::pt

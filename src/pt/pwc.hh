@@ -58,20 +58,39 @@ class PagingStructureCache
      */
     void insert(unsigned level, VAddr vaddr, PAddr table_base);
 
-    /** Invalidate every entry overlapping the page at @p vbase. */
+    /**
+     * Invalidate every entry overlapping the page at @p vbase,
+     * regardless of ASID (a conservative model: the shootdown source
+     * address space is not known at this layer, and real hardware
+     * flushes paging-structure caches broadly on shootdowns).
+     */
     void invalidate(VAddr vbase, PageSize size);
 
     void invalidateAll();
+
+    /** Drop every entry tagged @p asid, leaving others resident. */
+    void invalidateAsid(Asid asid);
+
+    /**
+     * Switch the active address space: probes only match and inserts
+     * tag entries with @p asid (Intel's PCID-tagged paging-structure
+     * caches). The single-process default is ASID 0.
+     */
+    void setAsid(Asid asid) { asid_ = asid; }
+
+    Asid asid() const { return asid_; }
 
   private:
     struct Entry
     {
         unsigned level;       ///< table level this entry shortcuts to
         std::uint64_t prefix; ///< VA >> levelShift(level + 1)
+        Asid asid;
         PAddr tableBase;
     };
 
     PwcParams params_;
+    Asid asid_ = 0;
     std::list<Entry> lru_; ///< front = MRU
 
     stats::StatGroup stats_;

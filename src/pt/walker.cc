@@ -9,7 +9,7 @@ namespace mixtlb::pt
 
 Walker::Walker(const PageTable &table, stats::StatGroup *parent,
                unsigned scan_lines, PwcParams pwc)
-    : table_(table), scanLines_(scan_lines), stats_("walker", parent),
+    : table_(&table), scanLines_(scan_lines), stats_("walker", parent),
       pwc_(pwc, &stats_),
       walks_(stats_.addCounter("walks", "page table walks performed")),
       pageFaults_(stats_.addCounter("page_faults",
@@ -30,9 +30,9 @@ Walker::walk(VAddr vaddr, bool is_store)
 {
     ++walks_;
     WalkResult result;
-    auto &mem = table_.mem();
+    auto &mem = table_->mem();
 
-    PAddr table = table_.root();
+    PAddr table = table_->root();
     unsigned start_level = NumLevels - 1;
     if (auto shortcut = pwc_.probe(vaddr)) {
         start_level = shortcut->first;
@@ -72,11 +72,11 @@ Walker::readLeafLine(VAddr vaddr, bool is_store)
 {
     // A functional probe to find the leaf, then one line read. The MMU
     // charges only the single line access this returns.
-    auto pte_addr = table_.leafPteAddr(vaddr);
+    auto pte_addr = table_->leafPteAddr(vaddr);
     if (!pte_addr)
         return std::nullopt;
 
-    auto &mem = table_.mem();
+    auto &mem = table_->mem();
     std::uint64_t raw = mem.read64(*pte_addr);
     std::uint64_t updated = raw | pte::A;
     if (is_store) {
@@ -87,7 +87,7 @@ Walker::readLeafLine(VAddr vaddr, bool is_store)
     if (updated != raw)
         mem.write64(*pte_addr, updated);
 
-    auto xlate = table_.translate(vaddr);
+    auto xlate = table_->translate(vaddr);
     panic_if(!xlate, "leafPteAddr/translate disagree");
     WalkResult result;
     result.accesses.push_back(alignDown(*pte_addr, CacheLineBytes));
@@ -100,7 +100,7 @@ void
 Walker::fillLine(VAddr vaddr, PAddr pte_addr, unsigned level,
                  WalkResult &result)
 {
-    auto &mem = table_.mem();
+    auto &mem = table_->mem();
     // Superpage leaves may use the wide scan; 4KB fills never do (the
     // TLB windows for small pages are at most a few entries).
     const unsigned lines = level > 0 ? scanLines_ : 1;

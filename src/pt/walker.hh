@@ -120,8 +120,16 @@ class Walker
     /** The MMU's paging-structure cache (may be disabled). */
     PagingStructureCache &pwc() { return pwc_; }
 
+    /**
+     * Point subsequent walks at a different page table — the CR3 write
+     * of a context switch. The PWC is deliberately left alone: its
+     * entries are ASID-tagged, so the caller pairs this with
+     * pwc().setAsid() (tagged switch) or pwc().invalidateAll() (flush).
+     */
+    void retarget(const PageTable &table) { table_ = &table; }
+
   private:
-    const PageTable &table_;
+    const PageTable *table_;
     unsigned scanLines_;
 
     stats::StatGroup stats_;

@@ -97,11 +97,34 @@ class BaseTlb
     /** Install (and possibly coalesce) a translation. */
     virtual void fill(const FillInfo &fill) = 0;
 
-    /** Invalidate any entry covering the page at @p vbase. */
-    virtual void invalidate(VAddr vbase, PageSize size) = 0;
+    /**
+     * Invalidate any entry of @p asid covering the page at @p vbase.
+     * Shootdowns broadcast from another process carry that process's
+     * ASID, which need not be the one currently active here.
+     */
+    virtual void invalidate(VAddr vbase, PageSize size, Asid asid) = 0;
+
+    /** Invalidate the page for the currently active ASID. */
+    void invalidate(VAddr vbase, PageSize size)
+    {
+        invalidate(vbase, size, asid_);
+    }
 
     /** Invalidate everything (context switch / full shootdown). */
     virtual void invalidateAll() = 0;
+
+    /** Invalidate every entry tagged @p asid, leaving others resident. */
+    virtual void invalidateAsid(Asid asid) = 0;
+
+    /**
+     * Switch the active address space: subsequent lookups, fills and
+     * markDirty calls match/tag entries with @p asid. Entries of other
+     * ASIDs stay resident and keep competing for capacity.
+     */
+    virtual void setAsid(Asid asid) { asid_ = asid; }
+
+    /** The currently active ASID. */
+    Asid asid() const { return asid_; }
 
     /**
      * A store hit a clean entry and the dirty micro-op completed: set
@@ -148,6 +171,7 @@ class BaseTlb
 
   protected:
     stats::StatGroup stats_;
+    Asid asid_ = 0; ///< active address space; entries are tagged at fill
     stats::Counter &hits_;
     stats::Counter &misses_;
     stats::Counter &fills_;       ///< entry writes, incl. every mirror

@@ -34,7 +34,8 @@ ColtTlb::lookup(VAddr vaddr, bool is_store)
                                       / page);
     auto &set = sets_[setOf(vaddr)];
     auto it = std::find_if(set.begin(), set.end(), [&](const Entry &e) {
-        return e.wbase == wbase && ((e.bitmap >> slot) & 1);
+        return e.wbase == wbase && e.asid == asid_ &&
+               ((e.bitmap >> slot) & 1);
     });
     if (it != set.end()) {
         set.splice(set.begin(), set, it);
@@ -78,6 +79,7 @@ ColtTlb::fill(const FillInfo &fill)
 
     Entry entry{};
     entry.wbase = windowBase(leaf.vbase);
+    entry.asid = asid_;
     auto leaf_slot =
         static_cast<unsigned>((leaf.vbase - entry.wbase) / page);
     entry.wpbase = leaf.pbase
@@ -120,7 +122,7 @@ ColtTlb::fill(const FillInfo &fill)
     auto &set = sets_[setOf(leaf.vbase)];
     auto it = std::find_if(set.begin(), set.end(), [&](const Entry &e) {
         return e.wbase == entry.wbase && e.wpbase == entry.wpbase &&
-               e.perms == entry.perms;
+               e.asid == entry.asid && e.perms == entry.perms;
     });
     if (it != set.end()) {
         it->bitmap |= entry.bitmap;
@@ -136,7 +138,7 @@ ColtTlb::fill(const FillInfo &fill)
 }
 
 void
-ColtTlb::invalidate(VAddr vbase, PageSize size)
+ColtTlb::invalidate(VAddr vbase, PageSize size, Asid asid)
 {
     if (size != size_)
         return;
@@ -146,7 +148,7 @@ ColtTlb::invalidate(VAddr vbase, PageSize size)
     auto slot = static_cast<unsigned>((vbase - wbase) / page);
     auto &set = sets_[setOf(vbase)];
     for (auto it = set.begin(); it != set.end();) {
-        if (it->wbase == wbase) {
+        if (it->wbase == wbase && it->asid == asid) {
             it->bitmap &= ~(1u << slot);
             if (it->bitmap == 0) {
                 it = set.erase(it);
@@ -166,12 +168,20 @@ ColtTlb::invalidateAll()
 }
 
 void
+ColtTlb::invalidateAsid(Asid asid)
+{
+    ++invalidations_;
+    for (auto &set : sets_)
+        set.remove_if([&](const Entry &e) { return e.asid == asid; });
+}
+
+void
 ColtTlb::markDirty(VAddr vaddr)
 {
     VAddr wbase = windowBase(pageBase(vaddr, size_));
     auto &set = sets_[setOf(vaddr)];
     for (auto &entry : set) {
-        if (entry.wbase != wbase)
+        if (entry.wbase != wbase || entry.asid != asid_)
             continue;
         if (std::popcount(entry.bitmap) == 1)
             entry.dirty = true;

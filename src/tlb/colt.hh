@@ -31,10 +31,13 @@ class ColtTlb : public BaseTlb
             std::uint64_t entries, unsigned assoc, PageSize size,
             unsigned group = 4);
 
+    using BaseTlb::invalidate;
+
     TlbLookup lookup(VAddr vaddr, bool is_store) override;
     void fill(const FillInfo &fill) override;
-    void invalidate(VAddr vbase, PageSize size) override;
+    void invalidate(VAddr vbase, PageSize size, Asid asid) override;
     void invalidateAll() override;
+    void invalidateAsid(Asid asid) override;
     void markDirty(VAddr vaddr) override;
 
     bool supports(PageSize size) const override { return size == size_; }
@@ -46,6 +49,7 @@ class ColtTlb : public BaseTlb
     {
         VAddr wbase;   ///< group window base VA
         PAddr wpbase;  ///< physical anchor (slot 0's would-be PA)
+        Asid asid;
         std::uint32_t bitmap;
         pt::Perms perms;
         bool dirty;

@@ -18,6 +18,7 @@ HashRehashTlb::HashRehashTlb(const std::string &name,
     fatal_if(params.sizes.empty(), "hash-rehash TLB with no page sizes");
     numSets_ = params.entries / params.assoc;
     sets_.resize(numSets_);
+    probeOrder_ = params_.sizes;
     if (params.usePredictor) {
         predictor_ = std::make_unique<SizePredictor>(
             "predictor", &stats_, params.predictorEntries);
@@ -37,7 +38,7 @@ HashRehashTlb::probe(VAddr vaddr, PageSize size)
     auto &set = sets_[setOf(vaddr, size)];
     std::uint64_t vpn = vpnOf(vaddr, size);
     auto it = std::find_if(set.begin(), set.end(), [&](const Entry &e) {
-        return e.size == size && e.vpn == vpn;
+        return e.size == size && e.vpn == vpn && e.asid == asid_;
     });
     if (it == set.end())
         return nullptr;
@@ -53,16 +54,19 @@ HashRehashTlb::lookup(VAddr vaddr, bool is_store)
     result.probes = 0;
     result.waysRead = 0;
 
-    // Build the probe order: predicted size first, then the rest.
-    std::vector<PageSize> order = params_.sizes;
+    // Build the probe order in preallocated scratch (allocation-free
+    // hot path): predicted size first, then the rest.
+    std::copy(params_.sizes.begin(), params_.sizes.end(),
+              probeOrder_.begin());
     if (predictor_) {
         PageSize predicted = predictor_->predict(vaddr);
-        auto it = std::find(order.begin(), order.end(), predicted);
-        if (it != order.end())
-            std::rotate(order.begin(), it, it + 1);
+        auto it = std::find(probeOrder_.begin(), probeOrder_.end(),
+                            predicted);
+        if (it != probeOrder_.end())
+            std::rotate(probeOrder_.begin(), it, it + 1);
     }
 
-    for (PageSize size : order) {
+    for (PageSize size : probeOrder_) {
         result.probes++;
         result.waysRead += params_.assoc;
         Entry *entry = probe(vaddr, size);
@@ -92,25 +96,30 @@ HashRehashTlb::fill(const FillInfo &fill)
     std::uint64_t vpn = fill.leaf.vpn();
     auto &set = sets_[setOf(fill.leaf.vbase, fill.leaf.size)];
     auto it = std::find_if(set.begin(), set.end(), [&](const Entry &e) {
-        return e.size == fill.leaf.size && e.vpn == vpn;
+        return e.size == fill.leaf.size && e.vpn == vpn &&
+               e.asid == asid_;
     });
     if (it != set.end()) {
         it->xlate = fill.leaf;
         it->dirty = fill.leaf.dirty;
         set.splice(set.begin(), set, it);
     } else {
-        set.push_front(Entry{fill.leaf.size, vpn, fill.leaf,
+        set.push_front(Entry{fill.leaf.size, vpn, asid_, fill.leaf,
                              fill.leaf.dirty});
         if (set.size() > params_.assoc)
             set.pop_back();
         ++fills_;
     }
-    if (predictor_)
-        predictor_->update(fill.leaf.vbase, fill.leaf.size);
+    if (predictor_) {
+        // Train on the demanded address (predictor is 2MB-region
+        // indexed; a superpage base can hash to a different slot).
+        predictor_->update(fill.vaddr ? fill.vaddr : fill.leaf.vbase,
+                           fill.leaf.size);
+    }
 }
 
 void
-HashRehashTlb::invalidate(VAddr vbase, PageSize size)
+HashRehashTlb::invalidate(VAddr vbase, PageSize size, Asid asid)
 {
     if (!supports(size))
         return;
@@ -118,7 +127,7 @@ HashRehashTlb::invalidate(VAddr vbase, PageSize size)
     std::uint64_t vpn = vpnOf(vbase, size);
     auto &set = sets_[setOf(vbase, size)];
     set.remove_if([&](const Entry &e) {
-        return e.size == size && e.vpn == vpn;
+        return e.size == size && e.vpn == vpn && e.asid == asid;
     });
 }
 
@@ -131,13 +140,22 @@ HashRehashTlb::invalidateAll()
 }
 
 void
+HashRehashTlb::invalidateAsid(Asid asid)
+{
+    ++invalidations_;
+    for (auto &set : sets_)
+        set.remove_if([&](const Entry &e) { return e.asid == asid; });
+}
+
+void
 HashRehashTlb::markDirty(VAddr vaddr)
 {
     for (PageSize size : params_.sizes) {
         auto &set = sets_[setOf(vaddr, size)];
         std::uint64_t vpn = vpnOf(vaddr, size);
         for (auto &entry : set) {
-            if (entry.size == size && entry.vpn == vpn)
+            if (entry.size == size && entry.vpn == vpn &&
+                entry.asid == asid_)
                 entry.dirty = true;
         }
     }

@@ -40,10 +40,13 @@ class HashRehashTlb : public BaseTlb
     HashRehashTlb(const std::string &name, stats::StatGroup *parent,
                   const HashRehashParams &params);
 
+    using BaseTlb::invalidate;
+
     TlbLookup lookup(VAddr vaddr, bool is_store) override;
     void fill(const FillInfo &fill) override;
-    void invalidate(VAddr vbase, PageSize size) override;
+    void invalidate(VAddr vbase, PageSize size, Asid asid) override;
     void invalidateAll() override;
+    void invalidateAsid(Asid asid) override;
     void markDirty(VAddr vaddr) override;
 
     bool supports(PageSize size) const override;
@@ -57,6 +60,7 @@ class HashRehashTlb : public BaseTlb
     {
         PageSize size;
         std::uint64_t vpn; ///< in the entry's own page-size units
+        Asid asid;
         pt::Translation xlate;
         bool dirty;
     };
@@ -65,6 +69,8 @@ class HashRehashTlb : public BaseTlb
     std::uint64_t numSets_;
     std::vector<std::list<Entry>> sets_;
     std::unique_ptr<SizePredictor> predictor_;
+    /** Reusable probe-order scratch (no per-lookup heap allocation). */
+    std::vector<PageSize> probeOrder_;
 
     std::uint64_t
     setOf(VAddr vaddr, PageSize size) const

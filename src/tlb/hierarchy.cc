@@ -198,10 +198,33 @@ TlbHierarchy::invalidatePage(VAddr vbase, PageSize size)
 }
 
 void
+TlbHierarchy::invalidatePage(VAddr vbase, PageSize size, Asid asid)
+{
+    l1_->invalidate(vbase, size, asid);
+    l2_->invalidate(vbase, size, asid);
+    source_.invalidate(vbase, size);
+}
+
+void
 TlbHierarchy::invalidateAll()
 {
     l1_->invalidateAll();
     l2_->invalidateAll();
+}
+
+void
+TlbHierarchy::invalidateAsid(Asid asid)
+{
+    l1_->invalidateAsid(asid);
+    l2_->invalidateAsid(asid);
+    source_.invalidateAsid(asid);
+}
+
+void
+TlbHierarchy::setAsid(Asid asid)
+{
+    l1_->setAsid(asid);
+    l2_->setAsid(asid);
 }
 
 } // namespace mixtlb::tlb

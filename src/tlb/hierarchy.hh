@@ -53,6 +53,9 @@ class WalkSource
         (void)size;
     }
 
+    /** Drop walker-side cache state tagged @p asid (process exit). */
+    virtual void invalidateAsid(Asid asid) { (void)asid; }
+
     /** True when refTranslate() is implemented (oracle available). */
     virtual bool hasRefTranslate() const { return false; }
 
@@ -105,8 +108,25 @@ class TlbHierarchy
     /** Shoot down a page (wire to Process::addInvalidateListener). */
     void invalidatePage(VAddr vbase, PageSize size);
 
+    /**
+     * Shoot down a page of a specific address space. Multiprogrammed
+     * machines broadcast each process's shootdowns with its ASID so
+     * only that process's entries are dropped.
+     */
+    void invalidatePage(VAddr vbase, PageSize size, Asid asid);
+
     /** Full flush. */
     void invalidateAll();
+
+    /** Drop both levels' entries for one ASID (others stay resident). */
+    void invalidateAsid(Asid asid);
+
+    /**
+     * Switch the active address space at both TLB levels. The walk
+     * source is not switched here — a shared-walker source (e.g.
+     * MultiWalkSource) retargets its walker/PWC itself.
+     */
+    void setAsid(Asid asid);
 
     BaseTlb &l1() { return *l1_; }
     BaseTlb &l2() { return *l2_; }
@@ -117,6 +137,7 @@ class TlbHierarchy
     double l1HitCount() const { return double(l1Hits_.value()); }
     double l2HitCount() const { return double(l2Hits_.value()); }
     double walkCount() const { return double(walks_.value()); }
+    double walkCycleCount() const { return double(walkCycles_.value()); }
     double translationCycleCount() const
     {
         return double(translationCycles_.value());

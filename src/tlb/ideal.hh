@@ -8,6 +8,9 @@
 #ifndef MIXTLB_TLB_IDEAL_HH
 #define MIXTLB_TLB_IDEAL_HH
 
+#include <utility>
+#include <vector>
+
 #include "pt/page_table.hh"
 #include "tlb/base.hh"
 
@@ -19,8 +22,28 @@ class IdealTlb : public BaseTlb
   public:
     IdealTlb(const std::string &name, stats::StatGroup *parent,
              const pt::PageTable &table)
-        : BaseTlb(name, parent), table_(table)
-    {}
+        : BaseTlb(name, parent)
+    {
+        tables_.emplace_back(Asid{0}, &table);
+    }
+
+    /**
+     * Make @p table the oracle for lookups performed under @p asid
+     * (multiprogrammed machines register one table per process).
+     */
+    void
+    registerTable(Asid asid, const pt::PageTable &table)
+    {
+        for (auto &[registered, ptr] : tables_) {
+            if (registered == asid) {
+                ptr = &table;
+                return;
+            }
+        }
+        tables_.emplace_back(asid, &table);
+    }
+
+    using BaseTlb::invalidate;
 
     TlbLookup
     lookup(VAddr vaddr, bool is_store) override
@@ -28,20 +51,23 @@ class IdealTlb : public BaseTlb
         (void)is_store;
         TlbLookup result;
         result.waysRead = 1;
-        auto xlate = table_.translate(vaddr);
-        if (xlate) {
-            result.hit = true;
-            result.xlate = *xlate;
-            // Never pay dirty micro-ops: this is the no-overhead bound.
-            result.entryDirty = true;
+        if (const pt::PageTable *table = tableFor(asid_)) {
+            auto xlate = table->translate(vaddr);
+            if (xlate) {
+                result.hit = true;
+                result.xlate = *xlate;
+                // Never pay dirty micro-ops: the no-overhead bound.
+                result.entryDirty = true;
+            }
         }
         recordLookup(result);
         return result;
     }
 
     void fill(const FillInfo &) override {}
-    void invalidate(VAddr, PageSize) override { ++invalidations_; }
+    void invalidate(VAddr, PageSize, Asid) override { ++invalidations_; }
     void invalidateAll() override { ++invalidations_; }
+    void invalidateAsid(Asid) override { ++invalidations_; }
     void markDirty(VAddr) override {}
 
     bool supports(PageSize) const override { return true; }
@@ -49,7 +75,18 @@ class IdealTlb : public BaseTlb
     unsigned numWays() const override { return 1; }
 
   private:
-    const pt::PageTable &table_;
+    const pt::PageTable *
+    tableFor(Asid asid) const
+    {
+        for (const auto &[registered, table] : tables_) {
+            if (registered == asid)
+                return table;
+        }
+        return nullptr;
+    }
+
+    /** (asid, page table) pairs; single-process machines hold one. */
+    std::vector<std::pair<Asid, const pt::PageTable *>> tables_;
 };
 
 } // namespace mixtlb::tlb

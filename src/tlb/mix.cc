@@ -82,6 +82,8 @@ MixTlb::windowBase(VAddr vbase, PageSize size) const
 bool
 MixTlb::entryCovers(const Entry &entry, VAddr vaddr) const
 {
+    if (entry.asid != asid_)
+        return false;
     std::uint64_t span =
         static_cast<std::uint64_t>(groupSlots(entry.size))
         * pageBytes(entry.size);
@@ -105,7 +107,7 @@ MixTlb::population(const Entry &entry) const
 bool
 MixTlb::compatible(const Entry &a, const Entry &b) const
 {
-    if (a.size != b.size || a.wbase != b.wbase ||
+    if (a.size != b.size || a.asid != b.asid || a.wbase != b.wbase ||
         a.wpbase != b.wpbase || !(a.perms == b.perms)) {
         return false;
     }
@@ -193,6 +195,7 @@ MixTlb::buildEntry(const FillInfo &fill) const
 
     Entry entry{};
     entry.size = leaf.size;
+    entry.asid = asid_;
     entry.perms = leaf.perms;
     entry.wbase = params_.alignmentRestricted
                       ? windowBase(leaf.vbase, leaf.size)
@@ -389,7 +392,7 @@ MixTlb::bundleAround(const Entry &entry, VAddr vaddr) const
 }
 
 void
-MixTlb::invalidate(VAddr vbase, PageSize size)
+MixTlb::invalidate(VAddr vbase, PageSize size, Asid asid)
 {
     ++invalidations_;
     const std::uint64_t page = pageBytes(size);
@@ -402,8 +405,8 @@ MixTlb::invalidate(VAddr vbase, PageSize size)
             std::uint64_t span =
                 static_cast<std::uint64_t>(groupSlots(entry.size))
                 * page;
-            if (entry.size != size || vbase < entry.wbase ||
-                vbase >= entry.wbase + span) {
+            if (entry.size != size || entry.asid != asid ||
+                vbase < entry.wbase || vbase >= entry.wbase + span) {
                 ++it;
                 continue;
             }
@@ -423,8 +426,8 @@ MixTlb::invalidate(VAddr vbase, PageSize size)
             Entry &entry = *it;
             std::uint64_t span =
                 static_cast<std::uint64_t>(groupSlots(entry.size)) * page;
-            if (entry.size != size || vbase < entry.wbase ||
-                vbase >= entry.wbase + span) {
+            if (entry.size != size || entry.asid != asid ||
+                vbase < entry.wbase || vbase >= entry.wbase + span) {
                 ++it;
                 continue;
             }
@@ -457,6 +460,17 @@ MixTlb::invalidateAll()
     ++invalidations_;
     for (auto &set : sets_)
         set.clear();
+}
+
+void
+MixTlb::invalidateAsid(Asid asid)
+{
+    ++invalidations_;
+    for (auto &set : sets_) {
+        std::erase_if(set, [&](const Entry &e) {
+            return e.asid == asid;
+        });
+    }
 }
 
 void
@@ -504,9 +518,12 @@ MixTlb::auditSets(contracts::AuditReport &report) const
     // physically contiguous across runs). Singleton copies of one
     // superpage must also agree on the dirty bit (stale clean mirrors
     // re-issue dirty micro-ops — the PR 1 bug class).
-    std::map<std::tuple<std::uint8_t, VAddr, unsigned>,
+    // Keys carry the ASID: identical windows of different address
+    // spaces are distinct translations, not mirrors of each other.
+    std::map<std::tuple<Asid, std::uint8_t, VAddr, unsigned>,
              std::pair<PAddr, pt::Perms>> covered;
-    std::map<std::tuple<std::uint8_t, VAddr, unsigned>, bool> singletons;
+    std::map<std::tuple<Asid, std::uint8_t, VAddr, unsigned>, bool>
+        singletons;
 
     for (unsigned s = 0; s < numSets_; s++) {
         const auto &set = sets_[s];
@@ -578,8 +595,8 @@ MixTlb::auditSets(contracts::AuditReport &report) const
                     entry.wpbase
                     + static_cast<std::uint64_t>(slot) * page;
                 auto key = std::make_tuple(
-                    static_cast<std::uint8_t>(entry.size), entry.wbase,
-                    slot);
+                    entry.asid, static_cast<std::uint8_t>(entry.size),
+                    entry.wbase, slot);
                 auto [it, inserted] = covered.emplace(
                     key, std::make_pair(slot_pa, entry.perms));
                 if (inserted)
@@ -610,8 +627,8 @@ MixTlb::auditSets(contracts::AuditReport &report) const
                     slot = entry.runStart;
                 }
                 auto dirty_key = std::make_tuple(
-                    static_cast<std::uint8_t>(entry.size), entry.wbase,
-                    slot);
+                    entry.asid, static_cast<std::uint8_t>(entry.size),
+                    entry.wbase, slot);
                 auto [dit, dinserted] =
                     singletons.emplace(dirty_key, entry.dirty);
                 if (!dinserted) {

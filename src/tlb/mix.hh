@@ -76,10 +76,13 @@ class MixTlb : public BaseTlb
     MixTlb(const std::string &name, stats::StatGroup *parent,
            const MixTlbParams &params);
 
+    using BaseTlb::invalidate;
+
     TlbLookup lookup(VAddr vaddr, bool is_store) override;
     void fill(const FillInfo &fill) override;
-    void invalidate(VAddr vbase, PageSize size) override;
+    void invalidate(VAddr vbase, PageSize size, Asid asid) override;
     void invalidateAll() override;
+    void invalidateAsid(Asid asid) override;
     void markDirty(VAddr vaddr) override;
 
     bool supports(PageSize) const override { return true; }
@@ -119,6 +122,7 @@ class MixTlb : public BaseTlb
     struct Entry
     {
         PageSize size;
+        Asid asid;
         VAddr wbase;          ///< window base virtual address
         PAddr wpbase;         ///< physical address window anchor
         std::uint64_t bitmap; ///< Bitmap mode (and all 4K entries)

@@ -30,7 +30,7 @@ SetAssocTlb::lookup(VAddr vaddr, bool is_store)
     std::uint64_t vpn = vpnOf(vaddr, size_);
     auto &set = sets_[setOf(vpn)];
     auto it = std::find_if(set.begin(), set.end(), [&](const Entry &e) {
-        return e.vpn == vpn;
+        return e.vpn == vpn && e.asid == asid_;
     });
     if (it != set.end()) {
         result.hit = true;
@@ -51,7 +51,7 @@ SetAssocTlb::fill(const FillInfo &fill)
     std::uint64_t vpn = fill.leaf.vpn();
     auto &set = sets_[setOf(vpn)];
     auto it = std::find_if(set.begin(), set.end(), [&](const Entry &e) {
-        return e.vpn == vpn;
+        return e.vpn == vpn && e.asid == asid_;
     });
     if (it != set.end()) {
         it->xlate = fill.leaf;
@@ -59,21 +59,23 @@ SetAssocTlb::fill(const FillInfo &fill)
         std::rotate(set.begin(), it, it + 1);
         return;
     }
-    set.insert(set.begin(), Entry{vpn, fill.leaf, fill.leaf.dirty});
+    set.insert(set.begin(), Entry{vpn, asid_, fill.leaf, fill.leaf.dirty});
     if (set.size() > assoc_)
         set.pop_back();
     ++fills_;
 }
 
 void
-SetAssocTlb::invalidate(VAddr vbase, PageSize size)
+SetAssocTlb::invalidate(VAddr vbase, PageSize size, Asid asid)
 {
     if (size != size_)
         return;
     ++invalidations_;
     std::uint64_t vpn = vpnOf(vbase, size_);
     auto &set = sets_[setOf(vpn)];
-    std::erase_if(set, [&](const Entry &e) { return e.vpn == vpn; });
+    std::erase_if(set, [&](const Entry &e) {
+        return e.vpn == vpn && e.asid == asid;
+    });
 }
 
 void
@@ -85,12 +87,20 @@ SetAssocTlb::invalidateAll()
 }
 
 void
+SetAssocTlb::invalidateAsid(Asid asid)
+{
+    ++invalidations_;
+    for (auto &set : sets_)
+        std::erase_if(set, [&](const Entry &e) { return e.asid == asid; });
+}
+
+void
 SetAssocTlb::markDirty(VAddr vaddr)
 {
     std::uint64_t vpn = vpnOf(vaddr, size_);
     auto &set = sets_[setOf(vpn)];
     for (auto &entry : set) {
-        if (entry.vpn == vpn)
+        if (entry.vpn == vpn && entry.asid == asid_)
             entry.dirty = true;
     }
 }
@@ -120,7 +130,7 @@ FullyAssocTlb::lookup(VAddr vaddr, bool is_store)
     TlbLookup result;
     result.waysRead = static_cast<unsigned>(entries_);
     auto it = std::find_if(lru_.begin(), lru_.end(), [&](const Entry &e) {
-        return e.xlate.covers(vaddr);
+        return e.xlate.covers(vaddr) && e.asid == asid_;
     });
     if (it != lru_.end()) {
         result.hit = true;
@@ -140,7 +150,7 @@ FullyAssocTlb::fill(const FillInfo &fill)
              pageSizeName(fill.leaf.size));
     auto it = std::find_if(lru_.begin(), lru_.end(), [&](const Entry &e) {
         return e.xlate.vbase == fill.leaf.vbase &&
-               e.xlate.size == fill.leaf.size;
+               e.xlate.size == fill.leaf.size && e.asid == asid_;
     });
     if (it != lru_.end()) {
         it->xlate = fill.leaf;
@@ -148,18 +158,19 @@ FullyAssocTlb::fill(const FillInfo &fill)
         std::rotate(lru_.begin(), it, it + 1);
         return;
     }
-    lru_.insert(lru_.begin(), Entry{fill.leaf, fill.leaf.dirty});
+    lru_.insert(lru_.begin(), Entry{asid_, fill.leaf, fill.leaf.dirty});
     if (lru_.size() > entries_)
         lru_.pop_back();
     ++fills_;
 }
 
 void
-FullyAssocTlb::invalidate(VAddr vbase, PageSize size)
+FullyAssocTlb::invalidate(VAddr vbase, PageSize size, Asid asid)
 {
     ++invalidations_;
     std::erase_if(lru_, [&](const Entry &e) {
-        return e.xlate.size == size && e.xlate.vbase == vbase;
+        return e.xlate.size == size && e.xlate.vbase == vbase &&
+               e.asid == asid;
     });
 }
 
@@ -171,10 +182,17 @@ FullyAssocTlb::invalidateAll()
 }
 
 void
+FullyAssocTlb::invalidateAsid(Asid asid)
+{
+    ++invalidations_;
+    std::erase_if(lru_, [&](const Entry &e) { return e.asid == asid; });
+}
+
+void
 FullyAssocTlb::markDirty(VAddr vaddr)
 {
     for (auto &entry : lru_) {
-        if (entry.xlate.covers(vaddr))
+        if (entry.xlate.covers(vaddr) && entry.asid == asid_)
             entry.dirty = true;
     }
 }

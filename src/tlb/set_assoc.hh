@@ -32,10 +32,13 @@ class SetAssocTlb : public BaseTlb
     SetAssocTlb(const std::string &name, stats::StatGroup *parent,
                 std::uint64_t entries, unsigned assoc, PageSize size);
 
+    using BaseTlb::invalidate;
+
     TlbLookup lookup(VAddr vaddr, bool is_store) override;
     void fill(const FillInfo &fill) override;
-    void invalidate(VAddr vbase, PageSize size) override;
+    void invalidate(VAddr vbase, PageSize size, Asid asid) override;
     void invalidateAll() override;
+    void invalidateAsid(Asid asid) override;
     void markDirty(VAddr vaddr) override;
 
     bool supports(PageSize size) const override { return size == size_; }
@@ -46,6 +49,7 @@ class SetAssocTlb : public BaseTlb
     struct Entry
     {
         std::uint64_t vpn; ///< in this page size's units
+        Asid asid;
         pt::Translation xlate;
         bool dirty;
     };
@@ -78,10 +82,13 @@ class FullyAssocTlb : public BaseTlb
                   std::uint64_t entries,
                   std::initializer_list<PageSize> sizes);
 
+    using BaseTlb::invalidate;
+
     TlbLookup lookup(VAddr vaddr, bool is_store) override;
     void fill(const FillInfo &fill) override;
-    void invalidate(VAddr vbase, PageSize size) override;
+    void invalidate(VAddr vbase, PageSize size, Asid asid) override;
     void invalidateAll() override;
+    void invalidateAsid(Asid asid) override;
     void markDirty(VAddr vaddr) override;
 
     bool supports(PageSize size) const override;
@@ -94,6 +101,7 @@ class FullyAssocTlb : public BaseTlb
   private:
     struct Entry
     {
+        Asid asid;
         pt::Translation xlate;
         bool dirty;
     };

@@ -1,5 +1,7 @@
 #include "skew.hh"
 
+#include <array>
+
 #include "common/logging.hh"
 
 namespace mixtlb::tlb
@@ -41,7 +43,9 @@ SkewTlb::rowOf(unsigned way, std::uint64_t vpn) const
 {
     // A different xor-fold per way gives the inter-way skew Seznec's
     // design relies on: conflicts in one way do not conflict in others.
-    std::uint64_t h = vpn ^ (vpn >> (4 + 3 * way));
+    // The fold distance is masked to 63: shifting a 64-bit value by
+    // >= 64 is UB, and 4 + 3*way reaches 64 once way >= 20.
+    std::uint64_t h = vpn ^ (vpn >> ((4 + 3 * way) & 63));
     h *= 0x9e3779b97f4a7c15ULL + 2 * way;
     h ^= h >> 31;
     return h % params_.setsPerWay;
@@ -56,7 +60,7 @@ SkewTlb::probeSize(VAddr vaddr, PageSize size, unsigned *ways_read)
             continue;
         (*ways_read)++;
         Entry &entry = ways_[way][rowOf(way, vpn)];
-        if (entry.valid && entry.vpn == vpn)
+        if (entry.valid && entry.vpn == vpn && entry.asid == asid_)
             return static_cast<int>(way);
     }
     return -1;
@@ -70,19 +74,22 @@ SkewTlb::lookup(VAddr vaddr, bool is_store)
     result.probes = 0;
     result.waysRead = 0;
 
-    std::vector<PageSize> order;
+    // Fixed-size probe order: a heap-allocated vector here would break
+    // the allocation-free hot-path contract.
+    std::array<PageSize, NumPageSizes> order{
+        PageSize::Size4K, PageSize::Size2M, PageSize::Size1G};
     if (predictor_) {
         PageSize predicted = predictor_->predict(vaddr);
-        order.push_back(predicted);
+        unsigned n = 0;
+        order[n++] = predicted;
         for (unsigned s = 0; s < NumPageSizes; s++) {
             auto size = static_cast<PageSize>(s);
             if (size != predicted)
-                order.push_back(size);
+                order[n++] = size;
         }
-    } else {
-        // Plain skew TLBs probe every way in one parallel round.
-        order = {PageSize::Size4K, PageSize::Size2M, PageSize::Size1G};
     }
+    // Plain skew TLBs probe every way in one parallel round, so the
+    // enum-order initializer above is already the right order.
 
     int hit_way = -1;
     PageSize hit_size = PageSize::Size4K;
@@ -146,7 +153,7 @@ SkewTlb::fill(const FillInfo &fill)
         if (waySize_[way] != fill.leaf.size)
             continue;
         Entry &entry = ways_[way][rowOf(way, vpn)];
-        if (entry.valid && entry.vpn == vpn) {
+        if (entry.valid && entry.vpn == vpn && entry.asid == asid_) {
             victim_way = static_cast<int>(way); // refresh in place
             break;
         }
@@ -162,16 +169,23 @@ SkewTlb::fill(const FillInfo &fill)
     Entry &entry = ways_[victim_way][rowOf(victim_way, vpn)];
     entry.valid = true;
     entry.vpn = vpn;
+    entry.asid = asid_;
     entry.xlate = fill.leaf;
     entry.dirty = fill.leaf.dirty;
     entry.timestamp = ++clock_;
     ++fills_;
-    if (predictor_)
-        predictor_->update(fill.leaf.vbase, fill.leaf.size);
+    if (predictor_) {
+        // Train on the *demanded* address, not the page base: the
+        // predictor is indexed by 2MB region, so for a superpage the
+        // base can land in a different predictor slot than the address
+        // that actually missed, leaving that region's prediction stale.
+        predictor_->update(fill.vaddr ? fill.vaddr : fill.leaf.vbase,
+                           fill.leaf.size);
+    }
 }
 
 void
-SkewTlb::invalidate(VAddr vbase, PageSize size)
+SkewTlb::invalidate(VAddr vbase, PageSize size, Asid asid)
 {
     if (!supports(size))
         return;
@@ -181,8 +195,20 @@ SkewTlb::invalidate(VAddr vbase, PageSize size)
         if (waySize_[way] != size)
             continue;
         Entry &entry = ways_[way][rowOf(way, vpn)];
-        if (entry.valid && entry.vpn == vpn)
+        if (entry.valid && entry.vpn == vpn && entry.asid == asid)
             entry.valid = false;
+    }
+}
+
+void
+SkewTlb::invalidateAsid(Asid asid)
+{
+    ++invalidations_;
+    for (auto &way : ways_) {
+        for (auto &entry : way) {
+            if (entry.asid == asid)
+                entry.valid = false;
+        }
     }
 }
 
@@ -202,7 +228,7 @@ SkewTlb::markDirty(VAddr vaddr)
     for (unsigned way = 0; way < totalWays_; way++) {
         std::uint64_t vpn = vpnOf(vaddr, waySize_[way]);
         Entry &entry = ways_[way][rowOf(way, vpn)];
-        if (entry.valid && entry.vpn == vpn)
+        if (entry.valid && entry.vpn == vpn && entry.asid == asid_)
             entry.dirty = true;
     }
 }

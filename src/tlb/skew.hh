@@ -39,10 +39,13 @@ class SkewTlb : public BaseTlb
     SkewTlb(const std::string &name, stats::StatGroup *parent,
             const SkewTlbParams &params);
 
+    using BaseTlb::invalidate;
+
     TlbLookup lookup(VAddr vaddr, bool is_store) override;
     void fill(const FillInfo &fill) override;
-    void invalidate(VAddr vbase, PageSize size) override;
+    void invalidate(VAddr vbase, PageSize size, Asid asid) override;
     void invalidateAll() override;
+    void invalidateAsid(Asid asid) override;
     void markDirty(VAddr vaddr) override;
 
     bool supports(PageSize size) const override;
@@ -56,6 +59,7 @@ class SkewTlb : public BaseTlb
     {
         bool valid = false;
         std::uint64_t vpn = 0;
+        Asid asid = 0;
         pt::Translation xlate{};
         bool dirty = false;
         std::uint64_t timestamp = 0;

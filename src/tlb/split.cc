@@ -16,6 +16,7 @@ BaseTlb &
 SplitTlb::addComponent(std::unique_ptr<BaseTlb> component)
 {
     components_.push_back(std::move(component));
+    components_.back()->setAsid(asid_);
     return *components_.back();
 }
 
@@ -59,11 +60,11 @@ SplitTlb::fill(const FillInfo &fill)
 }
 
 void
-SplitTlb::invalidate(VAddr vbase, PageSize size)
+SplitTlb::invalidate(VAddr vbase, PageSize size, Asid asid)
 {
     ++invalidations_;
     for (auto &component : components_)
-        component->invalidate(vbase, size);
+        component->invalidate(vbase, size, asid);
 }
 
 void
@@ -72,6 +73,22 @@ SplitTlb::invalidateAll()
     ++invalidations_;
     for (auto &component : components_)
         component->invalidateAll();
+}
+
+void
+SplitTlb::invalidateAsid(Asid asid)
+{
+    ++invalidations_;
+    for (auto &component : components_)
+        component->invalidateAsid(asid);
+}
+
+void
+SplitTlb::setAsid(Asid asid)
+{
+    BaseTlb::setAsid(asid);
+    for (auto &component : components_)
+        component->setAsid(asid);
 }
 
 void

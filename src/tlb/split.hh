@@ -24,10 +24,14 @@ class SplitTlb : public BaseTlb
     /** Add a component; fills route to the first that supports a size. */
     BaseTlb &addComponent(std::unique_ptr<BaseTlb> component);
 
+    using BaseTlb::invalidate;
+
     TlbLookup lookup(VAddr vaddr, bool is_store) override;
     void fill(const FillInfo &fill) override;
-    void invalidate(VAddr vbase, PageSize size) override;
+    void invalidate(VAddr vbase, PageSize size, Asid asid) override;
     void invalidateAll() override;
+    void invalidateAsid(Asid asid) override;
+    void setAsid(Asid asid) override;
     void markDirty(VAddr vaddr) override;
 
     bool supports(PageSize size) const override;

@@ -7,6 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
 #include "cache/cache.hh"
 #include "common/random.hh"
 #include "mem/phys_mem.hh"
@@ -26,6 +31,29 @@
 
 using namespace mixtlb;
 using namespace mixtlb::tlb;
+
+/**
+ * Counting global allocator: every heap allocation in this binary
+ * bumps the counter, letting tests assert that the TLB lookup hot
+ * paths are allocation-free (the PR 4 contract).
+ */
+static std::atomic<std::uint64_t> g_heapAllocs{0};
+
+static void *
+countedAlloc(std::size_t size)
+{
+    ++g_heapAllocs;
+    if (void *p = std::malloc(size ? size : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *operator new(std::size_t size) { return countedAlloc(size); }
+void *operator new[](std::size_t size) { return countedAlloc(size); }
+void operator delete(void *p) noexcept { std::free(p); }
+void operator delete[](void *p) noexcept { std::free(p); }
+void operator delete(void *p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void *p, std::size_t) noexcept { std::free(p); }
 
 namespace
 {
@@ -531,4 +559,251 @@ TEST_F(HierarchyFixture, WalkCostReflectsCacheHits)
     auto warm = hier->access(base + 32, false);
     EXPECT_TRUE(warm.walked);
     EXPECT_LT(warm.cycles, first.cycles);
+}
+
+TEST(Skew, ManyWayConfigsHaveNoShiftOverflow)
+{
+    // Way indices >= 20 used to shift a 64-bit value by 4 + 3*way
+    // >= 64 in the skewing hash — undefined behavior that UBSan traps.
+    // Both shapes below reach way 20+; lookups and fills must work.
+    const std::array<std::array<unsigned, NumPageSizes>, 2> shapes = {
+        {{7, 7, 7}, {21, 1, 1}}};
+    for (const auto &shape : shapes) {
+        stats::StatGroup root("test");
+        SkewTlbParams params;
+        params.setsPerWay = 4;
+        for (std::size_t s = 0; s < NumPageSizes; s++)
+            params.waysPerSize[s] = shape[s];
+        SkewTlb tlb("skew", &root, params);
+        ASSERT_GE(tlb.numWays(), 21u);
+
+        for (int i = 0; i < 64; i++) {
+            tlb.fill(simpleFill(
+                xlate4k(i * PageBytes4K, i * PageBytes4K)));
+        }
+        tlb.fill(simpleFill(xlate2m(0x00400000, 0x0)));
+        unsigned survivors = 0;
+        for (int i = 0; i < 64; i++)
+            survivors += tlb.lookup(i * PageBytes4K, false).hit;
+        // More than one way's worth of pages is resident (the exact
+        // count depends on hash conflicts), and the most recent fill
+        // never got evicted.
+        EXPECT_GT(survivors, 4u);
+        EXPECT_LE(survivors, 64u);
+        EXPECT_TRUE(tlb.lookup(63 * PageBytes4K, false).hit);
+        EXPECT_TRUE(tlb.lookup(0x00400000, false).hit);
+        tlb.invalidateAll();
+        EXPECT_FALSE(tlb.lookup(0, false).hit);
+    }
+}
+
+TEST(SkewDeathTest, ZeroWaysDies)
+{
+    stats::StatGroup root("test");
+    SkewTlbParams params;
+    params.waysPerSize[0] = 0;
+    params.waysPerSize[1] = 0;
+    params.waysPerSize[2] = 0;
+    EXPECT_EXIT(SkewTlb("skew", &root, params),
+                ::testing::ExitedWithCode(1), "zero ways");
+}
+
+TEST(Skew, LookupHotPathIsAllocationFree)
+{
+    stats::StatGroup root("test");
+    SkewTlbParams params;
+    params.setsPerWay = 8;
+    params.usePredictor = true;
+    SkewTlb tlb("skew", &root, params);
+    tlb.fill(simpleFill(xlate4k(0x1000, 0x10000)));
+    tlb.fill(simpleFill(xlate2m(0x00400000, 0x0)));
+    tlb.lookup(0x1000, false); // warm any lazy state
+
+    const std::uint64_t before = g_heapAllocs.load();
+    for (int i = 0; i < 256; i++) {
+        tlb.lookup(0x1000, false);             // predicted hit
+        tlb.lookup(0x00400000 + 64, false);    // mispredicted hit
+        tlb.lookup(0x7f000000, false);         // full-probe miss
+    }
+    EXPECT_EQ(g_heapAllocs.load(), before)
+        << "SkewTlb::lookup allocated on the hot path";
+}
+
+TEST(HashRehash, LookupHotPathIsAllocationFree)
+{
+    stats::StatGroup root("test");
+    HashRehashParams params;
+    params.usePredictor = true;
+    HashRehashTlb tlb("hr", &root, params);
+    tlb.fill(simpleFill(xlate4k(0x1000, 0x10000)));
+    tlb.fill(simpleFill(xlate2m(0x00400000, 0x0)));
+    tlb.lookup(0x1000, false);
+
+    const std::uint64_t before = g_heapAllocs.load();
+    for (int i = 0; i < 256; i++) {
+        tlb.lookup(0x1000, false);
+        tlb.lookup(0x00400000 + 64, false);
+        tlb.lookup(0x7f000000, false);
+    }
+    EXPECT_EQ(g_heapAllocs.load(), before)
+        << "HashRehashTlb::lookup allocated on the hot path";
+}
+
+TEST(Skew, PredictorTrainsWithDemandedAddressOnFill)
+{
+    stats::StatGroup root("test");
+    SkewTlbParams params;
+    params.setsPerWay = 8;
+    params.usePredictor = true;
+    SkewTlb tlb("skew", &root, params);
+
+    // A miss deep inside a 1GB page refills the TLB. The predictor
+    // must be trained with the *demanded* address, not the superpage
+    // base: they hash to different 2MB-region predictor slots, and
+    // the next access repeats the demanded address, not the base.
+    pt::Translation big;
+    big.vbase = 4 * GiB;
+    big.pbase = 1 * GiB;
+    big.size = PageSize::Size1G;
+    big.accessed = true;
+    FillInfo fill;
+    fill.leaf = big;
+    fill.vaddr = 4 * GiB + 768 * MiB + 0x3000;
+    tlb.fill(fill);
+
+    auto result = tlb.lookup(fill.vaddr, false);
+    EXPECT_TRUE(result.hit);
+    // Correct training: the 1GB prediction wins on the first probe.
+    EXPECT_EQ(result.probes, 1u);
+}
+
+namespace
+{
+
+/** Every ASID-taggable design, freshly constructed. */
+std::vector<std::pair<std::string, std::unique_ptr<BaseTlb>>>
+makeAsidTlbs(stats::StatGroup &root)
+{
+    std::vector<std::pair<std::string, std::unique_ptr<BaseTlb>>> out;
+    out.emplace_back("set_assoc",
+                     std::make_unique<SetAssocTlb>(
+                         "sa", &root, 64, 4, PageSize::Size4K));
+    out.emplace_back(
+        "fully_assoc",
+        std::make_unique<FullyAssocTlb>(
+            "fa", &root, 32,
+            std::initializer_list<PageSize>{PageSize::Size4K,
+                                            PageSize::Size2M}));
+    out.emplace_back("hash_rehash",
+                     std::make_unique<HashRehashTlb>(
+                         "hr", &root, HashRehashParams{}));
+    out.emplace_back("skew", std::make_unique<SkewTlb>(
+                                 "skew", &root, SkewTlbParams{}));
+    out.emplace_back("colt",
+                     std::make_unique<ColtTlb>("colt", &root, 64, 4,
+                                               PageSize::Size4K));
+    out.emplace_back("mix", std::make_unique<MixTlb>("mix", &root,
+                                                     MixTlbParams{}));
+    auto split = std::make_unique<SplitTlb>("split", &root);
+    split->addComponent(std::make_unique<SetAssocTlb>(
+        "split_4k", &root, 64, 4, PageSize::Size4K));
+    split->addComponent(std::make_unique<SetAssocTlb>(
+        "split_2m", &root, 32, 4, PageSize::Size2M));
+    out.emplace_back("split", std::move(split));
+    return out;
+}
+
+} // anonymous namespace
+
+TEST(Asid, EntriesAreAsidPrivate)
+{
+    stats::StatGroup root("test");
+    for (auto &[name, tlb] : makeAsidTlbs(root)) {
+        SCOPED_TRACE(name);
+
+        tlb->setAsid(1);
+        tlb->fill(simpleFill(xlate4k(0x5000, 0xA000)));
+        EXPECT_TRUE(tlb->lookup(0x5000, false).hit);
+
+        // The same VA under another ASID misses, then fills its own
+        // entry with a different translation.
+        tlb->setAsid(2);
+        EXPECT_FALSE(tlb->lookup(0x5000, false).hit);
+        tlb->fill(simpleFill(xlate4k(0x5000, 0xB000)));
+        auto hit = tlb->lookup(0x5000, false);
+        ASSERT_TRUE(hit.hit);
+        EXPECT_EQ(hit.xlate.translate(0x5000), 0xB000u);
+
+        // Both address spaces stay resident simultaneously.
+        tlb->setAsid(1);
+        auto original = tlb->lookup(0x5000, false);
+        ASSERT_TRUE(original.hit);
+        EXPECT_EQ(original.xlate.translate(0x5000), 0xA000u);
+    }
+}
+
+TEST(Asid, InvalidateAsidLeavesOthersResident)
+{
+    stats::StatGroup root("test");
+    for (auto &[name, tlb] : makeAsidTlbs(root)) {
+        SCOPED_TRACE(name);
+        tlb->setAsid(1);
+        tlb->fill(simpleFill(xlate4k(0x5000, 0xA000)));
+        tlb->setAsid(2);
+        tlb->fill(simpleFill(xlate4k(0x5000, 0xB000)));
+
+        tlb->invalidateAsid(1);
+        EXPECT_TRUE(tlb->lookup(0x5000, false).hit); // asid 2 survives
+        tlb->setAsid(1);
+        EXPECT_FALSE(tlb->lookup(0x5000, false).hit); // asid 1 gone
+    }
+}
+
+TEST(Asid, TargetedInvalidateMatchesAsid)
+{
+    stats::StatGroup root("test");
+    for (auto &[name, tlb] : makeAsidTlbs(root)) {
+        SCOPED_TRACE(name);
+        tlb->setAsid(1);
+        tlb->fill(simpleFill(xlate4k(0x5000, 0xA000)));
+        tlb->setAsid(2);
+        tlb->fill(simpleFill(xlate4k(0x5000, 0xB000)));
+
+        // A shootdown tagged with ASID 1 must not touch ASID 2.
+        tlb->invalidate(0x5000, PageSize::Size4K, Asid{1});
+        EXPECT_TRUE(tlb->lookup(0x5000, false).hit);
+        tlb->invalidate(0x5000, PageSize::Size4K, Asid{2});
+        EXPECT_FALSE(tlb->lookup(0x5000, false).hit);
+
+        tlb->setAsid(1);
+        EXPECT_FALSE(tlb->lookup(0x5000, false).hit);
+    }
+}
+
+TEST(Asid, IdealTlbTranslatesPerRegisteredTable)
+{
+    stats::StatGroup root("test");
+    mem::PhysMem mem(256 * MiB);
+    os::MemoryManager mm(mem, &root);
+    os::ProcessParams pa, pb;
+    pa.name = "proca";
+    pb.name = "procb";
+    os::Process proc_a(mm, pa, &root);
+    os::Process proc_b(mm, pb, &root);
+    VAddr base_a = proc_a.mmap(4 * MiB);
+    VAddr base_b = proc_b.mmap(4 * MiB);
+    proc_a.touch(base_a);
+    proc_b.touch(base_b);
+
+    IdealTlb tlb("ideal", &root, proc_a.pageTable());
+    tlb.registerTable(1, proc_a.pageTable());
+    tlb.registerTable(2, proc_b.pageTable());
+
+    tlb.setAsid(1);
+    EXPECT_TRUE(tlb.lookup(base_a, false).hit);
+    tlb.setAsid(2);
+    EXPECT_TRUE(tlb.lookup(base_b, false).hit);
+    // An ASID with no registered table never hits.
+    tlb.setAsid(7);
+    EXPECT_FALSE(tlb.lookup(base_a, false).hit);
 }

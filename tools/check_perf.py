@@ -1,11 +1,13 @@
 #!/usr/bin/env python3
-"""Validate a hot-path throughput report (CI's perf-smoke job).
+"""Validate perf-smoke benchmark reports (CI's perf-smoke job).
 
-`bench_hotpath` self-measures wall-clock refs/sec for a fixed
-gups + stream reference mix over every headline TLB design and writes
-`BENCH_hotpath.json`. This script proves the report is *usable as a
-perf artifact* — it is not a perf regression gate (CI machines vary),
-but it fails loudly when the harness silently lost coverage:
+Dispatches on the report's "benchmark" field:
+
+`hotpath` (BENCH_hotpath.json): self-measured wall-clock refs/sec for
+a fixed gups + stream mix over every headline TLB design. The check
+proves the report is *usable as a perf artifact* — it is not a perf
+regression gate (CI machines vary), but it fails loudly when the
+harness silently lost coverage:
 
   complete     every expected design is present
   measured     every (design, workload) sample carries refs > 0,
@@ -13,7 +15,22 @@ but it fails loudly when the harness silently lost coverage:
   coherent     the per-design aggregate refs_per_sec is positive and
                no larger than its fastest workload sample
 
-Usage: tools/check_perf.py <BENCH_hotpath.json>
+`multiprog` (BENCH_multiprog.json): the multiprogrammed sweep pairing
+full-flush and ASID-tagged context-switch policies over identical
+reference streams. Checks:
+
+  complete     every headline design is present, every point "ok"
+  paired       each full-flush record has an ASID-tagged twin with the
+               same design/procs/quantum/mix and the same seed
+  attributed   every record carries per-process miss rates matching
+               num_procs, and nonzero context switches
+  policy       full-flush records flush, ASID-tagged records never do
+  wins         per design, the mean ASID-tagged L1 miss rate across
+               the grid is strictly below the mean full-flush rate
+  timed        any timing block carries positive wall_seconds and
+               refs_per_sec
+
+Usage: tools/check_perf.py <BENCH_*.json>
        (exit 0 clean, 1 otherwise)
 """
 
@@ -29,12 +46,7 @@ def fail(message: str) -> None:
     sys.exit(1)
 
 
-def main() -> None:
-    if len(sys.argv) != 2:
-        fail("usage: check_perf.py <BENCH_hotpath.json>")
-    with open(sys.argv[1], encoding="utf-8") as handle:
-        report = json.load(handle)
-
+def check_hotpath(report: dict) -> None:
     designs = report.get("designs", [])
     if not designs:
         fail("report has no designs block")
@@ -77,6 +89,114 @@ def main() -> None:
         f"{total / (len(EXPECTED_DESIGNS) * len(EXPECTED_WORKLOADS)):,.0f} "
         "refs/sec"
     )
+
+
+def pair_key(config: dict) -> tuple:
+    return (
+        config.get("design"),
+        config.get("num_procs"),
+        config.get("quantum"),
+        config.get("mix"),
+    )
+
+
+def check_multiprog(report: dict) -> None:
+    results = report.get("results", [])
+    if not results:
+        fail("report has no results")
+    if report.get("failures"):
+        fail(f"{len(report['failures'])} quarantined points")
+
+    flush, asid = {}, {}
+    for record in results:
+        label = record.get("label", "<unlabelled>")
+        if record.get("status") != "ok":
+            fail(f"{label}: status is {record.get('status')!r}")
+        config = record.get("config", {})
+        policy = config.get("policy")
+        if policy == "full-flush":
+            flush[pair_key(config)] = record
+        elif policy == "asid":
+            asid[pair_key(config)] = record
+        else:
+            fail(f"{label}: unknown policy {policy!r}")
+
+        multi = record.get("multi")
+        if multi is None:
+            fail(f"{label}: missing multi block")
+        rates = multi.get("proc_l1_miss_rates", [])
+        if len(rates) != config.get("num_procs"):
+            fail(
+                f"{label}: {len(rates)} per-process miss rates for "
+                f"{config.get('num_procs')} processes"
+            )
+        if multi.get("context_switches", 0) <= 0:
+            fail(f"{label}: no context switches recorded")
+        flushes = multi.get("full_flushes", 0)
+        if policy == "full-flush" and flushes <= 0:
+            fail(f"{label}: full-flush policy never flushed")
+        if policy == "asid" and flushes != 0:
+            fail(f"{label}: ASID-tagged policy flushed {flushes} times")
+
+        timing = record.get("timing")
+        if timing is not None:
+            for key in ("wall_seconds", "refs_per_sec"):
+                if timing.get(key, 0) <= 0:
+                    fail(f"{label}: timing {key} is {timing.get(key)!r}")
+
+    if set(flush) != set(asid):
+        fail("full-flush and asid points do not pair up")
+    seen = {key[0] for key in flush}
+    missing = [d for d in EXPECTED_DESIGNS if d not in seen]
+    if missing:
+        fail(f"missing designs: {', '.join(missing)}")
+
+    for key, flush_record in flush.items():
+        asid_config = asid[key].get("config", {})
+        if flush_record.get("config", {}).get("seed") != asid_config.get(
+            "seed"
+        ):
+            fail(f"{key}: paired policies ran with different seeds")
+
+    for design in EXPECTED_DESIGNS:
+        keys = [k for k in flush if k[0] == design]
+        flush_mean = sum(
+            flush[k]["metrics"]["l1_miss_rate"] for k in keys
+        ) / len(keys)
+        asid_mean = sum(
+            asid[k]["metrics"]["l1_miss_rate"] for k in keys
+        ) / len(keys)
+        if not asid_mean < flush_mean:
+            fail(
+                f"{design}: mean ASID-tagged L1 miss rate "
+                f"({asid_mean:.6f}) not below full-flush "
+                f"({flush_mean:.6f})"
+            )
+        print(
+            f"check_perf: {design}: mean L1 miss "
+            f"{flush_mean:.4%} (flush) -> {asid_mean:.4%} (asid)"
+        )
+
+    print(
+        f"check_perf: OK: {len(results)} multiprog points, "
+        f"{len(flush)} policy pairs across "
+        f"{len(EXPECTED_DESIGNS)} designs"
+    )
+
+
+def main() -> None:
+    if len(sys.argv) != 2:
+        fail("usage: check_perf.py <report.json>")
+    with open(sys.argv[1], encoding="utf-8") as handle:
+        report = json.load(handle)
+
+    benchmark = report.get("benchmark", "hotpath")
+    if benchmark == "hotpath":
+        check_hotpath(report)
+    elif benchmark == "multiprog":
+        check_multiprog(report)
+    else:
+        fail(f"unknown benchmark kind {benchmark!r}")
 
 
 if __name__ == "__main__":
