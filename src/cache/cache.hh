@@ -65,7 +65,13 @@ class Cache
     stats::Scalar &hits_;
     stats::Scalar &misses_;
 
-    std::uint64_t tagOf(PAddr paddr) const { return paddr >> lineShift_; }
+    std::uint64_t
+    tagOf(PAddr paddr) const
+    {
+        // lineShift_ = floorLog2(lineBytes) <= 63; mask keeps the
+        // shift defined even if a bad config slips through.
+        return paddr >> (lineShift_ & 63);
+    }
     std::uint64_t setOf(std::uint64_t tag) const { return tag % numSets_; }
 };
 

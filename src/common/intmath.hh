@@ -55,6 +55,35 @@ divCeil(std::uint64_t a, std::uint64_t b)
     return (a + b - 1) / b;
 }
 
+/**
+ * 2^n as a 64-bit value; @p n must be < 64. The sanctioned spelling
+ * of `1ULL << n` when n is not a compile-time constant: shifting by
+ * the operand width is UB, and both prior shift bugs (COLT colt4k,
+ * SkewTlb::rowOf) were exactly that.
+ */
+constexpr std::uint64_t
+pow2(unsigned n)
+{
+    MIX_EXPECT(n < 64, "pow2(%u) overflows a 64-bit value", n);
+    return 1ULL << (n & 63);
+}
+
+/** @p val << @p n with a guarded shift amount (n < 64). */
+constexpr std::uint64_t
+shiftLeft(std::uint64_t val, unsigned n)
+{
+    MIX_EXPECT(n < 64, "shiftLeft by %u bits is undefined", n);
+    return val << (n & 63);
+}
+
+/** @p val >> @p n with a guarded shift amount (n < 64). */
+constexpr std::uint64_t
+shiftRight(std::uint64_t val, unsigned n)
+{
+    MIX_EXPECT(n < 64, "shiftRight by %u bits is undefined", n);
+    return val >> (n & 63);
+}
+
 /** Round @p a down to a multiple of power-of-two @p align. */
 constexpr std::uint64_t
 alignDown(std::uint64_t a, std::uint64_t align)

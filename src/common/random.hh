@@ -11,6 +11,7 @@
 #ifndef MIXTLB_COMMON_RANDOM_HH
 #define MIXTLB_COMMON_RANDOM_HH
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -44,7 +45,9 @@ class Rng
 
     static std::uint64_t rotl(std::uint64_t x, int k)
     {
-        return (x << k) | (x >> (64 - k));
+        // std::rotl is defined for every k; the hand-rolled
+        // (x << k) | (x >> (64 - k)) is UB at k == 0 or k == 64.
+        return std::rotl(x, k);
     }
 };
 

@@ -97,7 +97,7 @@ pageBytes(PageSize size)
 constexpr std::uint64_t
 framesPerPage(PageSize size)
 {
-    return 1ULL << (pageShift(size) - PageShift4K);
+    return pageBytes(size) >> PageShift4K;
 }
 
 /** Human-readable name ("4K", "2M", "1G"). */

@@ -22,13 +22,13 @@ BuddyAllocator::BuddyAllocator(std::uint64_t total_frames)
     while (remaining > 0) {
         unsigned order = MaxOrder;
         while (order > 0 &&
-               ((pfn & ((1ULL << order) - 1)) != 0 ||
-                (1ULL << order) > remaining)) {
+               ((pfn & (pow2(order) - 1)) != 0 ||
+                pow2(order) > remaining)) {
             order--;
         }
         freeLists_[order].insert(pfn);
-        pfn += 1ULL << order;
-        remaining -= 1ULL << order;
+        pfn += pow2(order);
+        remaining -= pow2(order);
     }
 }
 
@@ -61,10 +61,10 @@ BuddyAllocator::alloc(unsigned order)
     // Split down, keeping the low half each time and freeing the high
     // half, so the returned block sits at the lowest address.
     for (unsigned o = best_order; o > order; o--) {
-        Pfn high = best_pfn + (1ULL << (o - 1));
+        Pfn high = best_pfn + pow2(o - 1);
         freeLists_[o - 1].insert(high);
     }
-    freeFrames_ -= 1ULL << order;
+    freeFrames_ -= pow2(order);
     return best_pfn;
 }
 
@@ -72,7 +72,7 @@ bool
 BuddyAllocator::allocRegion(Pfn pfn, unsigned order)
 {
     panic_if(order > MaxOrder, "allocRegion order %u too large", order);
-    panic_if((pfn & ((1ULL << order) - 1)) != 0,
+    panic_if((pfn & (pow2(order) - 1)) != 0,
              "allocRegion misaligned pfn");
     if (!isRegionFree(pfn, order))
         return false;
@@ -81,14 +81,14 @@ BuddyAllocator::allocRegion(Pfn pfn, unsigned order)
     // blocks are naturally aligned, a covering block either contains the
     // whole region or is contained by it.
     std::uint64_t want_lo = pfn;
-    std::uint64_t want_hi = pfn + (1ULL << order);
+    std::uint64_t want_hi = pfn + pow2(order);
     for (unsigned o = 0; o <= MaxOrder; o++) {
         auto &list = freeLists_[o];
         auto it = list.lower_bound(
-            want_lo >= (1ULL << o) ? want_lo - (1ULL << o) + 1 : 0);
+            want_lo >= pow2(o) ? want_lo - pow2(o) + 1 : 0);
         while (it != list.end() && *it < want_hi) {
             Pfn blk = *it;
-            std::uint64_t blk_hi = blk + (1ULL << o);
+            std::uint64_t blk_hi = blk + pow2(o);
             if (blk_hi <= want_lo) {
                 ++it;
                 continue;
@@ -106,7 +106,7 @@ BuddyAllocator::allocRegion(Pfn pfn, unsigned order)
             while (co > order) {
                 co--;
                 Pfn low = cur;
-                Pfn high = cur + (1ULL << co);
+                Pfn high = cur + pow2(co);
                 if (want_lo >= high) {
                     freeLists_[co].insert(low);
                     cur = high;
@@ -121,7 +121,7 @@ BuddyAllocator::allocRegion(Pfn pfn, unsigned order)
             break;
         }
     }
-    freeFrames_ -= 1ULL << order;
+    freeFrames_ -= pow2(order);
     return true;
 }
 
@@ -129,16 +129,16 @@ void
 BuddyAllocator::free(Pfn pfn, unsigned order)
 {
     panic_if(order > MaxOrder, "free order %u too large", order);
-    panic_if((pfn & ((1ULL << order) - 1)) != 0, "free misaligned pfn");
+    panic_if((pfn & (pow2(order) - 1)) != 0, "free misaligned pfn");
     insertAndMerge(pfn, order);
-    freeFrames_ += 1ULL << order;
+    freeFrames_ += pow2(order);
 }
 
 void
 BuddyAllocator::insertAndMerge(Pfn pfn, unsigned order)
 {
     while (order < MaxOrder) {
-        Pfn buddy = pfn ^ (1ULL << order);
+        Pfn buddy = pfn ^ pow2(order);
         auto it = freeLists_[order].find(buddy);
         if (it == freeLists_[order].end())
             break;
@@ -155,15 +155,15 @@ bool
 BuddyAllocator::isRegionFree(Pfn pfn, unsigned order) const
 {
     std::uint64_t want_lo = pfn;
-    std::uint64_t want_hi = pfn + (1ULL << order);
+    std::uint64_t want_hi = pfn + pow2(order);
     std::uint64_t covered = 0;
     for (unsigned o = 0; o <= MaxOrder; o++) {
         const auto &list = freeLists_[o];
         auto it = list.lower_bound(
-            want_lo >= (1ULL << o) ? want_lo - (1ULL << o) + 1 : 0);
+            want_lo >= pow2(o) ? want_lo - pow2(o) + 1 : 0);
         for (; it != list.end() && *it < want_hi; ++it) {
             std::uint64_t blk_lo = *it;
-            std::uint64_t blk_hi = blk_lo + (1ULL << o);
+            std::uint64_t blk_hi = blk_lo + pow2(o);
             if (blk_hi <= want_lo)
                 continue;
             std::uint64_t lo = blk_lo > want_lo ? blk_lo : want_lo;
@@ -208,7 +208,7 @@ BuddyAllocator::audit(contracts::AuditReport &report) const
     std::vector<std::pair<Pfn, std::uint64_t>> blocks; // (pfn, frames)
     std::uint64_t free_sum = 0;
     for (unsigned o = 0; o <= MaxOrder; o++) {
-        const std::uint64_t frames = 1ULL << o;
+        const std::uint64_t frames = pow2(o);
         for (Pfn pfn : freeLists_[o]) {
             MIX_AUDIT_CHECK(report, (pfn & (frames - 1)) == 0,
                             "order-%u free block at pfn 0x%llx is not "
@@ -264,7 +264,7 @@ BuddyAllocator::fragmentationIndex(unsigned order) const
         return 0.0;
     std::uint64_t usable = 0;
     for (unsigned o = order; o <= MaxOrder; o++)
-        usable += freeLists_[o].size() << o;
+        usable += shiftLeft(freeLists_[o].size(), o);
     return 1.0 - static_cast<double>(usable)
                  / static_cast<double>(freeFrames_);
 }

@@ -36,7 +36,7 @@ void
 PhysMem::freeFrames(Pfn pfn, unsigned order)
 {
     tagFrames(pfn, order, FrameUse::Free);
-    for (std::uint64_t i = 0; i < (1ULL << order); i++)
+    for (std::uint64_t i = 0; i < pow2(order); i++)
         data_.erase(pfn + i);
     buddy_.free(pfn, order);
 }
@@ -44,7 +44,7 @@ PhysMem::freeFrames(Pfn pfn, unsigned order)
 void
 PhysMem::retagFrames(Pfn pfn, unsigned order, FrameUse use)
 {
-    for (std::uint64_t i = 0; i < (1ULL << order); i++) {
+    for (std::uint64_t i = 0; i < pow2(order); i++) {
         panic_if(frameUse_[pfn + i] == FrameUse::Free,
                  "retagFrames over a free frame");
     }
@@ -54,9 +54,9 @@ PhysMem::retagFrames(Pfn pfn, unsigned order, FrameUse use)
 void
 PhysMem::tagFrames(Pfn pfn, unsigned order, FrameUse use)
 {
-    panic_if(pfn + (1ULL << order) > frameUse_.size(),
+    panic_if(pfn + pow2(order) > frameUse_.size(),
              "frame range out of bounds");
-    for (std::uint64_t i = 0; i < (1ULL << order); i++)
+    for (std::uint64_t i = 0; i < pow2(order); i++)
         frameUse_[pfn + i] = use;
 }
 
@@ -78,7 +78,7 @@ PhysMem::audit(contracts::AuditReport &report) const
     // a free list, none leaked as allocated-but-untracked).
     std::vector<bool> in_free_list(frameUse_.size(), false);
     buddy_.forEachFreeBlock([&](Pfn base, unsigned order) {
-        for (std::uint64_t i = 0; i < (1ULL << order); i++) {
+        for (std::uint64_t i = 0; i < pow2(order); i++) {
             if (base + i < in_free_list.size())
                 in_free_list[base + i] = true;
         }

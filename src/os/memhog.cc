@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/intmath.hh"
 #include "common/logging.hh"
 #include "mem/buddy_allocator.hh"
 
@@ -64,7 +65,7 @@ Memhog::fragment(double fraction, std::uint64_t seed)
     }
     std::vector<Pfn> frames;
     for (auto [base, order] : claimed) {
-        for (std::uint64_t i = 0; i < (1ULL << order); i++)
+        for (std::uint64_t i = 0; i < pow2(order); i++)
             frames.push_back(base + i);
     }
     for (std::uint64_t i = frames.size(); i > 1; i--)

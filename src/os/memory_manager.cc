@@ -1,6 +1,7 @@
 #include "memory_manager.hh"
 
 #include "common/fault.hh"
+#include "common/intmath.hh"
 #include "common/logging.hh"
 
 namespace mixtlb::os
@@ -72,7 +73,7 @@ MemoryManager::allocContiguous(unsigned order, mem::FrameUse use,
 
     // Watermark check: compaction needs migration destinations, and a
     // nearly full machine should fall back to small pages quickly.
-    std::uint64_t region = 1ULL << order;
+    std::uint64_t region = pow2(order);
     double free_frac = freeFraction();
     if (mem_.buddy().freeFrames() < region ||
         free_frac < params_.minFreeFraction) {
@@ -120,7 +121,7 @@ MemoryManager::allocContiguous(unsigned order, mem::FrameUse use,
     } else if (params_.deferOnFailure) {
         if (deferShift_ < 6)
             deferShift_++;
-        deferCount_ = 1u << deferShift_;
+        deferCount_ = 1u << (deferShift_ & 31);
     }
     return pfn;
 }
@@ -130,7 +131,7 @@ MemoryManager::regionMigratable(Pfn base, unsigned order,
                                 std::uint64_t *allocated_out) const
 {
     std::uint64_t allocated = 0;
-    for (std::uint64_t i = 0; i < (1ULL << order); i++) {
+    for (std::uint64_t i = 0; i < pow2(order); i++) {
         switch (mem_.frameUse(base + i)) {
           case mem::FrameUse::Free:
             break;
@@ -152,17 +153,17 @@ std::optional<Pfn>
 MemoryManager::compact(unsigned order, mem::FrameUse use)
 {
     ++compactionAttempts_;
-    const std::uint64_t region = 1ULL << order;
-    const std::uint64_t num_regions = mem_.totalFrames() >> order;
+    const std::uint64_t region = pow2(order);
+    const std::uint64_t num_regions = shiftRight(mem_.totalFrames(), order);
     if (num_regions == 0)
         return std::nullopt;
 
-    std::uint64_t start = scanCursor_ >> order;
+    std::uint64_t start = shiftRight(scanCursor_, order);
     for (unsigned cand = 0; cand < params_.maxCandidates &&
                             cand < num_regions; cand++) {
         std::uint64_t region_idx = (start + cand) % num_regions;
-        Pfn base = region_idx << order;
-        scanCursor_ = ((region_idx + 1) % num_regions) << order;
+        Pfn base = shiftLeft(region_idx, order);
+        scanCursor_ = shiftLeft((region_idx + 1) % num_regions, order);
 
         std::uint64_t allocated = 0;
         if (!regionMigratable(base, order, &allocated))

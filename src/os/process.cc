@@ -337,7 +337,7 @@ Process::audit(contracts::AuditReport &report) const
     std::vector<std::pair<Pfn, std::uint64_t>> owned; // [base, end)
     owned.reserve(ownedFrames_.size());
     for (auto [pfn, order] : ownedFrames_)
-        owned.emplace_back(pfn, pfn + (1ULL << order));
+        owned.emplace_back(pfn, pfn + pow2(order));
     std::sort(owned.begin(), owned.end());
 
     std::uint64_t stray_leaves = 0;
@@ -397,10 +397,19 @@ Process::audit(contracts::AuditReport &report) const
                     (unsigned long long)bytes1g,
                     (unsigned long long)residentBytes(PageSize::Size1G));
 
+    // The side tables are unordered; walk them in sorted key order so
+    // the audit report is byte-identical regardless of insertion order.
+    std::vector<VAddr> regions2m;
+    regions2m.reserve(smallIn2m_.size());
+    for (const auto &kv : smallIn2m_)
+        regions2m.push_back(kv.first);
+    std::sort(regions2m.begin(), regions2m.end());
+
     // A smallIn2m_ entry blocks superpage use for its region, and its
     // count is exactly the fallback 4KB pages mapped there (never the
     // reservation-backed ones, which keep their own counter).
-    for (auto [region, count] : smallIn2m_) {
+    for (VAddr region : regions2m) {
+        const std::uint32_t count = smallIn2m_.at(region);
         auto found = small_in_2m.find(region);
         const std::uint32_t actual =
             found == small_in_2m.end() ? 0 : found->second;
@@ -415,7 +424,13 @@ Process::audit(contracts::AuditReport &report) const
                         "pages and an active reservation",
                         (unsigned long long)region);
     }
-    for (auto [region, count] : subIn1g_) {
+    std::vector<VAddr> regions1g;
+    regions1g.reserve(subIn1g_.size());
+    for (const auto &kv : subIn1g_)
+        regions1g.push_back(kv.first);
+    std::sort(regions1g.begin(), regions1g.end());
+    for (VAddr region : regions1g) {
+        const std::uint32_t count = subIn1g_.at(region);
         auto found = sub_in_1g.find(region);
         const std::uint32_t actual =
             found == sub_in_1g.end() ? 0 : found->second;
@@ -424,7 +439,13 @@ Process::audit(contracts::AuditReport &report) const
                         "but the tree holds %u",
                         (unsigned long long)region, count, actual);
     }
-    for (const auto &[region, res] : reservations_) {
+    std::vector<VAddr> reserved;
+    reserved.reserve(reservations_.size());
+    for (const auto &kv : reservations_)
+        reserved.push_back(kv.first);
+    std::sort(reserved.begin(), reserved.end());
+    for (VAddr region : reserved) {
+        const auto &res = reservations_.at(region);
         MIX_AUDIT_CHECK(report, res.touched < Frames2M,
                         "reservation at 0x%llx is fully built (%u "
                         "slots) but was never promoted",

@@ -1,5 +1,8 @@
 #include "page_table.hh"
 
+#include <algorithm>
+#include <vector>
+
 #include "common/intmath.hh"
 #include "common/logging.hh"
 
@@ -309,7 +312,11 @@ PageTable::audit(contracts::AuditReport &report) const
     MIX_AUDIT_CHECK(report, orphans <= 8,
                     "%llu further orphaned table frames",
                     (unsigned long long)(orphans - 8));
-    for (Pfn pfn : reachable) {
+    // Sort the reachable set so the report text is byte-identical no
+    // matter what order the hash table happens to iterate in.
+    std::vector<Pfn> reached(reachable.begin(), reachable.end());
+    std::sort(reached.begin(), reached.end());
+    for (Pfn pfn : reached) {
         MIX_AUDIT_CHECK(report, owned.count(pfn) > 0,
                         "reachable table frame 0x%llx was never "
                         "allocated by this page table",

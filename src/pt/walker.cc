@@ -25,6 +25,7 @@ Walker::Walker(const PageTable &table, stats::StatGroup *parent,
                MaxLineSlots / PtesPerCacheLine);
 }
 
+// mixcheck: hot
 WalkResult
 Walker::walk(VAddr vaddr, bool is_store)
 {

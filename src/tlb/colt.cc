@@ -20,8 +20,11 @@ ColtTlb::ColtTlb(const std::string &name, stats::StatGroup *parent,
              "COLT group must be a power of two <= 32");
     numSets_ = entries / assoc;
     sets_.resize(numSets_);
+    for (auto &set : sets_)
+        set.reserve(assoc_ + 1);
 }
 
+// mixcheck: hot
 TlbLookup
 ColtTlb::lookup(VAddr vaddr, bool is_store)
 {
@@ -35,10 +38,10 @@ ColtTlb::lookup(VAddr vaddr, bool is_store)
     auto &set = sets_[setOf(vaddr)];
     auto it = std::find_if(set.begin(), set.end(), [&](const Entry &e) {
         return e.wbase == wbase && e.asid == asid_ &&
-               ((e.bitmap >> slot) & 1);
+               ((e.bitmap >> (slot & 31)) & 1);
     });
     if (it != set.end()) {
-        set.splice(set.begin(), set, it);
+        std::rotate(set.begin(), it, it + 1); // move to MRU
         const Entry &entry = set.front();
         result.hit = true;
         result.xlate.size = size_;
@@ -51,9 +54,9 @@ ColtTlb::lookup(VAddr vaddr, bool is_store)
         result.entryDirty = entry.dirty;
         // Synthesize the contiguous run around the slot for lower fills.
         unsigned lo = slot, hi = slot;
-        while (lo > 0 && ((entry.bitmap >> (lo - 1)) & 1))
+        while (lo > 0 && ((entry.bitmap >> ((lo - 1) & 31)) & 1))
             lo--;
-        while (hi + 1 < group_ && ((entry.bitmap >> (hi + 1)) & 1))
+        while (hi + 1 < group_ && ((entry.bitmap >> ((hi + 1) & 31)) & 1))
             hi++;
         BundleInfo bundle;
         bundle.vbase = entry.wbase + static_cast<std::uint64_t>(lo) * page;
@@ -68,6 +71,7 @@ ColtTlb::lookup(VAddr vaddr, bool is_store)
     return result;
 }
 
+// mixcheck: hot
 void
 ColtTlb::fill(const FillInfo &fill)
 {
@@ -85,7 +89,7 @@ ColtTlb::fill(const FillInfo &fill)
     entry.wpbase = leaf.pbase
                    - static_cast<std::uint64_t>(leaf_slot) * page;
     entry.perms = leaf.perms;
-    entry.bitmap = 1u << leaf_slot;
+    entry.bitmap = 1u << (leaf_slot & 31);
     bool all_dirty = leaf.dirty;
 
     auto consider = [&](VAddr vbase, PAddr pbase, pt::Perms perms,
@@ -97,7 +101,7 @@ ColtTlb::fill(const FillInfo &fill)
             return;
         if (pbase != entry.wpbase + slot64 * page)
             return;
-        entry.bitmap |= 1u << static_cast<unsigned>(slot64);
+        entry.bitmap |= 1u << (static_cast<unsigned>(slot64) & 31);
         all_dirty = all_dirty && dirty;
     };
 
@@ -127,11 +131,11 @@ ColtTlb::fill(const FillInfo &fill)
     if (it != set.end()) {
         it->bitmap |= entry.bitmap;
         it->dirty = it->dirty && entry.dirty;
-        set.splice(set.begin(), set, it);
+        std::rotate(set.begin(), it, it + 1); // move to MRU
         ++coalesces_;
         return;
     }
-    set.push_front(entry);
+    set.insert(set.begin(), entry);
     if (set.size() > assoc_)
         set.pop_back();
     ++fills_;
@@ -149,7 +153,7 @@ ColtTlb::invalidate(VAddr vbase, PageSize size, Asid asid)
     auto &set = sets_[setOf(vbase)];
     for (auto it = set.begin(); it != set.end();) {
         if (it->wbase == wbase && it->asid == asid) {
-            it->bitmap &= ~(1u << slot);
+            it->bitmap &= ~(1u << (slot & 31));
             if (it->bitmap == 0) {
                 it = set.erase(it);
                 continue;
@@ -172,7 +176,7 @@ ColtTlb::invalidateAsid(Asid asid)
 {
     ++invalidations_;
     for (auto &set : sets_)
-        set.remove_if([&](const Entry &e) { return e.asid == asid; });
+        std::erase_if(set, [&](const Entry &e) { return e.asid == asid; });
 }
 
 void

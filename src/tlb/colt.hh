@@ -16,7 +16,6 @@
 #ifndef MIXTLB_TLB_COLT_HH
 #define MIXTLB_TLB_COLT_HH
 
-#include <list>
 #include <vector>
 
 #include "tlb/base.hh"
@@ -60,7 +59,10 @@ class ColtTlb : public BaseTlb
     PageSize size_;
     unsigned group_;
     std::uint64_t numSets_;
-    std::vector<std::list<Entry>> sets_;
+    /** Per-set entries in LRU order (front = MRU); each vector is
+     *  reserved to assoc_ + 1 at construction so the hot path never
+     *  reallocates. */
+    std::vector<std::vector<Entry>> sets_;
 
     std::uint64_t
     setOf(VAddr vaddr) const

@@ -18,6 +18,8 @@ HashRehashTlb::HashRehashTlb(const std::string &name,
     fatal_if(params.sizes.empty(), "hash-rehash TLB with no page sizes");
     numSets_ = params.entries / params.assoc;
     sets_.resize(numSets_);
+    for (auto &set : sets_)
+        set.reserve(params_.assoc + 1);
     probeOrder_ = params_.sizes;
     if (params.usePredictor) {
         predictor_ = std::make_unique<SizePredictor>(
@@ -42,10 +44,11 @@ HashRehashTlb::probe(VAddr vaddr, PageSize size)
     });
     if (it == set.end())
         return nullptr;
-    set.splice(set.begin(), set, it);
+    std::rotate(set.begin(), it, it + 1); // move to MRU
     return &set.front();
 }
 
+// mixcheck: hot
 TlbLookup
 HashRehashTlb::lookup(VAddr vaddr, bool is_store)
 {
@@ -87,6 +90,7 @@ HashRehashTlb::lookup(VAddr vaddr, bool is_store)
     return result;
 }
 
+// mixcheck: hot
 void
 HashRehashTlb::fill(const FillInfo &fill)
 {
@@ -102,10 +106,10 @@ HashRehashTlb::fill(const FillInfo &fill)
     if (it != set.end()) {
         it->xlate = fill.leaf;
         it->dirty = fill.leaf.dirty;
-        set.splice(set.begin(), set, it);
+        std::rotate(set.begin(), it, it + 1); // move to MRU
     } else {
-        set.push_front(Entry{fill.leaf.size, vpn, asid_, fill.leaf,
-                             fill.leaf.dirty});
+        set.insert(set.begin(), Entry{fill.leaf.size, vpn, asid_,
+                                      fill.leaf, fill.leaf.dirty});
         if (set.size() > params_.assoc)
             set.pop_back();
         ++fills_;
@@ -126,7 +130,7 @@ HashRehashTlb::invalidate(VAddr vbase, PageSize size, Asid asid)
     ++invalidations_;
     std::uint64_t vpn = vpnOf(vbase, size);
     auto &set = sets_[setOf(vbase, size)];
-    set.remove_if([&](const Entry &e) {
+    std::erase_if(set, [&](const Entry &e) {
         return e.size == size && e.vpn == vpn && e.asid == asid;
     });
 }
@@ -144,7 +148,7 @@ HashRehashTlb::invalidateAsid(Asid asid)
 {
     ++invalidations_;
     for (auto &set : sets_)
-        set.remove_if([&](const Entry &e) { return e.asid == asid; });
+        std::erase_if(set, [&](const Entry &e) { return e.asid == asid; });
 }
 
 void

@@ -13,7 +13,6 @@
 #ifndef MIXTLB_TLB_HASH_REHASH_HH
 #define MIXTLB_TLB_HASH_REHASH_HH
 
-#include <list>
 #include <vector>
 
 #include "tlb/base.hh"
@@ -67,7 +66,10 @@ class HashRehashTlb : public BaseTlb
 
     HashRehashParams params_;
     std::uint64_t numSets_;
-    std::vector<std::list<Entry>> sets_;
+    /** Per-set entries in LRU order (front = MRU); each vector is
+     *  reserved to assoc + 1 at construction so the hot path never
+     *  reallocates. */
+    std::vector<std::vector<Entry>> sets_;
     std::unique_ptr<SizePredictor> predictor_;
     /** Reusable probe-order scratch (no per-lookup heap allocation). */
     std::vector<PageSize> probeOrder_;

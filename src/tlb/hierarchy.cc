@@ -106,6 +106,7 @@ TlbHierarchy::oracleCheck(VAddr vaddr, PAddr paddr)
                (unsigned long long)(ref ? *ref : 0));
 }
 
+// mixcheck: hot
 TlbHierarchy::AccessResult
 TlbHierarchy::access(VAddr vaddr, bool is_store)
 {

@@ -45,6 +45,7 @@ class IdealTlb : public BaseTlb
 
     using BaseTlb::invalidate;
 
+    // mixcheck: hot
     TlbLookup
     lookup(VAddr vaddr, bool is_store) override
     {

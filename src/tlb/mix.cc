@@ -49,7 +49,7 @@ bool
 MixTlb::Entry::slotPresent(unsigned slot, CoalesceMode mode) const
 {
     if (size == PageSize::Size4K || mode == CoalesceMode::Bitmap)
-        return (bitmap >> slot) & 1;
+        return (bitmap >> (slot & 63)) & 1; // bitmap windows have <= 64 slots
     return slot >= runStart && slot < runStart + length;
 }
 
@@ -59,7 +59,7 @@ MixTlb::indexOf(VAddr vaddr) const
     const std::uint64_t index =
         params_.superpageIndexBits
             ? vaddr >> PageShift2M
-            : vaddr >> (PageShift4K + colt4kShift_);
+            : vaddr >> ((PageShift4K + colt4kShift_) & 63);
     if (setMask_)
         return static_cast<unsigned>(index & setMask_);
     return static_cast<unsigned>(index % numSets_);
@@ -139,6 +139,7 @@ MixTlb::merge(Entry &existing, const Entry &incoming)
     existing.dirty = existing.dirty && incoming.dirty;
 }
 
+// mixcheck: hot
 TlbLookup
 MixTlb::lookup(VAddr vaddr, bool is_store)
 {
@@ -208,8 +209,13 @@ MixTlb::buildEntry(const FillInfo &fill) const
 
     // Candidate membership per window slot, from the walk line and/or
     // an upper-level bundle. Slot 'leaf_slot' is always present.
-    std::uint64_t present = 1ULL << leaf_slot;
-    std::uint64_t all_dirty = leaf.dirty ? ~0ULL : ~(1ULL << leaf_slot);
+    // The scratchpad is a 64-bit map: in length mode a window can hold
+    // more than 64 slots, and anything past the map simply cannot be
+    // coalesced by this fill (shifting past it used to be undefined).
+    const bool leaf_tracked = leaf_slot < 64;
+    std::uint64_t present = leaf_tracked ? pow2(leaf_slot) : 0;
+    std::uint64_t all_dirty =
+        leaf.dirty || !leaf_tracked ? ~0ULL : ~pow2(leaf_slot);
 
     auto consider = [&](VAddr vbase, PAddr pbase, pt::Perms perms,
                         bool dirty) {
@@ -218,15 +224,15 @@ MixTlb::buildEntry(const FillInfo &fill) const
         if (vbase < entry.wbase)
             return;
         std::uint64_t slot64 = (vbase - entry.wbase) / page;
-        if (slot64 >= group)
-            return;
+        if (slot64 >= group || slot64 >= 64)
+            return; // outside the window or past the scratchpad
         auto slot = static_cast<unsigned>(slot64);
         // PA must sit exactly where window-affine contiguity demands.
         if (pbase != entry.wpbase + slot64 * page)
             return;
-        present |= 1ULL << slot;
+        present |= pow2(slot);
         if (!dirty)
-            all_dirty &= ~(1ULL << slot);
+            all_dirty &= ~pow2(slot);
     };
 
     if (fill.walk && !fill.walk->pageFault() &&
@@ -251,18 +257,27 @@ MixTlb::buildEntry(const FillInfo &fill) const
     if (leaf.size != PageSize::Size4K &&
         params_.mode == CoalesceMode::Length) {
         // Contiguous run through the leaf slot, holes excluded.
+        auto tracked = [&](unsigned slot) {
+            return slot < 64 && ((present >> (slot & 63)) & 1) != 0;
+        };
         unsigned lo = leaf_slot;
-        while (lo > 0 && ((present >> (lo - 1)) & 1))
+        while (lo > 0 && tracked(lo - 1))
             lo--;
         unsigned hi = leaf_slot;
-        while (hi + 1 < group && ((present >> (hi + 1)) & 1))
+        while (hi + 1 < group && tracked(hi + 1))
             hi++;
         entry.runStart = lo;
         entry.length = hi - lo + 1;
-        std::uint64_t run_mask =
-            entry.length >= 64 ? ~0ULL
-                               : ((1ULL << entry.length) - 1) << lo;
-        entry.dirty = (all_dirty & run_mask) == run_mask;
+        if (lo >= 64) {
+            // The run sits entirely past the scratchpad; only the
+            // demanded leaf is known.
+            entry.dirty = leaf.dirty;
+        } else {
+            const std::uint64_t run_mask =
+                entry.length >= 64 ? ~0ULL
+                                   : shiftLeft(pow2(entry.length) - 1, lo);
+            entry.dirty = (all_dirty & run_mask) == run_mask;
+        }
         entry.bitmap = 0;
     } else {
         entry.bitmap = present;
@@ -310,6 +325,7 @@ MixTlb::blindInsert(unsigned set_idx, const Entry &entry)
         ++mirrorWrites_;
 }
 
+// mixcheck: hot
 void
 MixTlb::fill(const FillInfo &fill)
 {
@@ -371,10 +387,10 @@ MixTlb::bundleAround(const Entry &entry, VAddr vaddr) const
     unsigned lo = slot, hi = slot;
     if (entry.size == PageSize::Size4K ||
         params_.mode == CoalesceMode::Bitmap) {
-        while (lo > 0 && ((entry.bitmap >> (lo - 1)) & 1))
+        while (lo > 0 && ((entry.bitmap >> ((lo - 1) & 63)) & 1))
             lo--;
         while (hi + 1 < groupSlots(entry.size) &&
-               ((entry.bitmap >> (hi + 1)) & 1)) {
+               ((entry.bitmap >> ((hi + 1) & 63)) & 1)) {
             hi++;
         }
     } else {
@@ -412,7 +428,7 @@ MixTlb::invalidate(VAddr vbase, PageSize size, Asid asid)
             }
             auto slot =
                 static_cast<unsigned>((vbase - entry.wbase) / page);
-            entry.bitmap &= ~(1ULL << slot);
+            entry.bitmap &= ~(1ULL << (slot & 63));
             if (entry.bitmap == 0)
                 it = set.erase(it);
             else
@@ -437,7 +453,7 @@ MixTlb::invalidate(VAddr vbase, PageSize size, Asid asid)
                 params_.mode == CoalesceMode::Bitmap) {
                 // Sec. 4.4: clear just this superpage's bit; neighbours
                 // stay cached.
-                entry.bitmap &= ~(1ULL << slot);
+                entry.bitmap &= ~(1ULL << (slot & 63));
                 if (entry.bitmap == 0)
                     it = set.erase(it);
                 else

@@ -21,6 +21,7 @@ SetAssocTlb::SetAssocTlb(const std::string &name, stats::StatGroup *parent,
         set.reserve(assoc_ + 1);
 }
 
+// mixcheck: hot
 TlbLookup
 SetAssocTlb::lookup(VAddr vaddr, bool is_store)
 {
@@ -42,6 +43,7 @@ SetAssocTlb::lookup(VAddr vaddr, bool is_store)
     return result;
 }
 
+// mixcheck: hot
 void
 SetAssocTlb::fill(const FillInfo &fill)
 {
@@ -123,6 +125,7 @@ FullyAssocTlb::supports(PageSize size) const
     return sizeMask_[static_cast<unsigned>(size)];
 }
 
+// mixcheck: hot
 TlbLookup
 FullyAssocTlb::lookup(VAddr vaddr, bool is_store)
 {
@@ -142,6 +145,7 @@ FullyAssocTlb::lookup(VAddr vaddr, bool is_store)
     return result;
 }
 
+// mixcheck: hot
 void
 FullyAssocTlb::fill(const FillInfo &fill)
 {

@@ -66,6 +66,7 @@ SkewTlb::probeSize(VAddr vaddr, PageSize size, unsigned *ways_read)
     return -1;
 }
 
+// mixcheck: hot
 TlbLookup
 SkewTlb::lookup(VAddr vaddr, bool is_store)
 {
@@ -137,6 +138,7 @@ SkewTlb::lookup(VAddr vaddr, bool is_store)
     return result;
 }
 
+// mixcheck: hot
 void
 SkewTlb::fill(const FillInfo &fill)
 {

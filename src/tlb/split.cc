@@ -20,6 +20,7 @@ SplitTlb::addComponent(std::unique_ptr<BaseTlb> component)
     return *components_.back();
 }
 
+// mixcheck: hot
 TlbLookup
 SplitTlb::lookup(VAddr vaddr, bool is_store)
 {
@@ -45,6 +46,7 @@ SplitTlb::lookup(VAddr vaddr, bool is_store)
     return result;
 }
 
+// mixcheck: hot
 void
 SplitTlb::fill(const FillInfo &fill)
 {

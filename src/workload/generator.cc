@@ -28,6 +28,7 @@ GupsGen::next()
     return ref;
 }
 
+// mixcheck: hot
 void
 GupsGen::nextBatch(MemRef *out, std::size_t n)
 {
@@ -76,6 +77,7 @@ StreamGen::next()
     return ref;
 }
 
+// mixcheck: hot
 void
 StreamGen::nextBatch(MemRef *out, std::size_t n)
 {
@@ -158,6 +160,7 @@ KeyValueGen::next()
     return produce();
 }
 
+// mixcheck: hot
 void
 KeyValueGen::nextBatch(MemRef *out, std::size_t n)
 {
@@ -215,7 +218,8 @@ SpecLikeGen::SpecLikeGen(VAddr base, std::uint64_t bytes,
         st.base = base + i * array_bytes;
         st.bytes = array_bytes;
         st.cursor = 0;
-        st.stride = 8u << (2 * (i % 3)); // 8, 32, 128 byte strides
+        static constexpr unsigned Strides[3] = {8, 32, 128}; // bytes
+        st.stride = Strides[i % 3];
         arrays_.push_back(st);
     }
     chaseBase_ = base + bytes / 2;
@@ -316,7 +320,8 @@ makeGenerator(const std::string &name, VAddr base, std::uint64_t bytes,
         return std::make_unique<KeyValueGen>(base, bytes, seed);
     }
     if (name == "dataserving") {
-        return std::make_unique<KeyValueGen>(base, bytes, seed, 1 << 22,
+        return std::make_unique<KeyValueGen>(base, bytes, seed,
+                                             pow2(22),
                                              1024, 0.9, 0.25);
     }
 

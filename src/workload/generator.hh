@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/intmath.hh"
 #include "common/random.hh"
 #include "common/types.hh"
 
@@ -148,7 +149,7 @@ class KeyValueGen : public TraceGenerator
 {
   public:
     KeyValueGen(VAddr base, std::uint64_t bytes, std::uint64_t seed,
-                std::uint64_t num_keys = 1 << 20,
+                std::uint64_t num_keys = pow2(20),
                 unsigned value_bytes = 512, double zipf_theta = 0.99,
                 double write_ratio = 0.1);
     MemRef next() override;

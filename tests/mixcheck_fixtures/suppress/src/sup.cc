@@ -1,0 +1,20 @@
+#include <cstdint>
+
+namespace fx
+{
+
+std::uint64_t
+reasoned(unsigned n)
+{
+    // mixcheck: allow(shift-width) -- fixture: exercises a reasoned suppression
+    return 1 << n;
+}
+
+std::uint64_t
+reasonless(unsigned n)
+{
+    // mixcheck: allow(shift-width)
+    return 2 << n;
+}
+
+} // namespace fx

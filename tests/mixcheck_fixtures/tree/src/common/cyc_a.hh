@@ -1,0 +1,6 @@
+#ifndef MIXTLB_COMMON_CYC_A_HH
+#define MIXTLB_COMMON_CYC_A_HH
+
+#include "common/cyc_b.hh"
+
+#endif // MIXTLB_COMMON_CYC_A_HH

@@ -1,0 +1,6 @@
+#ifndef MIXTLB_COMMON_CYC_B_HH
+#define MIXTLB_COMMON_CYC_B_HH
+
+#include "common/cyc_a.hh"
+
+#endif // MIXTLB_COMMON_CYC_B_HH

@@ -1,0 +1,13 @@
+#ifndef MIXTLB_COMMON_UTIL_HH
+#define MIXTLB_COMMON_UTIL_HH
+
+#include <cstdint>
+
+namespace fx
+{
+
+constexpr unsigned Shift = 12;
+
+}
+
+#endif // MIXTLB_COMMON_UTIL_HH

@@ -1,0 +1,30 @@
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+namespace fx
+{
+
+struct Stats
+{
+    void addScalar(const char *name, double value);
+};
+
+struct SortedHist
+{
+    std::unordered_map<int, int> sortedCounts_;
+
+    void report(Stats &stats)
+    {
+        std::vector<int> keys;
+        keys.reserve(sortedCounts_.size());
+        for (const auto &kv : sortedCounts_)
+            keys.push_back(kv.first);
+        std::sort(keys.begin(), keys.end());
+        for (int key : keys) {
+            stats.addScalar("bucket", sortedCounts_.at(key));
+        }
+    }
+};
+
+} // namespace fx

@@ -1,0 +1,38 @@
+#include <ctime>
+#include <map>
+#include <random>
+#include <unordered_map>
+
+namespace fx
+{
+
+struct Stats
+{
+    void addScalar(const char *name, double value);
+};
+
+struct Hist
+{
+    std::unordered_map<int, int> counts_;
+    std::map<Stats *, int> byOwner_;
+
+    void report(Stats &stats)
+    {
+        for (auto [key, value] : counts_) {
+            stats.addScalar("bucket", static_cast<double>(value));
+        }
+    }
+
+    long stamp() const
+    {
+        return time(nullptr);
+    }
+
+    int entropy()
+    {
+        std::random_device rd;
+        return static_cast<int>(rd());
+    }
+};
+
+} // namespace fx

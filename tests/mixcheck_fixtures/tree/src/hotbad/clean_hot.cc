@@ -1,0 +1,21 @@
+namespace fx
+{
+
+template <typename T, unsigned N>
+struct InlineVec
+{
+    void push_back(const T &value);
+};
+
+struct Batcher
+{
+    InlineVec<int, 8> pending_;
+
+    // mixcheck: hot
+    void enqueue(int value)
+    {
+        pending_.push_back(value);
+    }
+};
+
+} // namespace fx

@@ -1,0 +1,19 @@
+#include <vector>
+
+namespace fx
+{
+
+struct Worker
+{
+    std::vector<int> queue_;
+
+    // mixcheck: hot
+    void push(int value)
+    {
+        queue_.push_back(value);
+        int *leak = new int(value);
+        (void)leak;
+    }
+};
+
+} // namespace fx

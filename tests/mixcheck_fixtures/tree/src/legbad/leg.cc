@@ -1,0 +1,10 @@
+#include <cassert>
+#include <cstdlib>
+
+void
+check(int value)
+{
+    assert(value > 0);
+    int noise = rand();
+    (void)noise;
+}

@@ -1,0 +1,32 @@
+#include "common/util.hh"
+
+#include <cstdint>
+
+namespace fx
+{
+
+std::uint64_t
+intLiteral()
+{
+    return 1 << 22;
+}
+
+std::uint64_t
+unproven(std::uint64_t value, unsigned n)
+{
+    return value << n;
+}
+
+std::uint64_t
+masked(std::uint64_t value, unsigned n)
+{
+    return value << (n & 63);
+}
+
+std::uint64_t
+constantAmount(std::uint64_t value)
+{
+    return value >> Shift;
+}
+
+} // namespace fx

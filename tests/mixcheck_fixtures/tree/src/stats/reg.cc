@@ -1,0 +1,28 @@
+namespace fx
+{
+
+struct Stats
+{
+    double scalar(const char *name) const;
+    void addScalar(const char *name, double value);
+};
+
+void
+registerAll(Stats &stats)
+{
+    stats.addScalar("l1_miss_rate", 0.0);
+}
+
+double
+readBack(const Stats &stats)
+{
+    return stats.scalar("l1_miss_rate");
+}
+
+double
+readMissing(const Stats &stats)
+{
+    return stats.scalar("renamed_metric");
+}
+
+} // namespace fx

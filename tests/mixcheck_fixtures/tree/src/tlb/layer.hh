@@ -1,0 +1,6 @@
+#ifndef MIXTLB_TLB_LAYER_HH
+#define MIXTLB_TLB_LAYER_HH
+
+#include "workload/gen.hh"
+
+#endif // MIXTLB_TLB_LAYER_HH

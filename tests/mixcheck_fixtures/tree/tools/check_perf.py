@@ -1,0 +1,14 @@
+"""Fixture validator: consumes one registered and one ghost metric."""
+import json
+import sys
+
+
+def main(path):
+    data = json.loads(open(path).read())
+    ok = data["metrics"]["l1_miss_rate"] <= 1.0
+    bad = data["metrics"]["ghost_metric"] > 0
+    return 0 if ok and not bad else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1]))

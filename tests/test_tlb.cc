@@ -597,6 +597,76 @@ TEST(Skew, ManyWayConfigsHaveNoShiftOverflow)
     }
 }
 
+TEST(Skew, TwentyFourPlusWaysSurviveFullExercise)
+{
+    // The per-way skewing hash derives shift amounts from the way
+    // index; at 24+ ways the raw amounts pass 64 and only the
+    // masked/guarded forms are defined. Running this under the CI
+    // UBSan job is the regression gate for the shift-width fixes.
+    const std::array<std::array<unsigned, NumPageSizes>, 2> shapes = {
+        {{8, 8, 8}, {25, 2, 2}}};
+    for (const auto &shape : shapes) {
+        stats::StatGroup root("test");
+        SkewTlbParams params;
+        params.setsPerWay = 8;
+        for (std::size_t s = 0; s < NumPageSizes; s++)
+            params.waysPerSize[s] = shape[s];
+        SkewTlb tlb("skew", &root, params);
+        ASSERT_GE(tlb.numWays(), 24u);
+
+        for (int i = 0; i < 256; i++) {
+            tlb.fill(simpleFill(
+                xlate4k(i * PageBytes4K, i * PageBytes4K)));
+        }
+        tlb.fill(simpleFill(xlate2m(0x40000000, 0x200000)));
+        unsigned survivors = 0;
+        for (int i = 0; i < 256; i++)
+            survivors += tlb.lookup(i * PageBytes4K, false).hit;
+        EXPECT_GT(survivors, 8u);
+        EXPECT_TRUE(tlb.lookup(0x40000000, false).hit);
+        tlb.markDirty(255 * PageBytes4K);
+        tlb.invalidate(255 * PageBytes4K, PageSize::Size4K, Asid{0});
+        EXPECT_FALSE(tlb.lookup(255 * PageBytes4K, false).hit);
+        tlb.invalidateAll();
+        EXPECT_FALSE(tlb.lookup(0, false).hit);
+    }
+}
+
+TEST(Colt, FullWidthGroupCoalescesAcrossBitmapBoundary)
+{
+    // group == 32 puts the last slot at bit 31, the edge of the
+    // coalescing bitmap; the bundling scans probe slots lo-1 and hi+1,
+    // which touch bits 31 and 32 ("& 31"-masked). A fully contiguous
+    // 32-page run must coalesce into one entry and every page must
+    // hit — under UBSan this pins the bitmap shifts to defined forms.
+    stats::StatGroup root("test");
+    ColtTlb tlb("colt32", &root, 32, 4, PageSize::Size4K, 32);
+
+    // One 32-page VA/PA-contiguous window, filled in reverse so the
+    // bundling scan crosses the slot-31 boundary in both directions.
+    for (int i = 31; i >= 0; i--) {
+        tlb.fill(simpleFill(
+            xlate4k(i * PageBytes4K, 0x100000 + i * PageBytes4K)));
+    }
+    for (int i = 0; i < 32; i++) {
+        auto result = tlb.lookup(i * PageBytes4K, false);
+        ASSERT_TRUE(result.hit) << "page " << i;
+        EXPECT_EQ(result.xlate.pbase,
+                  PAddr{0x100000} + i * PageBytes4K);
+    }
+    // Dirty/invalidate at both edges of the window exercise the
+    // slot-0 and slot-31 mask paths. markDirty refuses to dirty a
+    // coalesced entry (its single bit would over-claim 32 pages).
+    tlb.markDirty(31 * PageBytes4K);
+    EXPECT_FALSE(tlb.lookup(31 * PageBytes4K, false).entryDirty);
+    tlb.invalidate(31 * PageBytes4K, PageSize::Size4K, Asid{0});
+    EXPECT_FALSE(tlb.lookup(31 * PageBytes4K, false).hit);
+    EXPECT_TRUE(tlb.lookup(0, false).hit);
+    tlb.invalidate(0, PageSize::Size4K, Asid{0});
+    EXPECT_FALSE(tlb.lookup(0, false).hit);
+    EXPECT_TRUE(tlb.lookup(16 * PageBytes4K, false).hit);
+}
+
 TEST(SkewDeathTest, ZeroWaysDies)
 {
     stats::StatGroup root("test");

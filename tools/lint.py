@@ -1,150 +1,28 @@
 #!/usr/bin/env python3
-"""Repo-local lint: style rules clang-tidy cannot express.
+"""Thin compatibility shim over tools/mixcheck.
 
-Rules (each one exists because a PR once violated it):
-  raw-assert      no raw assert( / #include <cassert>; contracts
-                  (MIX_EXPECT / MIX_AUDIT) are the only sanctioned
-                  invariant checks -- assert() vanishes under NDEBUG
-                  and its message carries no context.
-  include-guard   src/ headers guard with MIXTLB_<DIR>_<NAME>_HH so
-                  guards never collide as directories grow.
-  banned-random   no std::rand/srand/rand(): sweeps must be seeded and
-                  deterministic (--jobs 1 == --jobs N); use
-                  common/random.hh.
+The three historical lint rules (raw-assert, include-guard,
+banned-random) now live in tools/mixcheck/legacy.py alongside the
+repo-aware checkers (shift-width, determinism, hot-path-alloc,
+layering, stat-drift). This wrapper keeps `tools/lint.py [root]`
+working for muscle memory and old CI configs; new callers should run
+`python3 tools/mixcheck` directly.
 
 Usage: tools/lint.py [root]   (exit 0 clean, 1 with findings)
 """
 
-import re
 import sys
 from pathlib import Path
 
-SCAN_DIRS = ("src", "bench", "examples", "tests", "tools")
-EXTENSIONS = {".hh", ".cc", ".cpp", ".h"}
+sys.path.insert(0, str(Path(__file__).resolve().parent / "mixcheck"))
 
-RAW_ASSERT = re.compile(r"(?<![\w_])assert\s*\(")
-STATIC_ASSERT = re.compile(r"static_assert\s*\(")
-CASSERT = re.compile(r'#\s*include\s*[<"](cassert|assert\.h)[>"]')
-BANNED_RANDOM = re.compile(r"(?<![\w_.:])(std::)?s?rand\s*\(")
-GUARD = re.compile(r"#ifndef\s+(\S+)")
+import cli  # noqa: E402
 
 
-def strip_comments(text: str) -> str:
-    """Blank out // and /* */ comments and string/char literals,
-    preserving line structure so findings keep their line numbers."""
-    out = []
-    i, n = 0, len(text)
-    state = "code"  # code | line | block | dq | sq
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if state == "code":
-            if c == "/" and nxt == "/":
-                state = "line"
-                out.append("  ")
-                i += 2
-                continue
-            if c == "/" and nxt == "*":
-                state = "block"
-                out.append("  ")
-                i += 2
-                continue
-            if c == '"':
-                state = "dq"
-                out.append(" ")
-                i += 1
-                continue
-            if c == "'":
-                state = "sq"
-                out.append(" ")
-                i += 1
-                continue
-            out.append(c)
-        elif state == "line":
-            if c == "\n":
-                state = "code"
-                out.append("\n")
-            else:
-                out.append(" ")
-        elif state == "block":
-            if c == "*" and nxt == "/":
-                state = "code"
-                out.append("  ")
-                i += 2
-                continue
-            out.append("\n" if c == "\n" else " ")
-        else:  # dq / sq
-            quote = '"' if state == "dq" else "'"
-            if c == "\\":
-                out.append("  ")
-                i += 2
-                continue
-            if c == quote:
-                state = "code"
-            out.append(" ")
-        i += 1
-    return "".join(out)
-
-
-def expected_guard(path: Path, root: Path) -> str:
-    rel = path.relative_to(root / "src")
-    parts = list(rel.parts[:-1]) + [rel.stem]
-    return "MIXTLB_" + "_".join(p.upper().replace("-", "_")
-                                for p in parts) + "_HH"
-
-
-def lint_file(path: Path, root: Path) -> list:
-    findings = []
-    text = path.read_text(encoding="utf-8", errors="replace")
-    code = strip_comments(text)
-
-    for lineno, line in enumerate(code.splitlines(), 1):
-        for match in RAW_ASSERT.finditer(line):
-            before = line[: match.start() + len("assert")]
-            if STATIC_ASSERT.search(before + "("):
-                continue
-            findings.append((path, lineno, "raw-assert",
-                             "use MIX_EXPECT/MIX_AUDIT, not assert()"))
-        if CASSERT.search(line):
-            findings.append((path, lineno, "raw-assert",
-                             "do not include <cassert>; use "
-                             "common/contracts.hh"))
-        if BANNED_RANDOM.search(line):
-            findings.append((path, lineno, "banned-random",
-                             "rand()/srand() breaks sweep determinism;"
-                             " use common/random.hh"))
-
-    if path.suffix == ".hh" and (root / "src") in path.parents:
-        match = GUARD.search(code)
-        want = expected_guard(path, root)
-        if not match:
-            findings.append((path, 1, "include-guard",
-                             f"missing include guard {want}"))
-        elif match.group(1) != want:
-            findings.append((path, 1, "include-guard",
-                             f"guard {match.group(1)} should be {want}"))
-    return findings
-
-
-def main() -> int:
-    root = Path(sys.argv[1]) if len(sys.argv) > 1 else \
-        Path(__file__).resolve().parent.parent
-    findings = []
-    checked = 0
-    for top in SCAN_DIRS:
-        base = root / top
-        if not base.is_dir():
-            continue
-        for path in sorted(base.rglob("*")):
-            if path.suffix in EXTENSIONS and path.is_file():
-                checked += 1
-                findings.extend(lint_file(path, root))
-    for path, lineno, rule, message in findings:
-        rel = path.relative_to(root)
-        print(f"{rel}:{lineno}: [{rule}] {message}")
-    print(f"lint: {checked} files, {len(findings)} finding(s)")
-    return 1 if findings else 0
+def main(argv):
+    args = ["--root", argv[1]] if len(argv) > 1 else []
+    return cli.main(args)
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(main(sys.argv))

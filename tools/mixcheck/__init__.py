@@ -1,0 +1,9 @@
+"""mixcheck: repo-aware static analysis for the Mix TLB simulator.
+
+A tokenizer-based (comment/string-stripping, brace-aware) C++ checker
+enforcing the invariants our shipped bugs keep violating. See
+DESIGN.md section 10 for the rule catalogue and the bug that motivated
+each rule.
+"""
+
+VERSION = "1.0.0"

@@ -1,0 +1,8 @@
+"""Entry point: `python3 tools/mixcheck [...]`."""
+
+import sys
+
+from cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,227 @@
+"""shift-width checker.
+
+Flags `<<`/`>>` where the left operand is a plain int literal (the
+`1 << 22` class: promotes to 32-bit int, UB past bit 30) or where the
+shift amount is not provably below the operand width (the COLT
+`colt4k > 64` and SkewTlb `4 + 3*way >= 64` class). Sanctioned fixes:
+a 64-bit-suffixed literal, a `& 63`-style inline mask on the amount, a
+compile-time constant amount, or the guarded helpers in
+common/intmath.hh (pow2 / shiftLeft / shiftRight), whose implementation
+file is the one place raw unproven shifts are allowed.
+"""
+
+import re
+
+# Calls whose results are architecturally bounded below 64.
+BOUNDED_CALLS = {"floorLog2", "ceilLog2", "levelShift", "pageShift",
+                 "countl_zero", "countr_zero"}
+# Statements mentioning streams or string literals are formatted
+# output, not arithmetic; `<<` there is operator<<.
+STREAM_IDS = {"cout", "cerr", "clog", "ostream", "ofstream", "ostringstream",
+              "stringstream", "oss", "ss", "os", "out", "stream"}
+EXEMPT_FILES = {"src/common/intmath.hh"}
+
+_INT_SUFFIX_RE = re.compile(r"(?:[uU]|[lL]{1,2}|[uU][lL]{1,2}|[lL]{1,2}[uU])$")
+
+
+def literal_value(text):
+    clean = text.replace("'", "")
+    clean = _INT_SUFFIX_RE.sub("", clean)
+    try:
+        return int(clean, 0)
+    except ValueError:
+        return None
+
+
+def _statement_span(tokens, index):
+    """Token index range (start, end) of the statement containing
+    tokens[index], bounded by ; { }."""
+    start = index
+    while start > 0 and tokens[start - 1].text not in (";", "{", "}"):
+        start -= 1
+    end = index
+    while end < len(tokens) - 1 and tokens[end].text not in (";", "{", "}"):
+        end += 1
+    return start, end
+
+
+def _amount_tokens(tokens, index, template):
+    """Tokens forming the shift-amount expression after tokens[index]."""
+    out = []
+    depth = 0
+    i = index + 1
+    stoppers = {";", ",", "?", ":", "==", "!=", "<=", ">=", "<", ">",
+                "&&", "||", "&", "|", "^", "<<", ">>", "{", "}", "="}
+    while i < len(tokens):
+        tok = tokens[i]
+        if tok.text in ("(", "["):
+            depth += 1
+        elif tok.text in (")", "]"):
+            if depth == 0:
+                break
+            depth -= 1
+        elif depth == 0 and tok.kind == "punct" and tok.text in stoppers \
+                and i not in template:
+            break
+        out.append(tok)
+        i += 1
+    return out
+
+
+def _strip_wrapper(toks):
+    """Peel static_cast<T>(X) wrappers and redundant outer parens."""
+    changed = True
+    while changed and toks:
+        changed = False
+        if toks[0].text in ("static_cast", "reinterpret_cast") :
+            # static_cast < T > ( inner )
+            i = 1
+            depth = 0
+            while i < len(toks):
+                if toks[i].text == "(" and depth == 0:
+                    break
+                i += 1
+            if i < len(toks) and toks[-1].text == ")":
+                toks = toks[i + 1:-1]
+                changed = True
+                continue
+        if toks[0].text == "(" and toks[-1].text == ")":
+            depth = 0
+            balanced = True
+            for j, tok in enumerate(toks):
+                if tok.text == "(":
+                    depth += 1
+                elif tok.text == ")":
+                    depth -= 1
+                    if depth == 0 and j != len(toks) - 1:
+                        balanced = False
+                        break
+            if balanced:
+                toks = toks[1:-1]
+                changed = True
+    return toks
+
+
+def _amount_provably_below(toks, limit, constants):
+    """True when the amount expression is provably < limit."""
+    from source import eval_const_expr
+
+    toks = _strip_wrapper(list(toks))
+    if not toks:
+        return False
+    # Constant-foldable expression (literals, constexpr names, enums,
+    # arithmetic): evaluate it outright.
+    value = eval_const_expr(" ".join(t.text for t in toks), constants)
+    if value is not None:
+        return 0 <= value < limit
+    # Whitelisted bounded call, optionally namespace-qualified:
+    # levelShift(...), pt::levelShift(...), std::countl_zero(...).
+    call = list(toks)
+    while len(call) >= 2 and call[0].kind == "id" and call[1].text == "::":
+        call = call[2:]
+    if call and call[0].kind == "id" and call[0].text in BOUNDED_CALLS \
+            and len(call) >= 3 and call[1].text == "(" \
+            and call[-1].text == ")":
+        return True
+    # Trailing mask: <expr> & LIT with LIT < limit (top level).
+    depth = 0
+    for j in range(len(toks) - 1, 0, -1):
+        text = toks[j].text
+        if text in (")", "]"):
+            depth += 1
+        elif text in ("(", "["):
+            depth -= 1
+        elif depth == 0 and text == "&" and j + 1 < len(toks):
+            nxt = toks[j + 1]
+            if nxt.kind == "num":
+                value = literal_value(nxt.text)
+                if value is not None and value < limit:
+                    return True
+            if nxt.kind == "id":
+                value = constants.get(nxt.text)
+                if value is not None and value < limit:
+                    return True
+            return False
+    return False
+
+
+def _left_operand(tokens, index):
+    """Classify the token just left of the shift operator.
+    Returns (kind, token) with kind in {literal, expr, none}."""
+    i = index - 1
+    if i < 0:
+        return "none", None
+    tok = tokens[i]
+    if tok.text in (")", "]"):
+        depth = 0
+        while i >= 0:
+            if tokens[i].text in (")", "]"):
+                depth += 1
+            elif tokens[i].text in ("(", "["):
+                depth -= 1
+                if depth == 0:
+                    break
+            i -= 1
+        return "expr", tokens[max(i, 0)]
+    if tok.kind == "num":
+        return "literal", tok
+    if tok.kind == "id" or tok.text == '"':
+        return "expr", tok
+    return "none", tok
+
+
+def check(source, tables):
+    if source.rel in EXEMPT_FILES:
+        return []
+    findings = []
+    tokens = source.tokens
+    template = source.template_brackets
+    for i, tok in enumerate(tokens):
+        if tok.kind != "punct" or tok.text not in ("<<", ">>"):
+            continue
+        if i in template:
+            continue
+        prev = tokens[i - 1] if i > 0 else None
+        if prev is not None and prev.text == "operator":
+            continue
+        start, end = _statement_span(tokens, i)
+        span = tokens[start:end + 1]
+        if any(t.text == '"' for t in span) or \
+                any(t.kind == "id" and t.text in STREAM_IDS for t in span):
+            continue  # formatted output, not arithmetic
+
+        kind, left = _left_operand(tokens, i)
+        if kind == "none":
+            continue
+
+        limit = 64
+        line_text = source.stripped_lines[tok.line - 1] \
+            if tok.line - 1 < len(source.stripped_lines) else ""
+        stmt_text = " ".join(t.text for t in span)
+        if "__uint128_t" in stmt_text or "__uint128_t" in line_text:
+            limit = 128
+
+        if kind == "literal":
+            match = re.match(r"^(.*?)([uUlL]*)$", left.text)
+            tail = match.group(2).lower()
+            has_l = "l" in tail
+            has_u = "u" in tail
+            if tok.text == "<<" and not has_l:
+                if not has_u:
+                    findings.append(source.finding(
+                        tok.line, "shift-width",
+                        f"int literal {left.text} shifted left: promotes "
+                        "to 32-bit int (UB past bit 30); use a ULL "
+                        "suffix or mixtlb::pow2()"))
+                    continue
+                limit = min(limit, 32)
+
+        amount = _amount_tokens(tokens, i, template)
+        if not _amount_provably_below(amount, limit, tables.constants):
+            amount_text = " ".join(t.text for t in amount) or "<empty>"
+            findings.append(source.finding(
+                tok.line, "shift-width",
+                f"shift amount '{amount_text}' is not provably < "
+                f"{limit}: mask it (e.g. '& {limit - 1}') or use the "
+                "guarded common/intmath.hh helpers"))
+    return findings

@@ -1,0 +1,124 @@
+"""stat-name drift checker.
+
+The Python validators (tools/check_perf.py, tools/check_soak.py) gate
+CI on stat names like "l1_miss_rate" and "thp_fallbacks" that C++ code
+registers as string literals. Renaming a stat on one side silently
+turns the validator into a no-op (a `.get(..., 0)` default) or a hard
+KeyError. This checker cross-references every consumed name -- Python
+`["metrics"][NAME]` / `.get("metrics").get(NAME)` chains and C++
+dotted `.scalar("a.b")` / `.counter(...)` / `.value(...)` reads --
+against the set of registered producer names, and fails on consumers
+of names no producer registers.
+"""
+
+import ast
+import re
+from pathlib import Path
+from source import Finding
+
+PRODUCER_RE = re.compile(
+    r"\badd(?:Counter|Scalar|Formula|Distribution|Stat)\s*\(\s*\"([^\"]+)\"")
+CPP_CONSUMER_RE = re.compile(
+    r"[.>]\s*(?:scalar|counter|value|formula|distribution)\s*\(\s*"
+    r"\"([^\"]+)\"")
+
+PY_VALIDATORS = ("tools/check_perf.py", "tools/check_soak.py")
+
+
+def producers(sources):
+    """Registered stat names (leaf names) across the C++ tree."""
+    names = set()
+    for source in sources:
+        for match in PRODUCER_RE.finditer(source.text):
+            names.add(match.group(1).split(".")[-1])
+    return names
+
+
+def cpp_consumers(sources):
+    """[(rel, line, leaf)] for dotted stat reads in C++."""
+    out = []
+    for source in sources:
+        for match in CPP_CONSUMER_RE.finditer(source.text):
+            # A literal followed by `+` is a concatenated-name
+            # fragment ("proc" + std::to_string(i) + ...); the full
+            # name is not statically known, so skip it.
+            rest = source.text[match.end():match.end() + 16].lstrip()
+            if rest.startswith("+"):
+                continue
+            line = source.text.count("\n", 0, match.start()) + 1
+            out.append((source.rel, line, match.group(1).split(".")[-1]))
+    return out
+
+
+class _MetricsVisitor(ast.NodeVisitor):
+    """Find X["metrics"][KEY] subscripts and
+    X.get("metrics", ...).get(KEY, ...) chains."""
+
+    def __init__(self):
+        self.consumed = []  # (line, key)
+
+    @staticmethod
+    def _const_str(node):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return node.value
+        return None
+
+    def visit_Subscript(self, node):
+        key = self._const_str(node.slice)
+        if key is not None and isinstance(node.value, ast.Subscript):
+            inner = self._const_str(node.value.slice)
+            if inner == "metrics":
+                self.consumed.append((node.lineno, key))
+        self.generic_visit(node)
+
+    def visit_Call(self, node):
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "get" \
+                and node.args:
+            key = self._const_str(node.args[0])
+            base = node.func.value
+            if key is not None and isinstance(base, ast.Call) \
+                    and isinstance(base.func, ast.Attribute) \
+                    and base.func.attr == "get" and base.args:
+                inner = self._const_str(base.args[0])
+                if inner == "metrics":
+                    self.consumed.append((node.lineno, key))
+        self.generic_visit(node)
+
+
+def py_consumers(root):
+    """[(rel, line, key)] from the Python validators."""
+    out = []
+    for rel in PY_VALIDATORS:
+        path = Path(root) / rel
+        if not path.is_file():
+            continue
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+        except SyntaxError:
+            continue
+        visitor = _MetricsVisitor()
+        visitor.visit(tree)
+        for line, key in visitor.consumed:
+            out.append((rel, line, key))
+    return out
+
+
+def check(sources, root):
+    names = producers(sources)
+    findings = []
+    if not names:
+        return findings  # nothing registered: a fixture tree w/o stats
+    for rel, line, leaf in cpp_consumers(sources):
+        if leaf not in names:
+            findings.append(Finding(
+                rel, line, "stat-drift",
+                f"dotted stat read '{leaf}' has no producer: no "
+                "addCounter/addScalar/addFormula/addDistribution "
+                "registers that name"))
+    for rel, line, key in py_consumers(root):
+        if key not in names:
+            findings.append(Finding(
+                rel, line, "stat-drift",
+                f"validator consumes metrics key '{key}' but no C++ "
+                "producer registers a stat of that name"))
+    return findings

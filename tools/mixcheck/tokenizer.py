@@ -1,0 +1,190 @@
+"""Comment/string stripping and tokenization for mixcheck.
+
+The stripper blanks comments and the *contents* of string/char
+literals while preserving line structure (so findings keep their line
+numbers) and the quote delimiters themselves (so the tokenizer can see
+where a string literal sat -- stream-output detection needs that).
+
+The tokenizer produces (kind, text, line) tuples and runs a prepass
+that marks which `<`/`>`/`>>` tokens are template brackets rather than
+comparisons or shifts, so the shift checker never mistakes
+`std::vector<std::list<Entry>>` for a right shift.
+"""
+
+import re
+from collections import namedtuple
+
+Token = namedtuple("Token", ["kind", "text", "line", "index"])
+
+# Multi-character operators first so the regex is longest-match.
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<id>[A-Za-z_]\w*)
+  | (?P<num>
+        0[xX][0-9a-fA-F']+[uUlL]*
+      | 0[bB][01']+[uUlL]*
+      | \d[\d']*(?:\.\d+)?(?:[eE][-+]?\d+)?[uUlLfF]*
+    )
+  | (?P<str>["'])
+  | (?P<punct>
+        <<=|>>=|<=>|->\*|\.\.\.
+      | <<|>>|::|->|\+\+|--|&&|\|\||==|!=|<=|>=|\+=|-=|\*=|/=|%=|&=|\|=|\^=
+      | [-+*/%&|^~!<>=?:;,.(){}\[\]\#]
+    )
+    """,
+    re.VERBOSE,
+)
+
+# Identifiers that open a template argument list when followed by `<`.
+# Cast keywords are included: static_cast<...> contains a `>` closer.
+TEMPLATE_NAMES = {
+    "vector", "list", "map", "set", "multimap", "multiset", "deque",
+    "array", "span", "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset", "unique_ptr", "shared_ptr", "weak_ptr",
+    "function", "optional", "variant", "pair", "tuple", "atomic",
+    "initializer_list", "numeric_limits", "basic_string", "string_view",
+    "chrono", "duration", "integral_constant", "is_same", "is_same_v",
+    "static_cast", "reinterpret_cast", "const_cast", "dynamic_cast",
+    "duration_cast", "make_unique", "make_shared", "get", "declval",
+    "InlineVec",
+}
+
+
+def strip_code(text):
+    """Blank // and /* */ comments and literal contents, preserving
+    line structure and quote delimiters."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line | block | dq | sq
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "dq"
+                out.append('"')
+                i += 1
+                continue
+            if c == "'":
+                # Digit separators (1'000'000) are part of numeric
+                # literals, not char literals.
+                prev = text[i - 1] if i > 0 else ""
+                if prev.isdigit() or (prev.isalpha() and i >= 2
+                                      and text[i - 2] == "'"):
+                    out.append(c)
+                    i += 1
+                    continue
+                state = "sq"
+                out.append("'")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        else:  # dq / sq
+            quote = '"' if state == "dq" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+                out.append(quote)
+            elif c == "\n":
+                out.append("\n")  # unterminated; resync
+                state = "code"
+            else:
+                out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+def tokenize(stripped):
+    """Tokenize stripped code into Token tuples."""
+    tokens = []
+    line = 1
+    pos = 0
+    for match in _TOKEN_RE.finditer(stripped):
+        line += stripped.count("\n", pos, match.start())
+        pos = match.start()
+        kind = match.lastgroup
+        tokens.append(Token(kind, match.group(), line, len(tokens)))
+    return tokens
+
+
+def mark_template_brackets(tokens):
+    """Return a set of token indices that are template angle brackets.
+
+    Heuristic: `<` after a known template name (or any `A::B` chain
+    ending in one) opens an angle context; `>` closes one level and
+    `>>` closes two. Angle contexts die at `;`, `{` or `)` imbalance,
+    which keeps comparisons like `a < b` from poisoning the stream.
+    """
+    marked = set()
+    depth = 0
+    open_stack = []
+    for i, tok in enumerate(tokens):
+        if tok.kind == "punct" and tok.text == "<":
+            prev = tokens[i - 1] if i > 0 else None
+            if prev is not None and prev.kind == "id" and (
+                    prev.text in TEMPLATE_NAMES or prev.text == "template"):
+                depth += 1
+                open_stack.append(i)
+                marked.add(i)
+                continue
+        if depth == 0:
+            continue
+        if tok.kind == "punct":
+            if tok.text == "<":
+                # Nested template of an unknown name, e.g.
+                # std::vector<Foo<Bar>>: treat any `<` directly after
+                # an identifier while inside an angle context as a
+                # nested opener.
+                prev = tokens[i - 1] if i > 0 else None
+                if prev is not None and prev.kind == "id":
+                    depth += 1
+                    open_stack.append(i)
+                    marked.add(i)
+            elif tok.text == ">":
+                depth -= 1
+                marked.add(i)
+                if open_stack:
+                    open_stack.pop()
+            elif tok.text == ">>":
+                marked.add(i)
+                levels = min(2, depth)
+                depth -= levels
+                for _ in range(levels):
+                    if open_stack:
+                        open_stack.pop()
+            elif tok.text in (";", "{"):
+                # A statement ended with angle levels still open: the
+                # `<` tokens were comparisons after all. Unmark them.
+                for j in open_stack:
+                    marked.discard(j)
+                open_stack.clear()
+                depth = 0
+    for j in open_stack:
+        marked.discard(j)
+    return marked
