@@ -44,6 +44,13 @@ runGpu(const GpuRunConfig &config)
         },
         l2, source, caches);
 
+    // OS translation changes (migration, demotion, reclaim) must shoot
+    // down every shader core's TLBs, or stale entries survive into the
+    // differential oracle.
+    proc.addInvalidateListener([&](VAddr vbase, PageSize size) {
+        gpu_system.invalidatePage(vbase, size);
+    });
+
     // Input upload: ascending first-touch through rotating cores.
     VAddr base = proc.mmap(config.footprintBytes);
     for (VAddr va = base; va < base + config.footprintBytes;
@@ -53,6 +60,8 @@ runGpu(const GpuRunConfig &config)
     }
     double warm_fallbacks =
         root.scalar("proc.thp_fallbacks").value();
+    RunResult result;
+    addLifecycleStats(root, "proc", result);
     root.resetStats();
 
     std::vector<std::unique_ptr<workload::TraceGenerator>> gens;
@@ -73,9 +82,9 @@ runGpu(const GpuRunConfig &config)
         contracts::require(report);
     }
 
-    RunResult result;
     result.thpFallbacks =
         warm_fallbacks + root.scalar("proc.thp_fallbacks").value();
+    addLifecycleStats(root, "proc", result);
     double translation_cycles = 0, l1_hits = 0, accesses = 0;
     double walks = 0, walk_accesses = 0, data_cycles = 0;
     perf::EnergyInputs energy;
@@ -153,11 +162,14 @@ runMulti(const MultiRunConfig &config)
         machine.warmup(i, bases[i], config.footprintPerProc);
     }
     double warm_fallbacks = 0;
+    RunResult result;
     for (unsigned i = 0; i < config.numProcs; i++) {
         warm_fallbacks += machine.root()
                               .scalar("proc" + std::to_string(i)
                                       + ".thp_fallbacks")
                               .value();
+        addLifecycleStats(machine.root(),
+                          "proc" + std::to_string(i), result);
     }
     machine.startMeasurement();
     for (unsigned i = 0; i < config.numProcs; i++) {
@@ -169,7 +181,6 @@ runMulti(const MultiRunConfig &config)
     }
     machine.run(config.refsPerProc);
 
-    RunResult result;
     result.thpFallbacks = warm_fallbacks;
     for (unsigned i = 0; i < config.numProcs; i++) {
         result.thpFallbacks +=
@@ -177,6 +188,8 @@ runMulti(const MultiRunConfig &config)
                 .scalar("proc" + std::to_string(i)
                         + ".thp_fallbacks")
                 .value();
+        addLifecycleStats(machine.root(),
+                          "proc" + std::to_string(i), result);
     }
     result.metrics = machine.metrics();
     result.energy = machine.energyInputs();
@@ -318,6 +331,12 @@ resultJson(const RunResult &result)
     metrics["superpage_fraction"] =
         result.distribution.superpageFraction();
     metrics["thp_fallbacks"] = result.thpFallbacks;
+    metrics["demotions"] = result.demotions;
+    metrics["reclaims"] = result.reclaims;
+    metrics["repromotions"] = result.repromotions;
+    metrics["oom_retries"] = result.oomRetries;
+    metrics["demote_rescues"] = result.demoteRescues;
+    metrics["compaction_rescues"] = result.compactionRescues;
 
     auto &energy = out["energy"];
     energy["l1_ways_read"] = result.energy.l1WaysRead;
@@ -395,6 +414,13 @@ resultFromJson(const json::Value &record)
         result.accessesPerWalk =
             numberAt(*metrics, "accesses_per_walk");
         result.thpFallbacks = numberAt(*metrics, "thp_fallbacks");
+        result.demotions = numberAt(*metrics, "demotions");
+        result.reclaims = numberAt(*metrics, "reclaims");
+        result.repromotions = numberAt(*metrics, "repromotions");
+        result.oomRetries = numberAt(*metrics, "oom_retries");
+        result.demoteRescues = numberAt(*metrics, "demote_rescues");
+        result.compactionRescues =
+            numberAt(*metrics, "compaction_rescues");
     }
     const json::Value *energy = record.find("energy");
     if (energy) {
@@ -456,6 +482,17 @@ sweepParamsFromArgs(const sim::CliArgs &args)
     params.deadlineSeconds = args.getDouble("deadline", 0.0);
     params.faults =
         fault::FaultConfig::parse(args.getString("inject", ""));
+    // Sugar for the pressure-lifecycle soak: `--demote-storm R` merges
+    // a demote-storm rate into the injection config without the full
+    // `--inject` syntax (and composes with it; the explicit flag wins).
+    double storm = args.getDouble("demote-storm", 0.0);
+    if (storm > 0.0) {
+        auto &site = params.faults
+                         .sites[static_cast<std::size_t>(
+                             fault::Site::DemoteStorm)];
+        site.rate = storm;
+        site.pointLimited = false;
+    }
     return params;
 }
 
@@ -505,14 +542,17 @@ BenchSweep::BenchSweep(const sim::CliArgs &args, std::string benchmark)
         static_cast<unsigned>(args.getU64("paranoia", 0)));
 
     std::string inject = args.getString("inject", "");
-    injecting_ = !inject.empty();
+    double storm = args.getDouble("demote-storm", 0.0);
+    injecting_ = !inject.empty() || storm > 0.0;
 
     doc_["benchmark"] = std::move(benchmark);
     doc_["jobs"] = runner_.jobs();
     doc_["paranoia"] = contracts::paranoia();
     doc_["retries"] = args.getU64("retries", 1);
-    if (injecting_)
+    if (!inject.empty())
         doc_["inject"] = inject;
+    if (storm > 0.0)
+        doc_["demote_storm"] = storm;
     doc_["results"] = json::Value::array();
     doc_["failures"] = json::Value::array();
 

@@ -64,6 +64,19 @@ struct RunResult
      * under injected buddy failure.
      */
     double thpFallbacks = 0;
+    /**
+     * Memory-pressure lifecycle activity, summed over the whole run
+     * including warmup (like thpFallbacks): superpage demotions, frames
+     * freed by reclaim, demoted regions re-promoted, and the OOM-path
+     * observability counters. The pressure soak asserts these go
+     * nonzero under injected demote storms and pressure bursts.
+     */
+    double demotions = 0;
+    double reclaims = 0;
+    double repromotions = 0;
+    double oomRetries = 0;
+    double demoteRescues = 0;
+    double compactionRescues = 0;
     os::PageSizeDistribution distribution{};
     /**
      * Per-process L1 TLB miss rates, context switches, and policy
@@ -74,6 +87,24 @@ struct RunResult
     double contextSwitches = 0;
     double fullFlushes = 0;
 };
+
+/**
+ * Accumulate the per-process lifecycle counters of stat group
+ * @p prefix into @p result. Called once before startMeasurement() (the
+ * reset would discard warmup-phase demotions) and once after the run.
+ */
+inline void
+addLifecycleStats(stats::StatGroup &root, const std::string &prefix,
+                  RunResult &result)
+{
+    result.demotions += root.value(prefix + ".demotions");
+    result.reclaims += root.value(prefix + ".reclaims");
+    result.repromotions += root.value(prefix + ".repromotions");
+    result.oomRetries += root.value(prefix + ".oom_retries");
+    result.demoteRescues += root.value(prefix + ".demote_rescues");
+    result.compactionRescues +=
+        root.value(prefix + ".compaction_rescues");
+}
 
 struct NativeRunConfig
 {
@@ -113,13 +144,15 @@ runNative(const NativeRunConfig &config)
     machine.warmup(base, config.footprintBytes, config.warmStep);
     double warm_fallbacks =
         machine.root().scalar("proc.thp_fallbacks").value();
+    RunResult result;
+    addLifecycleStats(machine.root(), "proc", result);
     machine.startMeasurement();
     auto gen = workload::makeGenerator(config.workload, base,
                                        config.footprintBytes,
                                        config.seed);
     machine.run(*gen, config.refs);
 
-    RunResult result;
+    addLifecycleStats(machine.root(), "proc", result);
     result.thpFallbacks =
         warm_fallbacks
         + machine.root().scalar("proc.thp_fallbacks").value();
@@ -195,11 +228,14 @@ runVirt(const VirtRunConfig &config)
         machine.warmup(vm, bases[vm], footprint);
     }
     double warm_fallbacks = 0;
+    RunResult result;
     for (unsigned vm = 0; vm < config.numVms; vm++) {
         warm_fallbacks += machine.root()
                               .scalar("guest" + std::to_string(vm)
                                       + ".thp_fallbacks")
                               .value();
+        addLifecycleStats(machine.root(),
+                          "guest" + std::to_string(vm), result);
     }
     machine.startMeasurement();
     for (unsigned vm = 0; vm < config.numVms; vm++) {
@@ -209,7 +245,6 @@ runVirt(const VirtRunConfig &config)
         machine.run(vm, *gen, config.refsPerVm);
     }
 
-    RunResult result;
     result.metrics = machine.metrics();
     result.energy = machine.energyInputs();
     result.thpFallbacks = warm_fallbacks;
@@ -226,6 +261,8 @@ runVirt(const VirtRunConfig &config)
                 .scalar("guest" + std::to_string(vm)
                         + ".thp_fallbacks")
                 .value();
+        addLifecycleStats(machine.root(),
+                          "guest" + std::to_string(vm), result);
     }
     result.l1MissRate = 1.0 - l1_hits / accesses;
     result.walksPerKref = 1000.0 * walks / accesses;
@@ -337,6 +374,8 @@ RunResult runJob(const SweepJob &job);
  *    phase boundaries, 2 = + differential translation oracle, 3 = +
  *    periodic mid-run audits)
  *  - `--inject site=rate[@point],...` deterministic fault injection
+ *  - `--demote-storm R` shorthand merging a demote-storm rate into the
+ *    injection config (the memory-pressure lifecycle soak)
  *  - `--retries N` extra attempts for a failing point (default 1)
  *  - `--deadline S` cooperative per-point deadline in seconds
  *  - `--checkpoint <path>` completed-point journal (default

@@ -15,6 +15,7 @@ constexpr const char *SiteNames[SiteCount] = {
     "walk-latency",
     "pressure-burst",
     "trace-corrupt",
+    "demote-storm",
 };
 
 /** Decorrelates the per-site substreams of one point's seed. */
@@ -23,6 +24,7 @@ constexpr std::uint64_t SiteSalt[SiteCount] = {
     0xbf58476d1ce4e5b9ULL,
     0x94d049bb133111ebULL,
     0xd6e8feb86659fd93ULL,
+    0xff51afd7ed558ccdULL,
 };
 
 thread_local FaultScope *g_scope = nullptr;

@@ -44,10 +44,11 @@ enum class Site : std::uint8_t
     WalkLatency,   ///< a page-table walk takes a latency spike
     PressureBurst, ///< memhog transiently hogs a burst of free memory
     TraceCorrupt,  ///< a trace-file record arrives corrupted
+    DemoteStorm,   ///< the OS demotes resident superpages under duress
 };
 
 /** Number of sites (array extent for per-site state). */
-inline constexpr std::size_t SiteCount = 4;
+inline constexpr std::size_t SiteCount = 5;
 
 const char *siteName(Site site);
 std::optional<Site> siteFromName(const std::string &name);

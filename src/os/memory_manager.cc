@@ -20,8 +20,48 @@ MemoryManager::MemoryManager(mem::PhysMem &mem, stats::StatGroup *parent,
       compactionDeferred_(stats_.addScalar("compaction_deferred",
           "allocations that skipped compaction due to backoff")),
       pagesMigrated_(stats_.addScalar("pages_migrated",
-          "movable pages migrated by compaction"))
+          "movable pages migrated by compaction")),
+      reclaimRequests_(stats_.addScalar("reclaim_requests",
+          "failed allocations that invoked the reclaimers")),
+      framesReclaimed_(stats_.addScalar("frames_reclaimed",
+          "frames freed by the registered reclaimers"))
 {
+}
+
+void
+MemoryManager::addReclaimer(const void *key, Reclaimer fn)
+{
+    for (const auto &entry : reclaimers_) {
+        panic_if(entry.first == key,
+                 "reclaimer key registered twice");
+    }
+    reclaimers_.emplace_back(key, std::move(fn));
+}
+
+void
+MemoryManager::removeReclaimer(const void *key)
+{
+    std::erase_if(reclaimers_,
+                  [key](const auto &entry) { return entry.first == key; });
+}
+
+std::uint64_t
+MemoryManager::reclaim(std::uint64_t want)
+{
+    if (want == 0 || inReclaim_ || reclaimers_.empty())
+        return 0;
+    inReclaim_ = true;
+    ++reclaimRequests_;
+    std::uint64_t freed = 0;
+    for (auto &[key, fn] : reclaimers_) {
+        (void)key;
+        if (freed >= want)
+            break;
+        freed += fn(want - freed);
+    }
+    framesReclaimed_ += static_cast<double>(freed);
+    inReclaim_ = false;
+    return freed;
 }
 
 void
@@ -49,8 +89,19 @@ MemoryManager::freeFraction() const
 }
 
 std::optional<Pfn>
+MemoryManager::reclaimAndRetry(unsigned order, mem::FrameUse use,
+                               bool allow_reclaim)
+{
+    if (!allow_reclaim || inReclaim_ || reclaimers_.empty())
+        return std::nullopt;
+    if (reclaim(pow2(order)) == 0)
+        return std::nullopt;
+    return mem_.allocFrames(order, use);
+}
+
+std::optional<Pfn>
 MemoryManager::allocContiguous(unsigned order, mem::FrameUse use,
-                               bool allow_compaction)
+                               bool allow_compaction, bool allow_reclaim)
 {
     // Injected buddy failure for superpage requests: the caller's
     // graceful-degradation path (THS falls back to 4KB and records it)
@@ -69,7 +120,7 @@ MemoryManager::allocContiguous(unsigned order, mem::FrameUse use,
         }
     }
     if (order == 0 || !allow_compaction)
-        return std::nullopt;
+        return reclaimAndRetry(order, use, allow_reclaim);
 
     // Watermark check: compaction needs migration destinations, and a
     // nearly full machine should fall back to small pages quickly.
@@ -77,7 +128,7 @@ MemoryManager::allocContiguous(unsigned order, mem::FrameUse use,
     double free_frac = freeFraction();
     if (mem_.buddy().freeFrames() < region ||
         free_frac < params_.minFreeFraction) {
-        return std::nullopt;
+        return reclaimAndRetry(order, use, allow_reclaim);
     }
 
     // Pressure-gated willingness (Linux skips direct compaction for
@@ -118,12 +169,16 @@ MemoryManager::allocContiguous(unsigned order, mem::FrameUse use,
     if (pfn) {
         deferShift_ = 0;
         deferCount_ = 0;
-    } else if (params_.deferOnFailure) {
+        return pfn;
+    }
+    if (params_.deferOnFailure) {
         if (deferShift_ < 6)
             deferShift_++;
         deferCount_ = 1u << (deferShift_ & 31);
     }
-    return pfn;
+    // Failed even after compaction: demote/reclaim memory from the
+    // registered processes and retry once.
+    return reclaimAndRetry(order, use, allow_reclaim);
 }
 
 bool

@@ -17,6 +17,8 @@
 #include <functional>
 #include <optional>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/random.hh"
 #include "common/stats.hh"
@@ -79,19 +81,54 @@ class MemoryManager
     void unregisterMovable(Pfn pfn);
 
     /**
+     * A reclaimer frees up to the requested number of frames (by
+     * demoting superpages, dropping cold pages, abandoning reservation
+     * slack) and returns how many it actually freed. Processes register
+     * one at construction so that any allocator's memory pressure can
+     * shrink any process's footprint.
+     */
+    using Reclaimer = std::function<std::uint64_t(std::uint64_t)>;
+
+    /** Register a reclaimer under @p key (used to remove it again). */
+    void addReclaimer(const void *key, Reclaimer fn);
+
+    /** Remove the reclaimer registered under @p key, if any. */
+    void removeReclaimer(const void *key);
+
+    /**
+     * Ask the registered reclaimers (in registration order, so runs are
+     * deterministic) to free @p want frames. Re-entrant calls are
+     * no-ops: a reclaimer's own allocations never recurse into reclaim.
+     *
+     * @return frames actually freed.
+     */
+    std::uint64_t reclaim(std::uint64_t want);
+
+    /**
      * Allocate a naturally aligned block of 2^order frames, migrating
      * movable pages if the buddy allocator cannot satisfy the request
      * directly.
      *
      * @param use tag applied to the frames on success
      * @param allow_compaction permit migration (THS "defrag" setting)
+     * @param allow_reclaim on failure, let registered reclaimers free
+     *        memory and retry once (off for allocations made *by* the
+     *        lifecycle machinery, e.g. re-promotion, so rebuilding one
+     *        superpage can never demote another)
      * @return the first frame, or nullopt.
      */
     std::optional<Pfn> allocContiguous(unsigned order, mem::FrameUse use,
-                                       bool allow_compaction);
+                                       bool allow_compaction,
+                                       bool allow_reclaim = true);
 
     /** Free memory as a fraction of total memory. */
     double freeFraction() const;
+
+    /** Running count of successful compaction scans (for rescue stats). */
+    std::uint64_t compactionSuccessCount() const
+    {
+        return static_cast<std::uint64_t>(compactionSuccesses_.value());
+    }
 
     stats::StatGroup &statGroup() { return stats_; }
 
@@ -105,6 +142,11 @@ class MemoryManager
     mem::PhysMem &mem_;
     CompactionParams params_;
     std::unordered_map<Pfn, Movable> movable_;
+
+    /** Reclaimers in registration order (determinism). */
+    std::vector<std::pair<const void *, Reclaimer>> reclaimers_;
+    /** Guards against reclaim recursing into itself. */
+    bool inReclaim_ = false;
 
     /** Rotating scan cursor so successive compactions sweep memory. */
     Pfn scanCursor_ = 0;
@@ -123,6 +165,15 @@ class MemoryManager
     stats::Scalar &compactionSuccesses_;
     stats::Scalar &compactionDeferred_;
     stats::Scalar &pagesMigrated_;
+    stats::Scalar &reclaimRequests_;
+    stats::Scalar &framesReclaimed_;
+
+    /**
+     * Let the reclaimers free pow2(order) frames, then retry the
+     * direct allocation once. The last resort of allocContiguous.
+     */
+    std::optional<Pfn> reclaimAndRetry(unsigned order, mem::FrameUse use,
+                                       bool allow_reclaim);
 
     /**
      * Try to empty one aligned region of 2^order frames by migrating

@@ -35,13 +35,29 @@ Process::Process(MemoryManager &mm, const ProcessParams &params,
       thpFallbacks_(stats_.addScalar("thp_fallbacks",
           "THS faults that fell back to 4KB pages")),
       migrations_(stats_.addScalar("migrations",
-          "pages migrated away by compaction"))
+          "pages migrated away by compaction")),
+      demotions_(stats_.addCounter("demotions",
+          "superpages demoted to the next smaller page size")),
+      reclaims_(stats_.addCounter("reclaims",
+          "frames freed by reclaim under memory pressure")),
+      repromotions_(stats_.addCounter("repromotions",
+          "demoted regions rebuilt into superpages")),
+      oomRetries_(stats_.addCounter("oom_retries",
+          "4KB fault allocation retries after a failed attempt")),
+      demoteRescues_(stats_.addCounter("demote_rescues",
+          "4KB faults saved from OOM by demotion/reclaim")),
+      compactionRescues_(stats_.addCounter("compaction_rescues",
+          "superpage faults satisfied only after compaction"))
 {
     reservePools();
+    mm_.addReclaimer(this, [this](std::uint64_t want) {
+        return reclaimMemory(want);
+    });
 }
 
 Process::~Process()
 {
+    mm_.removeReclaimer(this);
     // Free every owned frame; unregister movable small pages first.
     for (auto [pfn, order] : ownedFrames_) {
         if (order == 0 &&
@@ -158,24 +174,45 @@ Process::touch(VAddr vaddr, bool is_store)
     panic("unreachable");
 }
 
+/** Free frames map() may need for page tables after a data-frame grab. */
+constexpr std::uint64_t HeadroomFrames = 8;
+
 TouchResult
 Process::faultSmall(VAddr vaddr)
 {
-    // Keep headroom for the page-table frames map() may allocate, so a
-    // data-frame success is never followed by a fatal PT-frame OOM.
-    if (mm_.phys().buddy().freeFrames() < 8)
-        return TouchResult::OutOfMemory;
-    // Injected allocation failures here are transient (a loaded kernel
-    // retries reclaim), so take a few attempts before reporting OOM; a
-    // rate-1.0 injection still starves the fault deterministically.
     std::optional<Pfn> pfn;
-    for (unsigned attempt = 0; attempt < 3 && !pfn; attempt++) {
-        if (fault::fire(fault::Site::BuddyAlloc))
+    bool rescued = false;
+    for (unsigned round = 0; round < 2 && !pfn; round++) {
+        if (round == 1) {
+            // Out of memory (or out of headroom): demote superpages
+            // and reclaim cold pages — possibly from other processes
+            // sharing this memory manager — before conceding OOM.
+            if (mm_.reclaim(4 * HeadroomFrames) == 0)
+                break;
+            rescued = true;
+        }
+        // Keep headroom for the page-table frames map() may allocate,
+        // so a data-frame success is never followed by a fatal
+        // PT-frame OOM.
+        if (mm_.phys().buddy().freeFrames() < HeadroomFrames)
             continue;
-        pfn = mm_.phys().allocFrames(0, mem::FrameUse::AppSmall);
+        // Injected allocation failures here are transient (a loaded
+        // kernel retries reclaim), so take a few attempts before
+        // escalating; a rate-1.0 injection still starves the fault
+        // deterministically — reclaim frees frames but every retry
+        // must still win its fault draw.
+        for (unsigned attempt = 0; attempt < 3 && !pfn; attempt++) {
+            if (attempt > 0)
+                ++oomRetries_;
+            if (fault::fire(fault::Site::BuddyAlloc))
+                continue;
+            pfn = mm_.phys().allocFrames(0, mem::FrameUse::AppSmall);
+        }
     }
     if (!pfn)
         return TouchResult::OutOfMemory;
+    if (rescued)
+        ++demoteRescues_;
     VAddr vbase = pageBase(vaddr, PageSize::Size4K);
     mm_.registerMovable(*pfn, this, vbase);
     ownedFrames_.emplace(*pfn, 0);
@@ -194,14 +231,18 @@ Process::faultThp(VAddr vaddr)
     bool eligible = inVma(region) && inVma(region + PageBytes2M - 1)
                     && smallIn2m_.find(region) == smallIn2m_.end();
     if (eligible) {
+        const std::uint64_t compactions = mm_.compactionSuccessCount();
         auto pfn = mm_.allocContiguous(mem::Order2M,
                                        mem::FrameUse::AppHuge,
                                        params_.thpDefrag);
         if (pfn) {
+            if (mm_.compactionSuccessCount() > compactions)
+                ++compactionRescues_;
             ownedFrames_.emplace(*pfn, mem::Order2M);
             pageTable_.map(region, *pfn << PageShift4K, PageSize::Size2M);
             ++faults2m_;
             ++resident2m_;
+            residentSuper_.emplace(region, PageSize::Size2M);
             return TouchResult::Faulted;
         }
         ++thpFallbacks_;
@@ -225,6 +266,7 @@ Process::faultPool2m(VAddr vaddr)
         pageTable_.map(region, pfn << PageShift4K, PageSize::Size2M);
         ++faults2m_;
         ++resident2m_;
+        residentSuper_.emplace(region, PageSize::Size2M);
         return TouchResult::Faulted;
     }
     auto result = faultSmall(vaddr);
@@ -246,6 +288,7 @@ Process::faultPool1g(VAddr vaddr)
         pageTable_.map(region, pfn << PageShift4K, PageSize::Size1G);
         ++faults1g_;
         ++resident1g_;
+        residentSuper_.emplace(region, PageSize::Size1G);
         return TouchResult::Faulted;
     }
     auto result = faultSmall(vaddr);
@@ -270,9 +313,12 @@ Process::faultReservation(VAddr vaddr)
         bool eligible = inVma(region) && inVma(region + PageBytes2M - 1)
                         && smallIn2m_.find(region) == smallIn2m_.end();
         if (eligible) {
+            const std::uint64_t compactions = mm_.compactionSuccessCount();
             auto block = mm_.allocContiguous(
                 mem::Order2M, mem::FrameUse::AppHuge, params_.thpDefrag);
             if (block) {
+                if (mm_.compactionSuccessCount() > compactions)
+                    ++compactionRescues_;
                 ownedFrames_.emplace(*block, mem::Order2M);
                 it = reservations_
                          .emplace(region, Reservation{*block, 0})
@@ -319,6 +365,386 @@ Process::promoteReservation(VAddr region, const Reservation &res)
     ++faults2m_;
     resident4k_ -= Frames2M;
     ++resident2m_;
+    residentSuper_.emplace(region, PageSize::Size2M);
+}
+
+bool
+Process::demote2m(VAddr region)
+{
+    auto xlate = pageTable_.translate(region);
+    if (!xlate || xlate->size != PageSize::Size2M)
+        return false;
+    if (!pageTable_.splitLeaf(region))
+        return false; // no frame left for the child table
+    const Pfn base = static_cast<Pfn>(xlate->pbase >> PageShift4K);
+    // The one order-9 block becomes 512 individually owned, movable
+    // 4KB frames: cold reclaim and compaction now work per frame.
+    auto own = ownedFrames_.find(base);
+    panic_if(own == ownedFrames_.end() || own->second != mem::Order2M,
+             "demoting a 2MB leaf whose block we do not own");
+    ownedFrames_.erase(own);
+    mm_.phys().retagFrames(base, mem::Order2M, mem::FrameUse::AppSmall);
+    for (std::uint64_t i = 0; i < Frames2M; i++) {
+        ownedFrames_.emplace(base + i, 0);
+        mm_.registerMovable(base + i, this, region + i * PageBytes4K);
+    }
+    // One superpage-sized shootdown drops the stale 2MB entry from
+    // every TLB level (mirror copies, coalesced runs straddling the
+    // window) and the PWC paths through the region.
+    fireInvalidate(region, PageSize::Size2M);
+    // The region now holds 4KB mappings; the side-table entry also
+    // keeps superpage re-faults from colliding with the new mid-level
+    // table, so it must outlive the demotion even at count zero.
+    smallIn2m_[region] = Frames2M;
+    auto sub = subIn1g_.find(pageBase(region, PageSize::Size1G));
+    if (sub != subIn1g_.end())
+        sub->second += Frames2M - 1; // one 2MB leaf became 512 4KB ones
+    resident2m_--;
+    resident4k_ += Frames2M;
+    residentSuper_.erase(region);
+    demoted2m_.insert(region);
+    ++demotions_;
+    return true;
+}
+
+bool
+Process::demote1g(VAddr region)
+{
+    auto xlate = pageTable_.translate(region);
+    if (!xlate || xlate->size != PageSize::Size1G)
+        return false;
+    if (!pageTable_.splitLeaf(region))
+        return false;
+    const Pfn base = static_cast<Pfn>(xlate->pbase >> PageShift4K);
+    auto own = ownedFrames_.find(base);
+    panic_if(own == ownedFrames_.end() || own->second != mem::Order1G,
+             "demoting a 1GB leaf whose block we do not own");
+    ownedFrames_.erase(own);
+    for (std::uint64_t i = 0; i < Frames2M; i++)
+        ownedFrames_.emplace(base + i * Frames2M, mem::Order2M);
+    fireInvalidate(region, PageSize::Size1G);
+    // 512 2MB leaves now live under the region (their frames stay
+    // AppHuge); the side-table entry blocks a 1GB re-fault over the
+    // new mid-level table.
+    subIn1g_[region] = Frames2M;
+    resident1g_--;
+    resident2m_ += Frames2M;
+    residentSuper_.erase(region);
+    for (std::uint64_t i = 0; i < Frames2M; i++) {
+        residentSuper_.emplace(region + i * PageBytes2M,
+                               PageSize::Size2M);
+    }
+    ++demotions_;
+    return true;
+}
+
+bool
+Process::demoteOne()
+{
+    // Prefer a 2MB leaf: its 4KB children are immediately reclaimable,
+    // while a 1GB demotion only yields more 2MB leaves.
+    for (const auto &[region, size] : residentSuper_) {
+        if (size == PageSize::Size2M)
+            return demote2m(region);
+    }
+    if (!residentSuper_.empty())
+        return demote1g(residentSuper_.begin()->first);
+    return false;
+}
+
+std::uint64_t
+Process::demoteStorm(std::uint64_t max)
+{
+    std::uint64_t done = 0;
+    while (done < max && demoteOne())
+        done++;
+    if (done > 0) {
+        // Freshly demoted regions should not bounce straight back.
+        if (repromoteDeferShift_ < 6)
+            repromoteDeferShift_++;
+        repromoteDefer_ = 1ULL << (repromoteDeferShift_ & 63);
+    }
+    return done;
+}
+
+void
+Process::dropSmallPage(VAddr vbase, Pfn pfn)
+{
+    bool removed = pageTable_.unmap(vbase);
+    panic_if(!removed, "reclaim of an unmapped page");
+    fireInvalidate(vbase, PageSize::Size4K);
+    mm_.unregisterMovable(pfn);
+    auto erased = ownedFrames_.erase(pfn);
+    panic_if(erased == 0, "reclaim of a frame we do not own");
+    mm_.phys().freeFrames(pfn, 0);
+    auto small = smallIn2m_.find(pageBase(vbase, PageSize::Size2M));
+    panic_if(small == smallIn2m_.end() || small->second == 0,
+             "reclaimed page missing from the 4KB side table");
+    small->second--; // entry stays, even at zero: see demote2m()
+    auto sub = subIn1g_.find(pageBase(vbase, PageSize::Size1G));
+    if (sub != subIn1g_.end())
+        sub->second--;
+    resident4k_--;
+    ++reclaims_;
+}
+
+void
+Process::releaseEmptyRegion(VAddr region)
+{
+    auto small = smallIn2m_.find(region);
+    panic_if(small == smallIn2m_.end() || small->second != 0,
+             "releasing a region that still has mapped pages");
+    pageTable_.clearLevelEntry(region, pt::leafLevel(PageSize::Size2M));
+    // The PWC may hold the just-retired leaf table; shoot it down
+    // before reclaimRetiredFrames() can free the frame.
+    fireInvalidate(region, PageSize::Size2M);
+    smallIn2m_.erase(small);
+    demoted2m_.erase(region);
+}
+
+std::uint64_t
+Process::reclaimColdPages(std::uint64_t want)
+{
+    std::uint64_t freed = 0;
+    // Iterate over a snapshot: fully drained regions are released (and
+    // erased from demoted2m_) as we go.
+    std::vector<VAddr> regions(demoted2m_.begin(), demoted2m_.end());
+    // Three escalating passes, like reclaim advancing from the
+    // inactive list to the active list: not-accessed pages first, then
+    // clean ones, then anything. No swap is modeled, so dropping a hot
+    // page is degradation (it will refault), never data loss.
+    for (int pass = 0; pass < 3 && freed < want; pass++) {
+        for (VAddr region : regions) {
+            if (freed >= want)
+                break;
+            if (demoted2m_.find(region) == demoted2m_.end())
+                continue; // released in an earlier pass
+            for (std::uint64_t slot = 0;
+                 slot < Frames2M && freed < want; slot++) {
+                const VAddr vbase = region + slot * PageBytes4K;
+                auto x = pageTable_.translate(vbase);
+                if (!x)
+                    continue;
+                if (pass == 0 && x->accessed)
+                    continue;
+                if (pass == 1 && x->dirty)
+                    continue;
+                dropSmallPage(vbase,
+                              static_cast<Pfn>(x->pbase >> PageShift4K));
+                freed++;
+            }
+            auto small = smallIn2m_.find(region);
+            if (small != smallIn2m_.end() && small->second == 0)
+                releaseEmptyRegion(region);
+        }
+    }
+    return freed;
+}
+
+std::uint64_t
+Process::abandonReservation(VAddr region)
+{
+    auto it = reservations_.find(region);
+    panic_if(it == reservations_.end(),
+             "abandoning a region with no reservation");
+    const Pfn block = it->second.block;
+    const std::uint32_t touched = it->second.touched;
+    auto erased = ownedFrames_.erase(block);
+    panic_if(erased == 0, "reservation block we do not own");
+    std::uint64_t freed = 0;
+    for (std::uint64_t slot = 0; slot < Frames2M; slot++) {
+        const VAddr vbase = region + slot * PageBytes4K;
+        const Pfn pfn = block + slot;
+        if (pageTable_.translate(vbase)) {
+            // A touched slot keeps its frame and its exact translation
+            // (so no shootdown); it just becomes an ordinary movable
+            // 4KB page.
+            mm_.phys().retagFrames(pfn, 0, mem::FrameUse::AppSmall);
+            mm_.registerMovable(pfn, this, vbase);
+            ownedFrames_.emplace(pfn, 0);
+        } else {
+            mm_.phys().freeFrames(pfn, 0);
+            freed++;
+        }
+    }
+    panic_if(freed != Frames2M - touched,
+             "reservation slack disagrees with its touched count");
+    // The kept pages now count as fallback 4KB pages; the side-table
+    // entry also blocks a fresh reservation from colliding with the
+    // live mid-level table.
+    smallIn2m_[region] = touched;
+    reservations_.erase(it);
+    reclaims_ += freed;
+    return freed;
+}
+
+std::uint64_t
+Process::reclaimMemory(std::uint64_t want)
+{
+    if (want == 0)
+        return 0;
+    std::uint64_t freed = 0;
+    // 1. Reservation slack: real memory freed without one shootdown.
+    //    Abandon the reservation with the most untouched slots first.
+    while (freed < want && !reservations_.empty()) {
+        VAddr victim = 0;
+        std::uint32_t victim_touched = 0;
+        bool have = false;
+        for (const auto &[region, res] : reservations_) {
+            if (!have || res.touched < victim_touched ||
+                (res.touched == victim_touched && region < victim)) {
+                victim = region;
+                victim_touched = res.touched;
+                have = true;
+            }
+        }
+        freed += abandonReservation(victim);
+    }
+    // 2. Cold pages from regions demoted earlier.
+    if (freed < want)
+        freed += reclaimColdPages(want - freed);
+    // 3. Demote superpages to expose more reclaimable pages.
+    while (freed < want && demoteOne())
+        freed += reclaimColdPages(want - freed);
+    // 4. Retired page-table frames (their translations were shot down
+    //    when the tables were retired).
+    if (freed < want) {
+        const std::uint64_t released = pageTable_.reclaimRetiredFrames();
+        reclaims_ += released;
+        freed += released;
+    }
+    return freed;
+}
+
+/**
+ * Free-memory fraction below which re-promotion is not attempted. The
+ * pressure experiments run with ~12% steady free memory and transient
+ * bursts that halve it, so the threshold sits between the two: burst
+ * windows read as pressure, burst release reads as pressure fading.
+ */
+constexpr double RepromoteFreeFraction = 0.08;
+
+/**
+ * Minimum mapped slots for a collapse re-promotion — the analogue of
+ * khugepaged's max_ptes_none: a region must be at least half populated
+ * before it is worth spending a whole 2MB block on it.
+ */
+constexpr std::uint64_t MinMappedForCollapse = Frames2M / 2;
+
+bool
+Process::tryRepromote2m(VAddr region)
+{
+    // Survey the region: mapped slots must all still be 4KB leaves;
+    // reclaimed holes are tolerated (they become backed by the new
+    // superpage, as khugepaged's max_ptes_none allows).
+    Pfn base = 0;
+    bool contiguous = true;
+    std::uint64_t mapped = 0;
+    for (std::uint64_t i = 0; i < Frames2M; i++) {
+        auto x = pageTable_.translate(region + i * PageBytes4K);
+        if (!x) {
+            contiguous = false;
+            continue;
+        }
+        if (x->size != PageSize::Size4K)
+            return false;
+        const Pfn pfn = static_cast<Pfn>(x->pbase >> PageShift4K);
+        if (mapped == 0 && i == 0) {
+            base = pfn;
+            contiguous = (base & (Frames2M - 1)) == 0;
+        } else if (pfn != base + i) {
+            contiguous = false;
+        }
+        mapped++;
+    }
+    if (mapped < MinMappedForCollapse)
+        return false;
+    Pfn dest = base;
+    if (!contiguous) {
+        // khugepaged-style collapse: migrate the 512 pages into a
+        // fresh block. Reclaim is disabled for this allocation so
+        // rebuilding one superpage can never demote another.
+        auto block = mm_.allocContiguous(mem::Order2M,
+                                         mem::FrameUse::AppHuge,
+                                         true, false);
+        if (!block)
+            return false;
+        dest = *block;
+    }
+    for (std::uint64_t i = 0; i < Frames2M; i++) {
+        const VAddr vbase = region + i * PageBytes4K;
+        // Re-translate: the collapse allocation may have compacted our
+        // own movable frames to new homes.
+        auto x = pageTable_.translate(vbase);
+        if (!x)
+            continue; // hole: the new superpage will back it
+        const Pfn pfn = static_cast<Pfn>(x->pbase >> PageShift4K);
+        bool removed = pageTable_.unmap(vbase);
+        panic_if(!removed, "re-promotion lost a mapped slot");
+        mm_.unregisterMovable(pfn);
+        auto erased = ownedFrames_.erase(pfn);
+        panic_if(erased == 0, "re-promotion of a frame we do not own");
+        if (!contiguous)
+            mm_.phys().freeFrames(pfn, 0); // copied into the new block
+    }
+    pageTable_.clearLevelEntry(region, pt::leafLevel(PageSize::Size2M));
+    pageTable_.map(region, static_cast<PAddr>(dest) << PageShift4K,
+                   PageSize::Size2M);
+    // One 2MB-sized shootdown drops every stale 4KB entry in the
+    // window and the PWC path through the now-retired table.
+    fireInvalidate(region, PageSize::Size2M);
+    if (contiguous) {
+        mm_.phys().retagFrames(dest, mem::Order2M,
+                               mem::FrameUse::AppHuge);
+    }
+    ownedFrames_.emplace(dest, mem::Order2M);
+    smallIn2m_.erase(region);
+    auto sub = subIn1g_.find(pageBase(region, PageSize::Size1G));
+    if (sub != subIn1g_.end())
+        sub->second -= mapped - 1; // `mapped` 4KB leaves became one 2MB
+    resident4k_ -= mapped;
+    resident2m_++;
+    demoted2m_.erase(region);
+    residentSuper_.emplace(region, PageSize::Size2M);
+    ++repromotions_;
+    return true;
+}
+
+void
+Process::maintain()
+{
+    if (demoted2m_.empty())
+        return;
+    if (repromoteDefer_ > 0) {
+        repromoteDefer_--;
+        return;
+    }
+    if (mm_.freeFraction() < RepromoteFreeFraction) {
+        // Still under pressure: check again later, with backoff.
+        if (repromoteDeferShift_ < 6)
+            repromoteDeferShift_++;
+        repromoteDefer_ = 1ULL << (repromoteDeferShift_ & 63);
+        return;
+    }
+    // Bounded work per call: a few candidates, lowest address first.
+    unsigned promoted = 0;
+    unsigned examined = 0;
+    auto it = demoted2m_.begin();
+    while (it != demoted2m_.end() && examined < 4) {
+        const VAddr region = *it;
+        ++it; // advance before tryRepromote2m erases the region
+        examined++;
+        if (tryRepromote2m(region))
+            promoted++;
+    }
+    if (promoted == 0) {
+        if (repromoteDeferShift_ < 6)
+            repromoteDeferShift_++;
+        repromoteDefer_ = 1ULL << (repromoteDeferShift_ & 63);
+    } else {
+        repromoteDeferShift_ = 0;
+        repromoteDefer_ = 0;
+    }
 }
 
 void
@@ -333,6 +759,7 @@ Process::audit(contracts::AuditReport &report) const
     std::uint64_t bytes1g = 0;
     std::unordered_map<VAddr, std::uint32_t> small_in_2m;
     std::unordered_map<VAddr, std::uint32_t> sub_in_1g;
+    std::map<VAddr, PageSize> super;
 
     std::vector<std::pair<Pfn, std::uint64_t>> owned; // [base, end)
     owned.reserve(ownedFrames_.size());
@@ -353,6 +780,8 @@ Process::audit(contracts::AuditReport &report) const
         }
         if (xlate.size != PageSize::Size1G)
             sub_in_1g[pageBase(xlate.vbase, PageSize::Size1G)]++;
+        if (xlate.size != PageSize::Size4K)
+            super.emplace(xlate.vbase, xlate.size);
 
         const bool in_vma = inVma(xlate.vbase)
                             && inVma(xlate.vbase + bytes - 1);
@@ -465,6 +894,40 @@ Process::audit(contracts::AuditReport &report) const
                         "reserved block 0x%llx is not owned as an "
                         "order-%u allocation",
                         (unsigned long long)res.block, mem::Order2M);
+    }
+
+    // Lifecycle side tables: the superpage registry mirrors the tree's
+    // superpage leaves exactly, and every demoted region really is
+    // split (no leaf at the region, a live 4KB side-table entry, and no
+    // reservation squatting on the same mid-level table).
+    MIX_AUDIT_CHECK(report, super.size() == residentSuper_.size(),
+                    "tree holds %llu superpage leaves but the registry "
+                    "tracks %llu",
+                    (unsigned long long)super.size(),
+                    (unsigned long long)residentSuper_.size());
+    for (const auto &[region, size] : residentSuper_) {
+        auto found = super.find(region);
+        MIX_AUDIT_CHECK(report,
+                        found != super.end() && found->second == size,
+                        "registry claims a %s leaf at 0x%llx but the "
+                        "tree disagrees",
+                        pageSizeName(size), (unsigned long long)region);
+    }
+    for (VAddr region : demoted2m_) {
+        MIX_AUDIT_CHECK(report,
+                        smallIn2m_.find(region) != smallIn2m_.end(),
+                        "demoted region 0x%llx missing from the 4KB "
+                        "side table",
+                        (unsigned long long)region);
+        MIX_AUDIT_CHECK(report,
+                        reservations_.find(region)
+                            == reservations_.end(),
+                        "demoted region 0x%llx still has a reservation",
+                        (unsigned long long)region);
+        MIX_AUDIT_CHECK(report, super.find(region) == super.end(),
+                        "demoted region 0x%llx still has a superpage "
+                        "leaf",
+                        (unsigned long long)region);
     }
 }
 

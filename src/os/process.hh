@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -100,6 +102,41 @@ class Process : public MovableOwner
     // MovableOwner: compaction moved one of our small pages.
     void relocate(std::uint64_t tag, Pfn from, Pfn to) override;
 
+    /**
+     * Free up to @p want frames under memory pressure: abandon unused
+     * reservation slots, drop cold 4KB pages from demoted regions,
+     * demote resident superpages to unlock more, and release retired
+     * page-table frames. Registered with the MemoryManager as this
+     * process's reclaimer. Every translation change fires a precise,
+     * page-sized shootdown.
+     *
+     * @return frames actually freed.
+     */
+    std::uint64_t reclaimMemory(std::uint64_t want);
+
+    /**
+     * Demote up to @p max resident superpages back to the next smaller
+     * page size (2MB -> 512 x 4KB, 1GB -> 512 x 2MB), lowest virtual
+     * address first. The physical frames do not move; each demotion
+     * fires one superpage-sized shootdown. Used by the demote-storm
+     * fault-injection site to exercise the hard invalidation cases.
+     *
+     * @return superpages actually demoted.
+     */
+    std::uint64_t demoteStorm(std::uint64_t max);
+
+    /**
+     * Periodic maintenance: when memory pressure has faded, re-promote
+     * demoted 2MB regions that are still mostly mapped — in place if
+     * all 512 frames are contiguous, else by khugepaged-style collapse
+     * into a fresh block (holes allowed, like max_ptes_none). Failed
+     * rounds back off exponentially, mirroring deferred compaction.
+     */
+    void maintain();
+
+    /** 2MB regions currently demoted to 4KB pages. */
+    std::uint64_t demotedRegions() const { return demoted2m_.size(); }
+
     stats::StatGroup &statGroup() { return stats_; }
 
     /**
@@ -158,12 +195,30 @@ class Process : public MovableOwner
     std::uint64_t resident2m_ = 0;
     std::uint64_t resident1g_ = 0;
 
+    /**
+     * Resident superpage leaves (region -> size), ordered so demotion
+     * picks victims deterministically. Structural state like the
+     * residency counters: survives resetStats().
+     */
+    std::map<VAddr, PageSize> residentSuper_;
+    /** 2MB regions demoted to 4KB, awaiting re-promotion. */
+    std::set<VAddr> demoted2m_;
+    /** Exponential re-promotion backoff (mirrors deferred compaction). */
+    unsigned repromoteDeferShift_ = 0;
+    std::uint64_t repromoteDefer_ = 0;
+
     stats::StatGroup stats_;
     stats::Scalar &faults4k_;
     stats::Scalar &faults2m_;
     stats::Scalar &faults1g_;
     stats::Scalar &thpFallbacks_;
     stats::Scalar &migrations_;
+    stats::Counter &demotions_;
+    stats::Counter &reclaims_;
+    stats::Counter &repromotions_;
+    stats::Counter &oomRetries_;
+    stats::Counter &demoteRescues_;
+    stats::Counter &compactionRescues_;
 
     TouchResult faultSmall(VAddr vaddr);
     TouchResult faultThp(VAddr vaddr);
@@ -173,6 +228,27 @@ class Process : public MovableOwner
 
     /** Replace a fully built reservation's 4KB PTEs with one 2MB PTE. */
     void promoteReservation(VAddr region, const Reservation &res);
+
+    /** Demote the lowest-addressed resident superpage (2MB first). */
+    bool demoteOne();
+    /** Split the 2MB leaf at @p region into 512 4KB leaves. */
+    bool demote2m(VAddr region);
+    /** Split the 1GB leaf at @p region into 512 2MB leaves. */
+    bool demote1g(VAddr region);
+    /** Unmap one 4KB page and free its frame (with shootdown). */
+    void dropSmallPage(VAddr vbase, Pfn pfn);
+    /** Drop pages from demoted regions: cold, then clean, then any. */
+    std::uint64_t reclaimColdPages(std::uint64_t want);
+    /**
+     * A demoted region whose last 4KB page was reclaimed: retire its
+     * (now empty) leaf table and forget it, so the region can fault a
+     * fresh superpage later and reclaim stops rescanning it.
+     */
+    void releaseEmptyRegion(VAddr region);
+    /** Free a reservation's untouched slots; keep the mapped ones. */
+    std::uint64_t abandonReservation(VAddr region);
+    /** Rebuild the 2MB leaf at @p region if enough slots are mapped. */
+    bool tryRepromote2m(VAddr region);
 
     void fireInvalidate(VAddr vbase, PageSize size);
     void reservePools();

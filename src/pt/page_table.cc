@@ -134,6 +134,65 @@ PageTable::clearLevelEntry(VAddr vaddr, unsigned level)
     mem_.write64(*pte_addr, 0);
 }
 
+bool
+PageTable::splitLeaf(VAddr vaddr)
+{
+    unsigned found_level = 0;
+    auto pte_addr = walkToLevel(vaddr, 0, false, &found_level);
+    if (!pte_addr || found_level == 0)
+        return false;
+    std::uint64_t raw = mem_.read64(*pte_addr);
+    if (!pte::present(raw) || !pte::pageSizeBit(raw))
+        return false;
+
+    // Demotion runs when allocation is already failing, so the child
+    // table frame must be allocated non-fatally (allocTable aborts).
+    auto pfn = mem_.allocFrames(0, mem::FrameUse::PageTable);
+    if (!pfn)
+        return false;
+    tableFrames_.push_back(*pfn);
+    const PAddr child = static_cast<PAddr>(*pfn) << PageShift4K;
+
+    const unsigned child_level = found_level - 1;
+    const std::uint64_t child_bytes = 1ULL << levelShift(child_level);
+    const PAddr pbase = pte::frame(raw);
+    const Perms perms = pte::perms(raw);
+    std::uint64_t ad_bits = 0;
+    if (pte::accessed(raw))
+        ad_bits |= pte::A;
+    if (pte::dirty(raw))
+        ad_bits |= pte::A | pte::D;
+    for (unsigned idx = 0; idx < 512; idx++) {
+        std::uint64_t child_raw =
+            pte::make(pbase + idx * child_bytes, perms, child_level > 0)
+            | ad_bits;
+        mem_.write64(entryAddr(child, idx), child_raw);
+    }
+    mem_.write64(*pte_addr, pte::make(child, Perms{}, false));
+    numMappings_ += 511;
+    return true;
+}
+
+std::size_t
+PageTable::reclaimRetiredFrames()
+{
+    if (retiredFrames_.empty())
+        return 0;
+    // Sorted release so the buddy free lists end up byte-identical no
+    // matter what order the hash set iterates in.
+    std::vector<Pfn> retired(retiredFrames_.begin(),
+                             retiredFrames_.end());
+    std::sort(retired.begin(), retired.end());
+    for (Pfn pfn : retired)
+        mem_.freeFrames(pfn, 0);
+    std::erase_if(tableFrames_, [this](Pfn pfn) {
+        return retiredFrames_.count(pfn) > 0;
+    });
+    const std::size_t released = retiredFrames_.size();
+    retiredFrames_.clear();
+    return released;
+}
+
 void
 PageTable::retireSubtree(PAddr table, unsigned level)
 {

@@ -97,6 +97,30 @@ class PageTable
      */
     void clearLevelEntry(VAddr vaddr, unsigned level);
 
+    /**
+     * Splinter the superpage leaf covering @p vaddr into 512 next-
+     * smaller leaves by rebuilding the lower radix level (a 2M leaf
+     * becomes a PT of 4K leaves; a 1G leaf a PD of 2M leaves),
+     * preserving permissions and A/D bits. Runs under memory pressure,
+     * so the one child table frame is allocated non-fatally.
+     * @retval false no superpage leaf covers @p vaddr, or no frame was
+     *         available for the child table (nothing is modified).
+     */
+    bool splitLeaf(VAddr vaddr);
+
+    /**
+     * Free the frames of tables orphaned by clearLevelEntry back to
+     * physical memory (they are otherwise held until destruction).
+     * After this, any stale cached paging-structure entry (PWC) into
+     * one of these tables points at a freed — possibly reused — frame,
+     * so callers must flush translation caches first.
+     * @return number of frames released.
+     */
+    std::size_t reclaimRetiredFrames();
+
+    /** Frames currently parked on the retired list. */
+    std::size_t retiredFrameCount() const { return retiredFrames_.size(); }
+
     /** Functional lookup with no side effects (testing/validation). */
     std::optional<Translation> translate(VAddr vaddr) const;
 

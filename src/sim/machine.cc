@@ -19,6 +19,13 @@ constexpr std::uint64_t AuditPeriod = 1ULL << 16;
  */
 constexpr std::uint64_t CheckPeriod = 1ULL << 10;
 
+/**
+ * Frames reclaimed alongside each injected demote storm: enough to
+ * punch refault-able holes into the demoted region without stalling
+ * the run on refault service.
+ */
+constexpr std::uint64_t StormReclaimFrames = 64;
+
 Machine::Machine(const MachineParams &params)
     : params_(params), root_(params.name), mem_(params.memBytes),
       mm_(mem_, &root_,
@@ -112,6 +119,17 @@ Machine::run(workload::TraceGenerator &gen, std::uint64_t refs)
             memhog_.burstRelease();
             if (fault::fire(fault::Site::PressureBurst))
                 memhog_.burstAcquire(mem_.buddy().freeFrames() / 2);
+            // Injected demotion storms model the OS under memory
+            // duress: demote a superpage, then reclaim frames (which
+            // drops cold pages from the demoted region). The later
+            // refaults scatter the region's frames, so maintain()'s
+            // re-promotion must take the khugepaged-style collapse
+            // path — the hard shootdown cases, end to end.
+            if (fault::fire(fault::Site::DemoteStorm)) {
+                proc_->demoteStorm(1);
+                mm_.reclaim(StormReclaimFrames);
+            }
+            proc_->maintain();
         }
         if (contracts::paranoia() >= 3 &&
             (done & (AuditPeriod - 1)) == 0) {

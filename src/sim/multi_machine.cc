@@ -17,6 +17,9 @@ constexpr std::uint64_t MultiAuditPeriod = 1ULL << 16;
 /** Deadline-poll cadence inside slices (must be a power of two). */
 constexpr std::uint64_t MultiCheckPeriod = 1ULL << 10;
 
+/** Frames reclaimed alongside each injected demote storm. */
+constexpr std::uint64_t StormReclaimFrames = 64;
+
 const char *
 switchPolicyName(SwitchPolicy policy)
 {
@@ -293,6 +296,16 @@ MultiMachine::run(std::uint64_t refs_per_proc)
             memhog_.burstRelease();
             if (fault::fire(fault::Site::PressureBurst))
                 memhog_.burstAcquire(mem_.buddy().freeFrames() / 2);
+            // Injected demotion storms model the OS under memory
+            // duress: demote one of this process's superpages, then
+            // reclaim frames — which may shrink *other* processes too
+            // (the reclaimer registry spans the shared memory
+            // manager), exercising per-ASID shootdown isolation.
+            if (fault::fire(fault::Site::DemoteStorm)) {
+                procs_[i]->demoteStorm(1);
+                mm_.reclaim(StormReclaimFrames);
+            }
+            procs_[i]->maintain();
         }
     }
     memhog_.burstRelease();

@@ -144,22 +144,50 @@ ColtTlb::fill(const FillInfo &fill)
 void
 ColtTlb::invalidate(VAddr vbase, PageSize size, Asid asid)
 {
-    if (size != size_)
-        return;
     ++invalidations_;
     const std::uint64_t page = pageBytes(size_);
-    VAddr wbase = windowBase(vbase);
-    auto slot = static_cast<unsigned>((vbase - wbase) / page);
-    auto &set = sets_[setOf(vbase)];
-    for (auto it = set.begin(); it != set.end();) {
-        if (it->wbase == wbase && it->asid == asid) {
-            it->bitmap &= ~(1u << (slot & 31));
-            if (it->bitmap == 0) {
-                it = set.erase(it);
-                continue;
+    if (size == size_) {
+        VAddr wbase = windowBase(vbase);
+        auto slot = static_cast<unsigned>((vbase - wbase) / page);
+        auto &set = sets_[setOf(vbase)];
+        for (auto it = set.begin(); it != set.end();) {
+            if (it->wbase == wbase && it->asid == asid) {
+                it->bitmap &= ~(1u << (slot & 31));
+                if (it->bitmap == 0) {
+                    it = set.erase(it);
+                    continue;
+                }
             }
+            ++it;
         }
-        ++it;
+        return;
+    }
+    // Cross-size shootdown (superpage demotion/re-promotion): drop
+    // every coalesced slot whose page overlaps [vbase, vbase + bytes).
+    // The window can straddle group windows — and therefore sets — so
+    // a coalesced run partially inside the window is trimmed, not
+    // dropped whole, and every set must be scanned.
+    const VAddr lo = vbase;
+    const VAddr hi = vbase + pageBytes(size);
+    for (auto &set : sets_) {
+        for (auto it = set.begin(); it != set.end();) {
+            const std::uint64_t span =
+                static_cast<std::uint64_t>(group_) * page;
+            if (it->asid == asid && it->wbase < hi &&
+                it->wbase + span > lo) {
+                for (unsigned slot = 0; slot < group_; slot++) {
+                    VAddr sbase =
+                        it->wbase + static_cast<std::uint64_t>(slot) * page;
+                    if (sbase < hi && sbase + page > lo)
+                        it->bitmap &= ~(1u << (slot & 31));
+                }
+                if (it->bitmap == 0) {
+                    it = set.erase(it);
+                    continue;
+                }
+            }
+            ++it;
+        }
     }
 }
 

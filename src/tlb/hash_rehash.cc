@@ -125,14 +125,29 @@ HashRehashTlb::fill(const FillInfo &fill)
 void
 HashRehashTlb::invalidate(VAddr vbase, PageSize size, Asid asid)
 {
-    if (!supports(size))
-        return;
     ++invalidations_;
-    std::uint64_t vpn = vpnOf(vbase, size);
-    auto &set = sets_[setOf(vbase, size)];
-    std::erase_if(set, [&](const Entry &e) {
-        return e.size == size && e.vpn == vpn && e.asid == asid;
-    });
+    if (supports(size)) {
+        // An entry of the shot-down size hashes to one known set.
+        std::uint64_t vpn = vpnOf(vbase, size);
+        auto &set = sets_[setOf(vbase, size)];
+        std::erase_if(set, [&](const Entry &e) {
+            return e.size == size && e.vpn == vpn && e.asid == asid;
+        });
+    }
+    // Entries of *other* sizes overlapping [vbase, vbase + bytes) —
+    // 4K children of a demoted superpage, or a stale superpage over a
+    // 4K shootdown — rehash to unpredictable sets, so scan them all
+    // (shootdowns are off the hot lookup path).
+    const VAddr lo = vbase;
+    const VAddr hi = vbase + pageBytes(size);
+    for (auto &set : sets_) {
+        std::erase_if(set, [&](const Entry &e) {
+            if (e.size == size || e.asid != asid)
+                return false;
+            const VAddr ebase = e.xlate.vbase;
+            return ebase < hi && ebase + pageBytes(e.size) > lo;
+        });
+    }
 }
 
 void

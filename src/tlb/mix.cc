@@ -411,57 +411,51 @@ void
 MixTlb::invalidate(VAddr vbase, PageSize size, Asid asid)
 {
     ++invalidations_;
-    const std::uint64_t page = pageBytes(size);
+    const VAddr lo = vbase;
+    const VAddr hi = vbase + pageBytes(size);
 
-    if (size == PageSize::Size4K && !params_.superpageIndexBits) {
-        // Small-page entries live only in their indexed set.
-        auto &set = sets_[indexOf(vbase)];
-        for (auto it = set.begin(); it != set.end();) {
-            Entry &entry = *it;
-            std::uint64_t span =
-                static_cast<std::uint64_t>(groupSlots(entry.size))
-                * page;
-            if (entry.size != size || entry.asid != asid ||
-                vbase < entry.wbase || vbase >= entry.wbase + span) {
-                ++it;
-                continue;
-            }
-            auto slot =
-                static_cast<unsigned>((vbase - entry.wbase) / page);
-            entry.bitmap &= ~(1ULL << (slot & 63));
-            if (entry.bitmap == 0)
-                it = set.erase(it);
-            else
-                ++it;
-        }
-        return;
-    }
-
+    // Range semantics: an entry is stale when any present slot's page
+    // overlaps [lo, hi), whatever the entry's own page size. A
+    // demotion's superpage-sized shootdown must clear the 4K and
+    // coalesced entries under its window, and a 4K shootdown inside a
+    // stale superpage must kill that superpage's mirrors — which live
+    // in *every* set and evolve independently under per-set LRU, so
+    // all sets are swept (shootdowns are off the hot lookup path).
     for (auto &set : sets_) {
         for (auto it = set.begin(); it != set.end();) {
             Entry &entry = *it;
-            std::uint64_t span =
-                static_cast<std::uint64_t>(groupSlots(entry.size)) * page;
-            if (entry.size != size || entry.asid != asid ||
-                vbase < entry.wbase || vbase >= entry.wbase + span) {
+            const std::uint64_t epage = pageBytes(entry.size);
+            const unsigned slots = groupSlots(entry.size);
+            const std::uint64_t span = epage * slots;
+            if (entry.asid != asid || entry.wbase >= hi ||
+                entry.wbase + span <= lo) {
                 ++it;
                 continue;
             }
-            auto slot =
-                static_cast<unsigned>((vbase - entry.wbase) / page);
-            if (size == PageSize::Size4K ||
+            // Slots of the entry's window overlapped by [lo, hi).
+            const auto s0 = lo > entry.wbase
+                ? static_cast<unsigned>((lo - entry.wbase) / epage)
+                : 0u;
+            const auto s1 = static_cast<unsigned>(
+                std::min<std::uint64_t>(slots - 1,
+                                        (hi - 1 - entry.wbase) / epage));
+            if (entry.size == PageSize::Size4K ||
                 params_.mode == CoalesceMode::Bitmap) {
-                // Sec. 4.4: clear just this superpage's bit; neighbours
-                // stay cached.
-                entry.bitmap &= ~(1ULL << (slot & 63));
+                // Sec. 4.4: clear just the covered bits; neighbours
+                // outside the window stay cached (partial trim).
+                for (unsigned s = s0; s <= s1; s++)
+                    entry.bitmap &= ~(1ULL << (s & 63));
                 if (entry.bitmap == 0)
                     it = set.erase(it);
                 else
                     ++it;
             } else {
-                // Length mode: drop the whole bundle (the paper's
-                // simple approach).
-                if (entry.slotPresent(slot, params_.mode))
+                // Length mode: drop the whole bundle if any covered
+                // slot is present (the paper's simple approach).
+                bool present = false;
+                for (unsigned s = s0; s <= s1 && !present; s++)
+                    present = entry.slotPresent(s, params_.mode);
+                if (present)
                     it = set.erase(it);
                 else
                     ++it;

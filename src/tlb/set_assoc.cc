@@ -70,14 +70,28 @@ SetAssocTlb::fill(const FillInfo &fill)
 void
 SetAssocTlb::invalidate(VAddr vbase, PageSize size, Asid asid)
 {
-    if (size != size_)
-        return;
     ++invalidations_;
-    std::uint64_t vpn = vpnOf(vbase, size_);
-    auto &set = sets_[setOf(vpn)];
-    std::erase_if(set, [&](const Entry &e) {
-        return e.vpn == vpn && e.asid == asid;
-    });
+    if (size == size_) {
+        std::uint64_t vpn = vpnOf(vbase, size_);
+        auto &set = sets_[setOf(vpn)];
+        std::erase_if(set, [&](const Entry &e) {
+            return e.vpn == vpn && e.asid == asid;
+        });
+        return;
+    }
+    // Cross-size shootdown (superpage demotion/re-promotion): drop any
+    // entry whose page overlaps [vbase, vbase + bytes). A superpage
+    // window covers many of this size's VPNs — and therefore many
+    // sets — so scan them all; this is never on the hot lookup path.
+    const std::uint64_t page = pageBytes(size_);
+    const VAddr lo = vbase;
+    const VAddr hi = vbase + pageBytes(size);
+    for (auto &set : sets_) {
+        std::erase_if(set, [&](const Entry &e) {
+            const VAddr ebase = e.vpn * page;
+            return e.asid == asid && ebase < hi && ebase + page > lo;
+        });
+    }
 }
 
 void
@@ -172,9 +186,15 @@ void
 FullyAssocTlb::invalidate(VAddr vbase, PageSize size, Asid asid)
 {
     ++invalidations_;
+    // Range semantics: any entry overlapping [vbase, vbase + bytes)
+    // is stale, whatever its own page size (a demoted superpage's
+    // entry must die on a 4K shootdown inside it, and vice versa).
+    const VAddr lo = vbase;
+    const VAddr hi = vbase + pageBytes(size);
     std::erase_if(lru_, [&](const Entry &e) {
-        return e.xlate.size == size && e.xlate.vbase == vbase &&
-               e.asid == asid;
+        const VAddr ebase = e.xlate.vbase;
+        return e.asid == asid && ebase < hi &&
+               ebase + pageBytes(e.xlate.size) > lo;
     });
 }
 

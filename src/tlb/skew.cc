@@ -189,16 +189,35 @@ SkewTlb::fill(const FillInfo &fill)
 void
 SkewTlb::invalidate(VAddr vbase, PageSize size, Asid asid)
 {
-    if (!supports(size))
-        return;
     ++invalidations_;
-    std::uint64_t vpn = vpnOf(vbase, size);
+    if (supports(size)) {
+        // Same-size entries index to one known row per way.
+        std::uint64_t vpn = vpnOf(vbase, size);
+        for (unsigned way = 0; way < totalWays_; way++) {
+            if (waySize_[way] != size)
+                continue;
+            Entry &entry = ways_[way][rowOf(way, vpn)];
+            if (entry.valid && entry.vpn == vpn && entry.asid == asid)
+                entry.valid = false;
+        }
+    }
+    // Other-size entries overlapping [vbase, vbase + bytes) skew to
+    // per-way rows that cannot be derived from the window, so scan the
+    // ways of every other size (off the hot lookup path).
+    const VAddr lo = vbase;
+    const VAddr hi = vbase + pageBytes(size);
     for (unsigned way = 0; way < totalWays_; way++) {
-        if (waySize_[way] != size)
+        const PageSize way_size = waySize_[way];
+        if (way_size == size)
             continue;
-        Entry &entry = ways_[way][rowOf(way, vpn)];
-        if (entry.valid && entry.vpn == vpn && entry.asid == asid)
-            entry.valid = false;
+        const std::uint64_t page = pageBytes(way_size);
+        for (Entry &entry : ways_[way]) {
+            if (!entry.valid || entry.asid != asid)
+                continue;
+            const VAddr ebase = entry.xlate.vbase;
+            if (ebase < hi && ebase + page > lo)
+                entry.valid = false;
+        }
     }
 }
 

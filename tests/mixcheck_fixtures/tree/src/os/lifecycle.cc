@@ -1,0 +1,31 @@
+namespace fx
+{
+
+struct Stats
+{
+    double value(const char *name) const;
+    void addCounter(const char *name);
+};
+
+void
+registerLifecycle(Stats &stats)
+{
+    stats.addCounter("demotions");
+    stats.addCounter("reclaims");
+    stats.addCounter("repromotions");
+}
+
+double
+readDemotions(const Stats &stats)
+{
+    return stats.value("demotions");
+}
+
+double
+readRenamed(const Stats &stats)
+{
+    // Consumer kept the old name after the producer was renamed.
+    return stats.value("superpage_demotions");
+}
+
+} // namespace fx

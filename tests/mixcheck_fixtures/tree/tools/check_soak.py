@@ -1,0 +1,14 @@
+"""Fixture validator: lifecycle metrics, one ghost key."""
+import json
+import sys
+
+
+def main(path):
+    data = json.loads(open(path).read())
+    demotions = data["metrics"]["demotions"]
+    storms = data.get("metrics", {}).get("demotion_storms", 0)
+    return 0 if demotions >= 0 and not storms else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1]))

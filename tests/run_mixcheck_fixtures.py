@@ -31,11 +31,13 @@ TREE_EXPECTED = {
     ("src/legbad/leg.cc", 1, "raw-assert"),     # #include <cassert>
     ("src/legbad/leg.cc", 7, "raw-assert"),     # assert(
     ("src/legbad/leg.cc", 8, "banned-random"),  # rand()
+    ("src/os/lifecycle.cc", 28, "stat-drift"),  # renamed demotion stat
     ("src/shiftbad/shift.cc", 11, "shift-width"),  # 1 << 22 int literal
     ("src/shiftbad/shift.cc", 17, "shift-width"),  # unproven amount
     ("src/stats/reg.cc", 25, "stat-drift"),     # .scalar("renamed_metric")
     ("src/tlb/layer.hh", 4, "layering"),        # tlb/ includes workload/
     ("tools/check_perf.py", 9, "stat-drift"),   # ghost metrics key
+    ("tools/check_soak.py", 9, "stat-drift"),   # ghost lifecycle key
 }
 
 SUPPRESS_EXPECTED = {

@@ -347,3 +347,184 @@ TEST(Scan, ContiguityRunsIgnoreOtherSizes)
     ASSERT_EQ(runs2m.size(), 1u);
     EXPECT_EQ(runs2m[0], 1u);
 }
+
+// --- Memory-pressure lifecycle: demotion, reclaim, re-promotion -----
+
+TEST_F(OsFixture, DemoteStormSplitsInPlaceWithOneShootdown)
+{
+    Process proc(mm, thpParams(), &root);
+    VAddr base = proc.mmap(16 * MiB);
+    for (VAddr va = base; va < base + 8 * MiB; va += PageBytes2M)
+        proc.touch(va);
+    auto before = scanDistribution(proc.pageTable());
+    ASSERT_EQ(before.bytes2m, 8 * MiB);
+    auto x0 = proc.pageTable().translate(base + 0x3456);
+    ASSERT_TRUE(x0.has_value());
+    const PAddr pa0 = x0->translate(base + 0x3456);
+
+    std::vector<std::pair<VAddr, PageSize>> shots;
+    proc.addInvalidateListener([&](VAddr va, PageSize s) {
+        shots.emplace_back(va, s);
+    });
+
+    EXPECT_EQ(proc.demoteStorm(1), 1u);
+
+    // One precise superpage-sized shootdown, lowest region first.
+    ASSERT_EQ(shots.size(), 1u);
+    EXPECT_EQ(shots[0].first, base);
+    EXPECT_EQ(shots[0].second, PageSize::Size2M);
+    EXPECT_EQ(proc.demotedRegions(), 1u);
+    EXPECT_EQ(root.value("proc.demotions"), 1.0);
+
+    // In-place split: same bytes resident, same physical frames.
+    auto after = scanDistribution(proc.pageTable());
+    EXPECT_EQ(after.bytes2m, 6 * MiB);
+    EXPECT_EQ(after.bytes4k, 2 * MiB);
+    auto x1 = proc.pageTable().translate(base + 0x3456);
+    ASSERT_TRUE(x1.has_value());
+    EXPECT_EQ(x1->size, PageSize::Size4K);
+    EXPECT_EQ(x1->translate(base + 0x3456), pa0);
+
+    contracts::AuditReport report;
+    proc.audit(report);
+    EXPECT_TRUE(report.violations().empty());
+}
+
+TEST_F(OsFixture, DemoteStorm1gSplitsInto2mChildren)
+{
+    mem::PhysMem big_mem{4 * GiB};
+    MemoryManager big_mm{big_mem, &root};
+    ProcessParams params;
+    params.policy = PagePolicy::Huge1G;
+    params.pool1gPages = 1;
+    Process proc(big_mm, params, &root);
+    VAddr base = proc.mmap(1 * GiB);
+    ASSERT_EQ(proc.touch(base), TouchResult::Faulted);
+    auto x0 = proc.pageTable().translate(base + 123 * MiB);
+    ASSERT_TRUE(x0.has_value());
+    const PAddr pa0 = x0->translate(base + 123 * MiB);
+
+    std::vector<std::pair<VAddr, PageSize>> shots;
+    proc.addInvalidateListener([&](VAddr va, PageSize s) {
+        shots.emplace_back(va, s);
+    });
+
+    // 1GB -> 512 x 2MB, one 1GB-sized shootdown.
+    EXPECT_EQ(proc.demoteStorm(1), 1u);
+    ASSERT_EQ(shots.size(), 1u);
+    EXPECT_EQ(shots[0], (std::pair<VAddr, PageSize>{
+                            base, PageSize::Size1G}));
+    auto dist = scanDistribution(proc.pageTable());
+    EXPECT_EQ(dist.bytes1g, 0u);
+    EXPECT_EQ(dist.bytes2m, 1 * GiB);
+    auto x1 = proc.pageTable().translate(base + 123 * MiB);
+    ASSERT_TRUE(x1.has_value());
+    EXPECT_EQ(x1->translate(base + 123 * MiB), pa0);
+
+    // A second storm picks the lowest 2MB child next.
+    EXPECT_EQ(proc.demoteStorm(1), 1u);
+    ASSERT_EQ(shots.size(), 2u);
+    EXPECT_EQ(shots[1], (std::pair<VAddr, PageSize>{
+                            base, PageSize::Size2M}));
+    EXPECT_EQ(proc.demotedRegions(), 1u);
+
+    contracts::AuditReport report;
+    proc.audit(report);
+    EXPECT_TRUE(report.violations().empty());
+}
+
+TEST_F(OsFixture, MaintainRepromotesInPlaceWhenPressureFades)
+{
+    Process proc(mm, thpParams(), &root);
+    VAddr base = proc.mmap(16 * MiB);
+    proc.touch(base);
+    auto x0 = proc.pageTable().translate(base + 0x1000);
+    ASSERT_TRUE(x0.has_value());
+    const PAddr pa0 = x0->translate(base + 0x1000);
+
+    ASSERT_EQ(proc.demoteStorm(1), 1u);
+    ASSERT_EQ(proc.demotedRegions(), 1u);
+
+    // Memory is nearly all free, so the pressure gate passes; the
+    // storm armed an exponential deferral, so a few idle maintenance
+    // ticks pass first.
+    for (int i = 0; i < 20 && proc.demotedRegions() > 0; i++)
+        proc.maintain();
+
+    EXPECT_EQ(proc.demotedRegions(), 0u);
+    EXPECT_EQ(root.value("proc.repromotions"), 1.0);
+    // The frames never moved, so the rebuilt 2MB leaf translates
+    // bit-identically.
+    auto x1 = proc.pageTable().translate(base + 0x1000);
+    ASSERT_TRUE(x1.has_value());
+    EXPECT_EQ(x1->size, PageSize::Size2M);
+    EXPECT_EQ(x1->translate(base + 0x1000), pa0);
+
+    contracts::AuditReport report;
+    proc.audit(report);
+    EXPECT_TRUE(report.violations().empty());
+}
+
+TEST_F(OsFixture, ReclaimAbandonsReservationSlackWithoutShootdowns)
+{
+    ProcessParams params;
+    params.policy = PagePolicy::Reservation;
+    Process proc(mm, params, &root);
+    VAddr base = proc.mmap(16 * MiB);
+    // Two partially built reservations, each pinning a full 2MB block:
+    // one page in the first region, three in the second.
+    proc.touch(base);
+    for (int i = 0; i < 3; i++)
+        proc.touch(base + PageBytes2M + i * PageBytes4K);
+    auto x0 = proc.pageTable().translate(base);
+    ASSERT_TRUE(x0.has_value());
+    const PAddr pa0 = x0->translate(base);
+
+    unsigned shots = 0;
+    proc.addInvalidateListener([&](VAddr, PageSize) { shots++; });
+    const auto free_before = mem.buddy().freeFrames();
+
+    // Asking for less than one reservation's slack abandons exactly
+    // the most-untouched one (511 free slots beat 509).
+    const std::uint64_t freed = proc.reclaimMemory(100);
+    EXPECT_EQ(freed, 511u);
+    EXPECT_EQ(mem.buddy().freeFrames(), free_before + 511);
+    // Touched slots keep their exact translation: no shootdown fires.
+    EXPECT_EQ(shots, 0u);
+    auto x1 = proc.pageTable().translate(base);
+    ASSERT_TRUE(x1.has_value());
+    EXPECT_EQ(x1->translate(base), pa0);
+    EXPECT_EQ(proc.touch(base), TouchResult::Mapped);
+    EXPECT_EQ(root.value("proc.reclaims"), 511.0);
+
+    contracts::AuditReport report;
+    proc.audit(report);
+    EXPECT_TRUE(report.violations().empty());
+}
+
+TEST(OsLifecycle, TouchNeverOomsWhileSuperpagesAreDemotable)
+{
+    // The tentpole property: on a 256MB machine, sequentially touching
+    // far more VA than physical memory must degrade (demote, reclaim
+    // cold pages, refault) but never report OutOfMemory — demotable
+    // superpages and cold demoted pages are always reclaimable slack.
+    mem::PhysMem mem{256 * MiB};
+    stats::StatGroup root{"test"};
+    MemoryManager mm{mem, &root};
+    ProcessParams params;
+    params.policy = PagePolicy::Thp;
+    Process proc(mm, params, &root);
+    VAddr base = proc.mmap(1 * GiB);
+    for (VAddr va = base; va < base + 384 * MiB; va += PageBytes4K) {
+        ASSERT_NE(proc.touch(va), TouchResult::OutOfMemory)
+            << "OOM at offset " << (va - base);
+    }
+    // The run overcommitted memory 1.5x, so the lifecycle must have
+    // both demoted superpages and reclaimed cold pages.
+    EXPECT_GT(root.value("proc.demotions"), 0.0);
+    EXPECT_GT(root.value("proc.reclaims"), 0.0);
+
+    contracts::AuditReport report;
+    proc.audit(report);
+    EXPECT_TRUE(report.violations().empty());
+}

@@ -274,3 +274,95 @@ TEST_F(PtFixture, PageTableFramesComeFromPhysMem)
     EXPECT_EQ(mem.frameUse(table.root() >> PageShift4K),
               mem::FrameUse::PageTable);
 }
+
+TEST_F(PtFixture, SplitLeafDemotes2mTo4kInPlace)
+{
+    // The demotion primitive: a 2MB leaf becomes 512 4KB leaves over
+    // the same frames, so no data moves and translations are
+    // preserved bit-for-bit.
+    constexpr VAddr region = 0x00400000;
+    table.map(region, 0x00800000, PageSize::Size2M);
+    ASSERT_TRUE(table.splitLeaf(region));
+    for (std::uint64_t i = 0; i < 512; i += 61) {
+        auto x = table.translate(region + i * 0x1000 + 0x123);
+        ASSERT_TRUE(x.has_value()) << i;
+        EXPECT_EQ(x->size, PageSize::Size4K);
+        EXPECT_EQ(x->translate(region + i * 0x1000 + 0x123),
+                  0x00800000u + i * 0x1000 + 0x123);
+    }
+    // Splitting a 4KB leaf (or an unmapped VA) is refused.
+    EXPECT_FALSE(table.splitLeaf(region));
+    EXPECT_FALSE(table.splitLeaf(region + PageBytes2M));
+}
+
+TEST(Pwc, RepromotionShootdownDropsRetiredLeafTable)
+{
+    // Demotion creates a 4KB leaf table; re-promotion (or releasing a
+    // fully reclaimed region) retires it again via clearLevelEntry.
+    // The PWC cached that table as a walk starting point — without the
+    // superpage-sized shootdown, a later walk would start inside a
+    // freed (soon recycled) table frame.
+    mem::PhysMem mem{512 * MiB};
+    PageTable table{mem};
+    stats::StatGroup root{"test"};
+    PwcParams pwcp;
+    pwcp.entries = 16;
+    Walker walker{table, &root, 1, pwcp};
+
+    constexpr VAddr region = 0x00400000;
+    table.map(region, 0x00800000, PageSize::Size2M);
+    ASSERT_TRUE(table.splitLeaf(region));
+    for (int i = 0; i < 4; i++)
+        ASSERT_FALSE(walker.walk(region + i * 0x1000, false).pageFault());
+
+    // The PWC now shortcuts straight to the demoted region's 4KB leaf
+    // table: this is exactly the stale-hit hazard.
+    auto stale = walker.pwc().probe(region + 0x1000);
+    ASSERT_TRUE(stale.has_value());
+    ASSERT_EQ(stale->first, leafLevel(PageSize::Size4K));
+
+    // Re-promote: retire the leaf table, map the 2MB leaf again.
+    table.clearLevelEntry(region, leafLevel(PageSize::Size2M));
+    table.map(region, 0x00800000, PageSize::Size2M);
+    walker.pwc().invalidate(region, PageSize::Size2M);
+    EXPECT_GE(table.reclaimRetiredFrames(), 1u);
+
+    // No stale shortcut into the freed table frame survives ...
+    auto after = walker.pwc().probe(region + 0x1000);
+    if (after.has_value())
+        EXPECT_NE(after->second, stale->second);
+    // ... and a fresh walk sees the re-promoted superpage.
+    auto walk = walker.walk(region + 0x1000, false);
+    ASSERT_FALSE(walk.pageFault());
+    ASSERT_TRUE(walk.leaf.has_value());
+    EXPECT_EQ(walk.leaf->size, PageSize::Size2M);
+    EXPECT_EQ(walk.leaf->translate(region + 0x1234), 0x00801234u);
+}
+
+TEST(Pwc, StaleProbeWithoutShootdownIsTheHazard)
+{
+    // Negative control for the test above: skipping the shootdown
+    // leaves the PWC pointing at the retired table. This documents
+    // why Process::releaseEmptyRegion and tryRepromote2m must fire a
+    // superpage-sized invalidate before reclaimRetiredFrames() frees
+    // the frame.
+    mem::PhysMem mem{512 * MiB};
+    PageTable table{mem};
+    stats::StatGroup root{"test"};
+    PwcParams pwcp;
+    pwcp.entries = 16;
+    Walker walker{table, &root, 1, pwcp};
+
+    constexpr VAddr region = 0x00400000;
+    table.map(region, 0x00800000, PageSize::Size2M);
+    ASSERT_TRUE(table.splitLeaf(region));
+    ASSERT_FALSE(walker.walk(region, false).pageFault());
+    auto stale = walker.pwc().probe(region + 0x1000);
+    ASSERT_TRUE(stale.has_value());
+
+    table.clearLevelEntry(region, leafLevel(PageSize::Size2M));
+    // No invalidate: the stale shortcut is still there.
+    auto still = walker.pwc().probe(region + 0x1000);
+    ASSERT_TRUE(still.has_value());
+    EXPECT_EQ(still->second, stale->second);
+}

@@ -877,3 +877,206 @@ TEST(Asid, IdealTlbTranslatesPerRegisteredTable)
     tlb.setAsid(7);
     EXPECT_FALSE(tlb.lookup(base_a, false).hit);
 }
+
+// --- Superpage-sized shootdowns (demotion / reclaim lifecycle) ------
+//
+// Demotion replaces a 2MB (or 1GB) leaf with smaller leaves and fires
+// ONE superpage-sized invalidate; reclaim fires 4KB ones. Every design
+// must honour the range semantics precisely: drop everything of the
+// right ASID inside the window, keep everything else.
+
+TEST(RangeInvalidate, SuperpageWindowIsAsidPrecise)
+{
+    stats::StatGroup root("test");
+    constexpr VAddr region = 0x00400000; // 2MB-aligned
+    for (auto &[name, tlb] : makeAsidTlbs(root)) {
+        SCOPED_TRACE(name);
+
+        tlb->setAsid(1);
+        tlb->fill(simpleFill(xlate4k(region + 0x1000, 0xA000)));
+        tlb->fill(simpleFill(xlate4k(region + 0x5000, 0xC000)));
+        // Just past the window: must survive the shootdown.
+        tlb->fill(simpleFill(
+            xlate4k(region + PageBytes2M + 0x1000, 0xD000)));
+        // Same VA, other address space: must also survive.
+        tlb->setAsid(2);
+        tlb->fill(simpleFill(xlate4k(region + 0x1000, 0xB000)));
+
+        // The demotion shootdown: one 2MB-sized invalidate for ASID 1.
+        tlb->invalidate(region, PageSize::Size2M, Asid{1});
+
+        EXPECT_TRUE(tlb->lookup(region + 0x1000, false).hit)
+            << "ASID 2 entry inside the window was collateral damage";
+        tlb->setAsid(1);
+        EXPECT_FALSE(tlb->lookup(region + 0x1000, false).hit);
+        EXPECT_FALSE(tlb->lookup(region + 0x5000, false).hit);
+        EXPECT_TRUE(
+            tlb->lookup(region + PageBytes2M + 0x1000, false).hit)
+            << "entry outside the 2MB window was dropped";
+    }
+}
+
+TEST(RangeInvalidate, GigapageWindowDropsContainedEntries)
+{
+    stats::StatGroup root("test");
+    constexpr VAddr gbase = 4 * GiB; // 1GB-aligned
+    for (auto &[name, tlb] : makeAsidTlbs(root)) {
+        SCOPED_TRACE(name);
+
+        tlb->setAsid(1);
+        tlb->fill(simpleFill(xlate4k(gbase + 0x1000, 0xA000)));
+        // A different 2MB region of the same gigapage window.
+        tlb->fill(simpleFill(
+            xlate4k(gbase + 3 * PageBytes2M + 0x2000, 0xC000)));
+        tlb->fill(simpleFill(
+            xlate4k(gbase + PageBytes1G + 0x1000, 0xD000)));
+
+        // A 1GB demotion's shootdown.
+        tlb->invalidate(gbase, PageSize::Size1G, Asid{1});
+
+        EXPECT_FALSE(tlb->lookup(gbase + 0x1000, false).hit);
+        EXPECT_FALSE(
+            tlb->lookup(gbase + 3 * PageBytes2M + 0x2000, false).hit);
+        EXPECT_TRUE(
+            tlb->lookup(gbase + PageBytes1G + 0x1000, false).hit)
+            << "entry outside the 1GB window was dropped";
+    }
+}
+
+TEST(RangeInvalidate, GigapageWindowDrops2mLeaves)
+{
+    // Designs that cache 2MB leaves must drop them under a 1GB-sized
+    // shootdown (1GB -> 512 x 2MB demotion re-walks every child).
+    stats::StatGroup root("test");
+    constexpr VAddr gbase = 4 * GiB;
+    FullyAssocTlb fa("fa", &root, 32,
+                     std::initializer_list<PageSize>{PageSize::Size4K,
+                                                     PageSize::Size2M});
+    MixTlb mix("mix", &root, MixTlbParams{});
+    std::vector<BaseTlb *> tlbs{&fa, &mix};
+    for (BaseTlb *tlb : tlbs) {
+        tlb->setAsid(1);
+        tlb->fill(simpleFill(xlate2m(gbase + 5 * PageBytes2M, 0x0)));
+        tlb->fill(simpleFill(
+            xlate2m(gbase + PageBytes1G, PageBytes2M)));
+        tlb->invalidate(gbase, PageSize::Size1G, Asid{1});
+        EXPECT_FALSE(tlb->lookup(gbase + 5 * PageBytes2M, false).hit);
+        EXPECT_TRUE(tlb->lookup(gbase + PageBytes1G + 64, false).hit);
+    }
+}
+
+TEST(RangeInvalidate, SmallShootdownKillsStaleSuperpageEntry)
+{
+    // The reverse direction: after a demotion the OS may unmap one 4KB
+    // page of the ex-superpage and fire a 4KB shootdown. Any cached
+    // 2MB entry overlapping it is stale and must die too.
+    stats::StatGroup root("test");
+    constexpr VAddr region = 0x00400000;
+    FullyAssocTlb fa("fa", &root, 32,
+                     std::initializer_list<PageSize>{PageSize::Size4K,
+                                                     PageSize::Size2M});
+    MixTlb mix("mix", &root, MixTlbParams{});
+    std::vector<BaseTlb *> tlbs{&fa, &mix};
+    for (BaseTlb *tlb : tlbs) {
+        tlb->setAsid(1);
+        tlb->fill(simpleFill(xlate2m(region, 0x0)));
+        ASSERT_TRUE(tlb->lookup(region + 0x7000, false).hit);
+        tlb->invalidate(region + 0x7000, PageSize::Size4K, Asid{1});
+        EXPECT_FALSE(tlb->lookup(region + 0x7000, false).hit);
+        EXPECT_FALSE(tlb->lookup(region, false).hit);
+    }
+}
+
+TEST(Colt, SmallInvalidateTrimsCoalescedRunMidway)
+{
+    // Reclaim drops single 4KB pages out of demoted regions; a COLT
+    // bundle holding the dropped page must be trimmed, with its
+    // neighbours staying resident.
+    mem::PhysMem mem{256 * MiB};
+    pt::PageTable table{mem};
+    stats::StatGroup root("test");
+    pt::Walker walker{table, &root};
+    for (int i = 0; i < 4; i++) {
+        table.map(0x10000 + i * PageBytes4K, 0x800000 + i * PageBytes4K,
+                  PageSize::Size4K);
+        walker.walk(0x10000 + i * PageBytes4K, false);
+    }
+    ColtTlb tlb("colt", &root, 32, 4, PageSize::Size4K, 4);
+    auto walk = walker.walk(0x10000, false);
+    FillInfo fill;
+    fill.leaf = *walk.leaf;
+    fill.vaddr = 0x10000;
+    fill.walk = &walk;
+    tlb.fill(fill);
+    ASSERT_EQ(tlb.lookup(0x10000, false).bundle->count, 4u);
+
+    tlb.invalidate(0x11000, PageSize::Size4K);
+
+    EXPECT_TRUE(tlb.lookup(0x10000, false).hit);
+    EXPECT_FALSE(tlb.lookup(0x11000, false).hit);
+    EXPECT_TRUE(tlb.lookup(0x12000, false).hit);
+    EXPECT_TRUE(tlb.lookup(0x13000, false).hit);
+}
+
+TEST(Colt, RangeInvalidatePartiallyOverlappingRun)
+{
+    // Colt++ over 2MB pages: a coalesced run of two superpages where a
+    // demotion shoots down only the second. The run must be trimmed,
+    // not dropped whole (partial window overlap).
+    mem::PhysMem mem{1 * GiB};
+    pt::PageTable table{mem};
+    stats::StatGroup root("test");
+    pt::Walker walker{table, &root};
+    for (int i = 0; i < 2; i++) {
+        table.map(0x00400000 + i * PageBytes2M, i * PageBytes2M,
+                  PageSize::Size2M);
+        walker.walk(0x00400000 + i * PageBytes2M, false);
+    }
+    ColtTlb tlb("colt2m", &root, 8, 4, PageSize::Size2M, 2);
+    auto walk = walker.walk(0x00400000, false);
+    FillInfo fill;
+    fill.leaf = *walk.leaf;
+    fill.vaddr = 0x00400000;
+    fill.walk = &walk;
+    tlb.fill(fill);
+    ASSERT_TRUE(tlb.lookup(0x00600000, false).hit);
+
+    tlb.invalidate(0x00600000, PageSize::Size2M);
+
+    EXPECT_TRUE(tlb.lookup(0x00400000, false).hit)
+        << "trimming the run dropped the surviving superpage";
+    EXPECT_FALSE(tlb.lookup(0x00600000, false).hit);
+}
+
+TEST(Mix, SuperpageInvalidateDropsAllMirrorCopies)
+{
+    // MIX fills superpages into every set (mirrors), and a dirty store
+    // rides the burst-write path to update them all. A demotion's
+    // single 2MB shootdown must kill every mirror — a stale copy in
+    // any set would translate into freed (or re-used) frames.
+    stats::StatGroup root("test");
+    constexpr VAddr region = 0x00400000;
+    MixTlb tlb("mix", &root, MixTlbParams{});
+    tlb.setAsid(1);
+
+    FillInfo fill = simpleFill(xlate2m(region, 0x0));
+    fill.vaddr = region + 0x1000;
+    tlb.fill(fill);
+    // A second demanded offset in another 4KB chunk: with small-page
+    // index bits this exercises a different set's mirror.
+    FillInfo second = simpleFill(xlate2m(region, 0x0));
+    second.vaddr = region + 0x5000;
+    tlb.fill(second);
+    // Dirty the bundle through one mirror.
+    ASSERT_TRUE(tlb.lookup(region + 0x1000, true).hit);
+    ASSERT_TRUE(tlb.lookup(region + 0x5000, false).hit);
+
+    tlb.invalidate(region, PageSize::Size2M, Asid{1});
+
+    for (VAddr off = 0; off < PageBytes2M; off += 64 * PageBytes4K)
+        EXPECT_FALSE(tlb.lookup(region + off, false).hit) << off;
+
+    contracts::AuditReport report;
+    tlb.auditSets(report);
+    EXPECT_TRUE(report.violations().empty());
+}

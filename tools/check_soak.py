@@ -12,6 +12,16 @@ then this script proves the degradation was *graceful*:
   bounded      quarantined points, if any, are a strict minority and
                each carries a structured error record
 
+Reports produced with demotion storms (`--demote-storm R`, or
+demote-storm in the --inject schedule) additionally prove the
+memory-pressure lifecycle was live and harmless:
+
+  stormed      the demote-storm site actually fired
+  cycled       superpage demotions and page reclaims were recorded
+  precise      no point was quarantined: every storm's shootdowns left
+               the TLBs coherent (the paranoia oracle would have
+               quarantined the point otherwise)
+
 Usage: tools/check_soak.py <report.json>   (exit 0 clean, 1 otherwise)
 """
 
@@ -76,10 +86,32 @@ def main() -> None:
             "failures did not reach the OS degradation path"
         )
 
+    stormed = report.get("demote_storm", 0) > 0 or "demote-storm" in report.get(
+        "inject", ""
+    )
+    lifecycle = ""
+    if stormed:
+        if fires.get("demote-storm", 0) == 0:
+            fail("demote-storm never fired despite being injected")
+        demotions = sum(
+            r.get("metrics", {}).get("demotions", 0) for r in ok
+        )
+        reclaims = sum(r.get("metrics", {}).get("reclaims", 0) for r in ok)
+        if demotions == 0:
+            fail("storms fired but no superpage demotions were recorded")
+        if reclaims == 0:
+            fail("storms fired but no page reclaims were recorded")
+        if failed:
+            fail(
+                f"{len(failed)} points quarantined under demotion "
+                "storms -- the lifecycle was not harmless"
+            )
+        lifecycle = f", demotions={demotions:.0f}, reclaims={reclaims:.0f}"
+
     print(
         f"check_soak: OK: {len(ok)}/{len(results)} points completed, "
         f"{len(failed)} quarantined, fires={fires}, "
-        f"thp_fallbacks={fallbacks:.0f}"
+        f"thp_fallbacks={fallbacks:.0f}{lifecycle}"
     )
 
 
