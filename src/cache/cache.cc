@@ -21,45 +21,60 @@ Cache::Cache(const CacheParams &params, stats::StatGroup *parent)
              "cache geometry does not divide evenly");
     numSets_ = lines / params.assoc;
     lineShift_ = floorLog2(params.lineBytes);
-    sets_.resize(numSets_);
+    tags_.resize(numSets_ * params.assoc);
+    fill_.assign(numSets_, 0);
     stats_.addFormula("miss_rate", "miss fraction", [this] {
         double total = hits_.value() + misses_.value();
         return total > 0 ? misses_.value() / total : 0.0;
     });
 }
 
+// mixcheck: hot
 bool
 Cache::access(PAddr paddr, bool write)
 {
     (void)write; // functional model: reads and writes behave alike
-    std::uint64_t tag = tagOf(paddr);
-    auto &set = sets_[setOf(tag)];
-    auto it = std::find(set.begin(), set.end(), tag);
-    if (it != set.end()) {
-        set.splice(set.begin(), set, it); // move to MRU
+    const std::uint64_t tag = tagOf(paddr);
+    const std::uint64_t set = setOf(tag);
+    std::uint64_t *w = tags_.data() + set * params_.assoc;
+    const std::uint32_t n = fill_[set];
+    for (std::uint32_t i = 0; i < n; ++i) {
+        if (w[i] != tag)
+            continue;
+        for (std::uint32_t j = i; j > 0; --j) // move to MRU
+            w[j] = w[j - 1];
+        w[0] = tag;
         ++hits_;
         return true;
     }
     ++misses_;
-    set.push_front(tag);
-    if (set.size() > params_.assoc)
-        set.pop_back();
+    // Install at MRU, shifting the window right (the LRU tag in a full
+    // set falls off the end — identical to push_front + pop_back).
+    const std::uint32_t grown = n < params_.assoc ? n + 1 : n;
+    for (std::uint32_t j = grown - 1; j > 0; --j)
+        w[j] = w[j - 1];
+    w[0] = tag;
+    fill_[set] = grown;
     return false;
 }
 
 bool
 Cache::contains(PAddr paddr) const
 {
-    std::uint64_t tag = tagOf(paddr);
-    const auto &set = sets_[setOf(tag)];
-    return std::find(set.begin(), set.end(), tag) != set.end();
+    const std::uint64_t tag = tagOf(paddr);
+    const std::uint64_t set = setOf(tag);
+    const std::uint64_t *w = tags_.data() + set * params_.assoc;
+    for (std::uint32_t i = 0; i < fill_[set]; ++i) {
+        if (w[i] == tag)
+            return true;
+    }
+    return false;
 }
 
 void
 Cache::flush()
 {
-    for (auto &set : sets_)
-        set.clear();
+    std::fill(fill_.begin(), fill_.end(), 0u);
 }
 
 CacheHierarchy::CacheHierarchy(const HierarchyParams &params,

@@ -11,9 +11,7 @@
 #define MIXTLB_CACHE_CACHE_HH
 
 #include <cstdint>
-#include <list>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/stats.hh"
@@ -58,8 +56,16 @@ class Cache
     std::uint64_t numSets_;
     unsigned lineShift_;
 
-    /** Per-set tag store in LRU order (front = MRU). */
-    std::vector<std::list<std::uint64_t>> sets_;
+    /**
+     * Flat tag store: set s owns the window
+     * tags_[s * assoc, s * assoc + fill_[s]) in LRU order (front =
+     * MRU). Same ordering semantics as a per-set list, laid out
+     * contiguously so the probe scan and MRU shift stay within one or
+     * two cache lines (assoc <= 16) instead of chasing list nodes.
+     */
+    std::vector<std::uint64_t> tags_;
+    /** Live entries per set. */
+    std::vector<std::uint32_t> fill_;
 
     stats::StatGroup stats_;
     stats::Scalar &hits_;

@@ -185,6 +185,15 @@ fire(Site site)
 }
 
 bool
+armed(Site site)
+{
+    FaultScope *scope = g_scope;
+    return scope &&
+           scope->session_
+                   .thresholds[static_cast<std::size_t>(site)] != 0;
+}
+
+bool
 deadlineExpired()
 {
     FaultScope *scope = g_scope;

@@ -123,6 +123,7 @@ class FaultScope
     };
 
     friend bool fire(Site site);
+    friend bool armed(Site site);
     friend bool deadlineExpired();
 
     Session session_;
@@ -134,6 +135,14 @@ class FaultScope
  * when no FaultScope is active on this thread or the site is off.
  */
 bool fire(Site site);
+
+/**
+ * True if a FaultScope is active on this thread and @p site has a
+ * nonzero rate. fire() on an unarmed site is side-effect-free (it
+ * consumes no draw), so hot loops may hoist this check and skip the
+ * per-event fire() call entirely without perturbing the schedule.
+ */
+bool armed(Site site);
 
 /** True if the active scope's deadline is armed and has passed. */
 bool deadlineExpired();

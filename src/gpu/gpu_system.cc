@@ -45,12 +45,10 @@ GpuSystem::run(
                 std::min<std::uint64_t>(params_.warpRefs,
                                         total_refs - issued));
             per_core[core]->nextBatch(warp.data(), turn);
-            for (std::size_t i = 0; i < turn; i++) {
-                auto result = cores_[core]->access(
-                    warp[i].vaddr, warp[i].type == AccessType::Write);
-                fatal_if(!result.ok, "GPU access failed (host OOM?)");
-                cycles += result.cycles;
-            }
+            auto br = cores_[core]->translateBatch(
+                {warp.data(), turn}, false);
+            fatal_if(!br.ok, "GPU access failed (host OOM?)");
+            cycles += br.cycles;
             issued += turn;
         }
     }

@@ -86,23 +86,16 @@ Machine::run(workload::TraceGenerator &gen, std::uint64_t refs)
             std::min<std::uint64_t>(
                 CheckPeriod - (done & (CheckPeriod - 1)), refs - done));
         gen.nextBatch(batch, chunk);
-        std::uint64_t data_cycles = 0;
-        std::size_t i = 0;
-        for (; i < chunk; i++) {
-            const bool is_store = batch[i].type == AccessType::Write;
-            auto result = hier_->access(batch[i].vaddr, is_store);
-            if (!result.ok) {
-                warn("machine %s out of memory after %llu refs",
-                     params_.name.c_str(),
-                     (unsigned long long)(done + i));
-                oom = true;
-                break;
-            }
-            if (data_through_caches)
-                data_cycles += caches_.access(result.paddr, is_store);
+        auto br = hier_->translateBatch({batch, chunk},
+                                        data_through_caches);
+        if (!br.ok) {
+            warn("machine %s out of memory after %llu refs",
+                 params_.name.c_str(),
+                 (unsigned long long)(done + br.done));
+            oom = true;
         }
-        done += i;
-        dataCycles_ += data_cycles;
+        done += br.done;
+        dataCycles_ += br.dataCycles;
         if (oom)
             break;
         if ((done & (CheckPeriod - 1)) == 0) {
@@ -355,22 +348,15 @@ VirtMachine::run(unsigned vm, workload::TraceGenerator &gen,
             std::min<std::uint64_t>(
                 CheckPeriod - (done & (CheckPeriod - 1)), refs - done));
         gen.nextBatch(batch, chunk);
-        std::uint64_t data_cycles = 0;
-        std::size_t i = 0;
-        for (; i < chunk; i++) {
-            const bool is_store = batch[i].type == AccessType::Write;
-            auto result = hier.access(batch[i].vaddr, is_store);
-            if (!result.ok) {
-                warn("vm %u out of memory after %llu refs", vm,
-                     (unsigned long long)(done + i));
-                oom = true;
-                break;
-            }
-            if (data_through_caches)
-                data_cycles += caches_.access(result.paddr, is_store);
+        auto br = hier.translateBatch({batch, chunk},
+                                      data_through_caches);
+        if (!br.ok) {
+            warn("vm %u out of memory after %llu refs", vm,
+                 (unsigned long long)(done + br.done));
+            oom = true;
         }
-        done += i;
-        dataCycles_ += data_cycles;
+        done += br.done;
+        dataCycles_ += br.dataCycles;
         if (oom)
             break;
         if ((done & (CheckPeriod - 1)) == 0 &&

@@ -227,24 +227,16 @@ MultiMachine::runSlice(unsigned proc, std::uint64_t refs)
                 MultiCheckPeriod - (done & (MultiCheckPeriod - 1)),
                 refs - done));
         gen.nextBatch(batch, chunk);
-        std::uint64_t data_cycles = 0;
-        std::size_t i = 0;
+        auto br = hier_->translateBatch({batch, chunk},
+                                        data_through_caches);
         bool oom = false;
-        for (; i < chunk; i++) {
-            const bool is_store = batch[i].type == AccessType::Write;
-            auto result = hier_->access(batch[i].vaddr, is_store);
-            if (!result.ok) {
-                warn("machine %s: process %u out of memory, parking "
-                     "it",
-                     params_.name.c_str(), proc);
-                oom = true;
-                break;
-            }
-            if (data_through_caches)
-                data_cycles += caches_.access(result.paddr, is_store);
+        if (!br.ok) {
+            warn("machine %s: process %u out of memory, parking it",
+                 params_.name.c_str(), proc);
+            oom = true;
         }
-        done += i;
-        dataCycles_ += data_cycles;
+        done += br.done;
+        dataCycles_ += br.dataCycles;
         if (oom)
             break;
         if ((done & (MultiCheckPeriod - 1)) == 0 &&

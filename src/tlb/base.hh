@@ -81,6 +81,17 @@ struct FillInfo
     std::optional<BundleInfo> bundle;
 };
 
+/**
+ * Process-wide switch selecting the reference full-predicate entry
+ * scan instead of the SoA tag-lane scan in the designs that support
+ * both. Latched by each TLB at construction (a ctor flag, not a
+ * per-lookup branch); the two scans are bit-exact by construction, so
+ * this exists for the differential property tests and debugging only.
+ * Flip it before building the machine under test.
+ */
+void setReferenceScanEnabled(bool enabled);
+bool referenceScanEnabled();
+
 /** Abstract TLB. */
 class BaseTlb
 {
@@ -131,6 +142,47 @@ class BaseTlb
      * the entry's dirty bit where the design allows it (Sec. 4.4).
      */
     virtual void markDirty(VAddr vaddr) = 0;
+
+    /**
+     * Replay contract for the hierarchy's L0 MRU translation filter.
+     * Must be called immediately after lookup() returned @p result for
+     * @p vaddr, before any other operation on this structure. A true
+     * return promises that — absent intervening mutation (fill /
+     * invalidate / invalidateAll / invalidateAsid / setAsid /
+     * markDirty / another lookup) — repeating the lookup with ANY
+     * address in the 4KB page containing @p vaddr would (a) return a
+     * TlbLookup identical in every field except the translated offset
+     * and (b) leave the structure bit-identical: on a hit the matched
+     * entry is already at the MRU front, so the LRU rotate is a no-op,
+     * and on a miss nothing moves. Designs whose lookups mutate state
+     * beyond the MRU rotation (skew clocks/timestamps, size-predictor
+     * training, duplicate-mirror collapse) must return false for the
+     * affected outcomes. The default is conservatively ineligible.
+     */
+    virtual bool
+    replayable(const TlbLookup &result, VAddr vaddr) const
+    {
+        (void)result;
+        (void)vaddr;
+        return false;
+    }
+
+    /**
+     * Account @p n replayed lookups of @p result without probing: the
+     * exact stat evolution n repeat lookup() calls would have had,
+     * with no array scan and no state change. Composite structures
+     * override this to replay their components' sub-lookups too.
+     */
+    virtual void
+    replayLookup(const TlbLookup &result, std::uint64_t n = 1)
+    {
+        if (result.hit)
+            hits_ += n;
+        else
+            misses_ += n;
+        probesTotal_ += result.probes * n;
+        waysReadTotal_ += result.waysRead * n;
+    }
 
     /** Can this structure hold pages of @p size? */
     virtual bool supports(PageSize size) const = 0;

@@ -12,7 +12,7 @@ ColtTlb::ColtTlb(const std::string &name, stats::StatGroup *parent,
                  std::uint64_t entries, unsigned assoc, PageSize size,
                  unsigned group)
     : BaseTlb(name, parent), entries_(entries), assoc_(assoc),
-      size_(size), group_(group)
+      size_(size), group_(group), referenceScan_(referenceScanEnabled())
 {
     fatal_if(assoc == 0 || entries == 0 || entries % assoc != 0,
              "COLT TLB geometry does not divide evenly");
@@ -36,13 +36,16 @@ ColtTlb::lookup(VAddr vaddr, bool is_store)
     auto slot = static_cast<unsigned>((pageBase(vaddr, size_) - wbase)
                                       / page);
     auto &set = sets_[setOf(vaddr)];
-    auto it = std::find_if(set.begin(), set.end(), [&](const Entry &e) {
+    const auto confirm = [&](const Entry &e) {
         return e.wbase == wbase && e.asid == asid_ &&
                ((e.bitmap >> (slot & 31)) & 1);
-    });
-    if (it != set.end()) {
-        std::rotate(set.begin(), it, it + 1); // move to MRU
-        const Entry &entry = set.front();
+    };
+    std::size_t i = referenceScan_
+                        ? set.findIf(confirm)
+                        : set.findTag(tagOf(wbase, asid_), confirm);
+    if (i != TagLaneSet<Entry>::npos) {
+        set.rotateToFront(i); // move to MRU
+        const Entry &entry = set.payload(0);
         result.hit = true;
         result.xlate.size = size_;
         result.xlate.vbase = pageBase(vaddr, size_);
@@ -124,20 +127,24 @@ ColtTlb::fill(const FillInfo &fill)
     entry.dirty = all_dirty;
 
     auto &set = sets_[setOf(leaf.vbase)];
-    auto it = std::find_if(set.begin(), set.end(), [&](const Entry &e) {
+    const auto confirm = [&](const Entry &e) {
         return e.wbase == entry.wbase && e.wpbase == entry.wpbase &&
                e.asid == entry.asid && e.perms == entry.perms;
-    });
-    if (it != set.end()) {
-        it->bitmap |= entry.bitmap;
-        it->dirty = it->dirty && entry.dirty;
-        std::rotate(set.begin(), it, it + 1); // move to MRU
+    };
+    const std::uint64_t tag = tagOf(entry.wbase, entry.asid);
+    std::size_t i = referenceScan_ ? set.findIf(confirm)
+                                   : set.findTag(tag, confirm);
+    if (i != TagLaneSet<Entry>::npos) {
+        Entry &e = set.payload(i);
+        e.bitmap |= entry.bitmap;
+        e.dirty = e.dirty && entry.dirty;
+        set.rotateToFront(i); // move to MRU
         ++coalesces_;
         return;
     }
-    set.insert(set.begin(), entry);
+    set.insertFront(tag, entry);
     if (set.size() > assoc_)
-        set.pop_back();
+        set.popBack();
     ++fills_;
 }
 
@@ -150,16 +157,12 @@ ColtTlb::invalidate(VAddr vbase, PageSize size, Asid asid)
         VAddr wbase = windowBase(vbase);
         auto slot = static_cast<unsigned>((vbase - wbase) / page);
         auto &set = sets_[setOf(vbase)];
-        for (auto it = set.begin(); it != set.end();) {
-            if (it->wbase == wbase && it->asid == asid) {
-                it->bitmap &= ~(1u << (slot & 31));
-                if (it->bitmap == 0) {
-                    it = set.erase(it);
-                    continue;
-                }
-            }
-            ++it;
-        }
+        set.eraseIf([&](Entry &e) {
+            if (e.wbase != wbase || e.asid != asid)
+                return false;
+            e.bitmap &= ~(1u << (slot & 31));
+            return e.bitmap == 0;
+        });
         return;
     }
     // Cross-size shootdown (superpage demotion/re-promotion): drop
@@ -170,24 +173,19 @@ ColtTlb::invalidate(VAddr vbase, PageSize size, Asid asid)
     const VAddr lo = vbase;
     const VAddr hi = vbase + pageBytes(size);
     for (auto &set : sets_) {
-        for (auto it = set.begin(); it != set.end();) {
+        set.eraseIf([&](Entry &e) {
             const std::uint64_t span =
                 static_cast<std::uint64_t>(group_) * page;
-            if (it->asid == asid && it->wbase < hi &&
-                it->wbase + span > lo) {
-                for (unsigned slot = 0; slot < group_; slot++) {
-                    VAddr sbase =
-                        it->wbase + static_cast<std::uint64_t>(slot) * page;
-                    if (sbase < hi && sbase + page > lo)
-                        it->bitmap &= ~(1u << (slot & 31));
-                }
-                if (it->bitmap == 0) {
-                    it = set.erase(it);
-                    continue;
-                }
+            if (e.asid != asid || e.wbase >= hi || e.wbase + span <= lo)
+                return false;
+            for (unsigned slot = 0; slot < group_; slot++) {
+                VAddr sbase =
+                    e.wbase + static_cast<std::uint64_t>(slot) * page;
+                if (sbase < hi && sbase + page > lo)
+                    e.bitmap &= ~(1u << (slot & 31));
             }
-            ++it;
-        }
+            return e.bitmap == 0;
+        });
     }
 }
 
@@ -204,7 +202,7 @@ ColtTlb::invalidateAsid(Asid asid)
 {
     ++invalidations_;
     for (auto &set : sets_)
-        std::erase_if(set, [&](const Entry &e) { return e.asid == asid; });
+        set.eraseIf([&](const Entry &e) { return e.asid == asid; });
 }
 
 void
@@ -212,7 +210,8 @@ ColtTlb::markDirty(VAddr vaddr)
 {
     VAddr wbase = windowBase(pageBase(vaddr, size_));
     auto &set = sets_[setOf(vaddr)];
-    for (auto &entry : set) {
+    for (std::size_t i = 0; i < set.size(); ++i) {
+        Entry &entry = set.payload(i);
         if (entry.wbase != wbase || entry.asid != asid_)
             continue;
         if (std::popcount(entry.bitmap) == 1)

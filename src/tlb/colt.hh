@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "tlb/base.hh"
+#include "tlb/tag_lane.hh"
 
 namespace mixtlb::tlb
 {
@@ -43,6 +44,19 @@ class ColtTlb : public BaseTlb
     std::uint64_t numEntries() const override { return entries_; }
     unsigned numWays() const override { return assoc_; }
 
+    /**
+     * Within one 4KB page the probed window, slot, and synthesized
+     * bundle are all constant (size_ >= 4KB), and a hit leaves its
+     * entry at the MRU front — both outcomes replay.
+     */
+    bool
+    replayable(const TlbLookup &result, VAddr vaddr) const override
+    {
+        (void)result;
+        (void)vaddr;
+        return true;
+    }
+
   private:
     struct Entry
     {
@@ -59,10 +73,24 @@ class ColtTlb : public BaseTlb
     PageSize size_;
     unsigned group_;
     std::uint64_t numSets_;
-    /** Per-set entries in LRU order (front = MRU); each vector is
+    /** Ctor-latched referenceScanEnabled(): full-predicate scans. */
+    bool referenceScan_;
+    /** Per-set SoA ways in LRU order (front = MRU); each lane is
      *  reserved to assoc_ + 1 at construction so the hot path never
      *  reallocates. */
-    std::vector<std::vector<Entry>> sets_;
+    std::vector<TagLaneSet<Entry>> sets_;
+
+    /**
+     * Tag lane packing: wbase is window-aligned (>= 4KB), so the low
+     * 12 bits are free for the ASID. Entries sharing (wbase, asid)
+     * but differing in anchor/perms/bitmap share a tag; the confirm
+     * predicates disambiguate.
+     */
+    static std::uint64_t
+    tagOf(VAddr wbase, Asid asid)
+    {
+        return ((wbase >> PageShift4K) << 16) | asid;
+    }
 
     std::uint64_t
     setOf(VAddr vaddr) const

@@ -10,7 +10,8 @@ namespace mixtlb::tlb
 HashRehashTlb::HashRehashTlb(const std::string &name,
                              stats::StatGroup *parent,
                              const HashRehashParams &params)
-    : BaseTlb(name, parent), params_(params)
+    : BaseTlb(name, parent), params_(params),
+      referenceScan_(referenceScanEnabled())
 {
     fatal_if(params.assoc == 0 || params.entries == 0 ||
              params.entries % params.assoc != 0,
@@ -34,18 +35,28 @@ HashRehashTlb::supports(PageSize size) const
            != params_.sizes.end();
 }
 
+std::size_t
+HashRehashTlb::find(TagLaneSet<Entry> &set, std::uint64_t vpn,
+                    PageSize size) const
+{
+    const auto confirm = [&](const Entry &e) {
+        return e.size == size && e.vpn == vpn && e.asid == asid_;
+    };
+    if (referenceScan_)
+        return set.findIf(confirm);
+    return set.findTag(tagOf(vpn, size, asid_), confirm);
+}
+
 HashRehashTlb::Entry *
 HashRehashTlb::probe(VAddr vaddr, PageSize size)
 {
     auto &set = sets_[setOf(vaddr, size)];
     std::uint64_t vpn = vpnOf(vaddr, size);
-    auto it = std::find_if(set.begin(), set.end(), [&](const Entry &e) {
-        return e.size == size && e.vpn == vpn && e.asid == asid_;
-    });
-    if (it == set.end())
+    std::size_t i = find(set, vpn, size);
+    if (i == TagLaneSet<Entry>::npos)
         return nullptr;
-    std::rotate(set.begin(), it, it + 1); // move to MRU
-    return &set.front();
+    set.rotateToFront(i); // move to MRU
+    return &set.payload(0);
 }
 
 // mixcheck: hot
@@ -99,19 +110,18 @@ HashRehashTlb::fill(const FillInfo &fill)
              pageSizeName(fill.leaf.size));
     std::uint64_t vpn = fill.leaf.vpn();
     auto &set = sets_[setOf(fill.leaf.vbase, fill.leaf.size)];
-    auto it = std::find_if(set.begin(), set.end(), [&](const Entry &e) {
-        return e.size == fill.leaf.size && e.vpn == vpn &&
-               e.asid == asid_;
-    });
-    if (it != set.end()) {
-        it->xlate = fill.leaf;
-        it->dirty = fill.leaf.dirty;
-        std::rotate(set.begin(), it, it + 1); // move to MRU
+    std::size_t i = find(set, vpn, fill.leaf.size);
+    if (i != TagLaneSet<Entry>::npos) {
+        Entry &e = set.payload(i);
+        e.xlate = fill.leaf;
+        e.dirty = fill.leaf.dirty;
+        set.rotateToFront(i); // move to MRU
     } else {
-        set.insert(set.begin(), Entry{fill.leaf.size, vpn, asid_,
-                                      fill.leaf, fill.leaf.dirty});
+        set.insertFront(tagOf(vpn, fill.leaf.size, asid_),
+                        Entry{fill.leaf.size, vpn, asid_, fill.leaf,
+                              fill.leaf.dirty});
         if (set.size() > params_.assoc)
-            set.pop_back();
+            set.popBack();
         ++fills_;
     }
     if (predictor_) {
@@ -130,7 +140,7 @@ HashRehashTlb::invalidate(VAddr vbase, PageSize size, Asid asid)
         // An entry of the shot-down size hashes to one known set.
         std::uint64_t vpn = vpnOf(vbase, size);
         auto &set = sets_[setOf(vbase, size)];
-        std::erase_if(set, [&](const Entry &e) {
+        set.eraseIf([&](const Entry &e) {
             return e.size == size && e.vpn == vpn && e.asid == asid;
         });
     }
@@ -141,7 +151,7 @@ HashRehashTlb::invalidate(VAddr vbase, PageSize size, Asid asid)
     const VAddr lo = vbase;
     const VAddr hi = vbase + pageBytes(size);
     for (auto &set : sets_) {
-        std::erase_if(set, [&](const Entry &e) {
+        set.eraseIf([&](const Entry &e) {
             if (e.size == size || e.asid != asid)
                 return false;
             const VAddr ebase = e.xlate.vbase;
@@ -163,7 +173,7 @@ HashRehashTlb::invalidateAsid(Asid asid)
 {
     ++invalidations_;
     for (auto &set : sets_)
-        std::erase_if(set, [&](const Entry &e) { return e.asid == asid; });
+        set.eraseIf([&](const Entry &e) { return e.asid == asid; });
 }
 
 void
@@ -172,7 +182,8 @@ HashRehashTlb::markDirty(VAddr vaddr)
     for (PageSize size : params_.sizes) {
         auto &set = sets_[setOf(vaddr, size)];
         std::uint64_t vpn = vpnOf(vaddr, size);
-        for (auto &entry : set) {
+        for (std::size_t i = 0; i < set.size(); ++i) {
+            Entry &entry = set.payload(i);
             if (entry.size == size && entry.vpn == vpn &&
                 entry.asid == asid_)
                 entry.dirty = true;

@@ -17,6 +17,7 @@
 
 #include "tlb/base.hh"
 #include "tlb/predictor.hh"
+#include "tlb/tag_lane.hh"
 
 namespace mixtlb::tlb
 {
@@ -52,6 +53,20 @@ class HashRehashTlb : public BaseTlb
     std::uint64_t numEntries() const override { return params_.entries; }
     unsigned numWays() const override { return params_.assoc; }
 
+    /**
+     * Without a predictor the probe order is fixed and every probed
+     * VPN is constant across a 4KB page, so the probe sequence, the
+     * outcome, and the (no-op) MRU rotate all repeat. Predictor
+     * lookups train on every hit — never replayable.
+     */
+    bool
+    replayable(const TlbLookup &result, VAddr vaddr) const override
+    {
+        (void)result;
+        (void)vaddr;
+        return !predictor_;
+    }
+
     const SizePredictor *predictor() const { return predictor_.get(); }
 
   private:
@@ -66,10 +81,12 @@ class HashRehashTlb : public BaseTlb
 
     HashRehashParams params_;
     std::uint64_t numSets_;
-    /** Per-set entries in LRU order (front = MRU); each vector is
+    /** Ctor-latched referenceScanEnabled(): full-predicate scans. */
+    bool referenceScan_;
+    /** Per-set SoA ways in LRU order (front = MRU); each lane is
      *  reserved to assoc + 1 at construction so the hot path never
      *  reallocates. */
-    std::vector<std::vector<Entry>> sets_;
+    std::vector<TagLaneSet<Entry>> sets_;
     std::unique_ptr<SizePredictor> predictor_;
     /** Reusable probe-order scratch (no per-lookup heap allocation). */
     std::vector<PageSize> probeOrder_;
@@ -79,6 +96,19 @@ class HashRehashTlb : public BaseTlb
     {
         return vpnOf(vaddr, size) % numSets_;
     }
+
+    /** Tag lane packing: collisions confirmed against the payload. */
+    static std::uint64_t
+    tagOf(std::uint64_t vpn, PageSize size, Asid asid)
+    {
+        return (vpn << 20) |
+               (std::uint64_t(static_cast<unsigned>(size)) << 16) |
+               asid;
+    }
+
+    /** First way matching (size, vpn, asid) in @p set, or npos. */
+    std::size_t find(TagLaneSet<Entry> &set, std::uint64_t vpn,
+                     PageSize size) const;
 
     /** Probe one set for one assumed size; returns the entry or null. */
     Entry *probe(VAddr vaddr, PageSize size);

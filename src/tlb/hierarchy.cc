@@ -1,11 +1,30 @@
 #include "hierarchy.hh"
 
+#include <atomic>
+
 #include "common/fault.hh"
 #include "common/intmath.hh"
 #include "common/logging.hh"
 
 namespace mixtlb::tlb
 {
+
+namespace
+{
+std::atomic<bool> g_l0_filter_enabled{true};
+} // namespace
+
+void
+setL0FilterEnabled(bool enabled)
+{
+    g_l0_filter_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+l0FilterEnabled()
+{
+    return g_l0_filter_enabled.load(std::memory_order_relaxed);
+}
 
 /**
  * Injected walk-latency spike (fault::Site::WalkLatency): the extra
@@ -106,10 +125,59 @@ TlbHierarchy::oracleCheck(VAddr vaddr, PAddr paddr)
                (unsigned long long)(ref ? *ref : 0));
 }
 
-// mixcheck: hot
+void
+TlbHierarchy::refreshHotState()
+{
+    paranoia_ = contracts::paranoia();
+    walkSpikeArmed_ = fault::armed(fault::Site::WalkLatency);
+    filterOn_ = l0FilterEnabled();
+    if (!filterOn_)
+        filter_.valid = false;
+}
+
 TlbHierarchy::AccessResult
 TlbHierarchy::access(VAddr vaddr, bool is_store)
 {
+    refreshHotState();
+    return accessImpl(vaddr, is_store);
+}
+
+// mixcheck: hot
+TlbHierarchy::AccessResult
+TlbHierarchy::accessImpl(VAddr vaddr, bool is_store)
+{
+    // L0 MRU filter: a repeat reference into the armed 4KB page
+    // replays the cached hit. The hit design certified (replayable())
+    // that the same lookup repeats bit-identically with a no-op MRU
+    // rotate, so only the counters the full path would bump are
+    // bumped. Stores require the cached entry to already be dirty —
+    // a clean entry means the full path would inject a dirty micro-op,
+    // which mutates TLB and cache state and must really run.
+    if (filter_.valid && vaddr - filter_.lo < PageBytes4K) {
+        const TlbLookup &hit =
+            filter_.l2Path ? filter_.l2Result : filter_.l1Result;
+        if (!is_store || hit.entryDirty) {
+            ++accesses_;
+            AccessResult result;
+            result.paddr = hit.xlate.translate(vaddr);
+            result.cycles = filter_.cycles;
+            l1_->replayLookup(filter_.l1Result);
+            if (filter_.l2Path) {
+                l2_->replayLookup(filter_.l2Result);
+                ++l2Hits_;
+                result.l2Hit = true;
+            } else {
+                ++l1Hits_;
+                result.l1Hit = true;
+            }
+            if (paranoia_ >= 2)
+                oracleCheck(vaddr, result.paddr);
+            translationCycles_ += result.cycles;
+            return result;
+        }
+    }
+    filter_.valid = false;
+
     ++accesses_;
     AccessResult result;
 
@@ -119,11 +187,20 @@ TlbHierarchy::access(VAddr vaddr, bool is_store)
         result.l1Hit = true;
         result.paddr = l1_result.xlate.translate(vaddr);
         result.cycles = params_.l1HitLatency;
-        if (is_store && !l1_result.entryDirty)
+        const bool micro_op = is_store && !l1_result.entryDirty;
+        if (micro_op)
             result.cycles += dirtyMicroOp(vaddr);
-        if (contracts::paranoia() >= 2)
+        if (paranoia_ >= 2)
             oracleCheck(vaddr, result.paddr);
         translationCycles_ += result.cycles;
+        if (filterOn_ && !micro_op &&
+            l1_->replayable(l1_result, vaddr)) {
+            filter_.valid = true;
+            filter_.l2Path = false;
+            filter_.lo = pageBase(vaddr, PageSize::Size4K);
+            filter_.cycles = result.cycles;
+            filter_.l1Result = l1_result;
+        }
         return result;
     }
 
@@ -139,13 +216,30 @@ TlbHierarchy::access(VAddr vaddr, bool is_store)
         refill.leaf = l2_result.xlate;
         refill.vaddr = vaddr;
         refill.bundle = l2_result.bundle;
-        if (l1_->supports(refill.leaf.size))
+        const bool refilled = l1_->supports(refill.leaf.size);
+        if (refilled)
             l1_->fill(refill);
-        if (is_store && !l2_result.entryDirty)
+        const bool micro_op = is_store && !l2_result.entryDirty;
+        if (micro_op)
             result.cycles += dirtyMicroOp(vaddr);
-        if (contracts::paranoia() >= 2)
+        if (paranoia_ >= 2)
             oracleCheck(vaddr, result.paddr);
         translationCycles_ += result.cycles;
+        // Arm only when a replay would repeat both levels exactly: no
+        // L1 refill (it mutated L1), no micro-op, and an L2 exclusive
+        // to this hierarchy (GPU cores share the L2; another core's
+        // traffic would move its LRU under the filter).
+        if (filterOn_ && !refilled && !micro_op &&
+            l2_.use_count() == 1 &&
+            l1_->replayable(l1_result, vaddr) &&
+            l2_->replayable(l2_result, vaddr)) {
+            filter_.valid = true;
+            filter_.l2Path = true;
+            filter_.lo = pageBase(vaddr, PageSize::Size4K);
+            filter_.cycles = result.cycles;
+            filter_.l1Result = l1_result;
+            filter_.l2Result = l2_result;
+        }
         return result;
     }
 
@@ -155,7 +249,7 @@ TlbHierarchy::access(VAddr vaddr, bool is_store)
     ++walks_;
     pt::WalkResult walk = source_.walk(vaddr, is_store);
     result.cycles += chargeWalk(walk);
-    if (fault::fire(fault::Site::WalkLatency))
+    if (walkSpikeArmed_ && fault::fire(fault::Site::WalkLatency))
         result.cycles += WalkLatencySpikeCycles;
     if (walk.pageFault()) {
         ++pageFaults_;
@@ -190,9 +284,76 @@ TlbHierarchy::access(VAddr vaddr, bool is_store)
     return result;
 }
 
+// mixcheck: hot
+TlbHierarchy::BatchResult
+TlbHierarchy::translateBatch(std::span<const MemRef> refs,
+                             bool charge_data)
+{
+    refreshHotState();
+    BatchResult out;
+    out.done = refs.size();
+
+    // Consecutive L0-filter replays accumulate here and flush as one
+    // bulk replayLookup(n) — the designs' counters advance by the same
+    // totals as n individual replays. The flush must precede any full
+    // accessImpl (its lookups overwrite per-component replay state,
+    // e.g. SplitTlb::lastSub_) and the batch's return (callers read
+    // stats between batches).
+    std::uint64_t pending = 0;
+    Cycles fast_cycles = 0;
+    const auto flush = [&] {
+        if (!pending)
+            return;
+        accesses_ += pending;
+        l1_->replayLookup(filter_.l1Result, pending);
+        if (filter_.l2Path) {
+            l2_->replayLookup(filter_.l2Result, pending);
+            l2Hits_ += pending;
+        } else {
+            l1Hits_ += pending;
+        }
+        translationCycles_ += fast_cycles;
+        out.cycles += fast_cycles;
+        pending = 0;
+        fast_cycles = 0;
+    };
+
+    for (std::size_t i = 0; i < refs.size(); ++i) {
+        const VAddr vaddr = refs[i].vaddr;
+        const bool is_store = refs[i].type == AccessType::Write;
+        if (filter_.valid && vaddr - filter_.lo < PageBytes4K) {
+            const TlbLookup &hit =
+                filter_.l2Path ? filter_.l2Result : filter_.l1Result;
+            if (!is_store || hit.entryDirty) {
+                const PAddr paddr = hit.xlate.translate(vaddr);
+                if (paranoia_ >= 2)
+                    oracleCheck(vaddr, paddr);
+                ++pending;
+                fast_cycles += filter_.cycles;
+                if (charge_data)
+                    out.dataCycles += caches_.access(paddr, is_store);
+                continue;
+            }
+        }
+        flush();
+        AccessResult result = accessImpl(vaddr, is_store);
+        out.cycles += result.cycles;
+        if (!result.ok) {
+            out.ok = false;
+            out.done = i;
+            return out;
+        }
+        if (charge_data)
+            out.dataCycles += caches_.access(result.paddr, is_store);
+    }
+    flush();
+    return out;
+}
+
 void
 TlbHierarchy::invalidatePage(VAddr vbase, PageSize size)
 {
+    filter_.valid = false;
     l1_->invalidate(vbase, size);
     l2_->invalidate(vbase, size);
     source_.invalidate(vbase, size);
@@ -201,6 +362,7 @@ TlbHierarchy::invalidatePage(VAddr vbase, PageSize size)
 void
 TlbHierarchy::invalidatePage(VAddr vbase, PageSize size, Asid asid)
 {
+    filter_.valid = false;
     l1_->invalidate(vbase, size, asid);
     l2_->invalidate(vbase, size, asid);
     source_.invalidate(vbase, size);
@@ -209,6 +371,7 @@ TlbHierarchy::invalidatePage(VAddr vbase, PageSize size, Asid asid)
 void
 TlbHierarchy::invalidateAll()
 {
+    filter_.valid = false;
     l1_->invalidateAll();
     l2_->invalidateAll();
 }
@@ -216,6 +379,7 @@ TlbHierarchy::invalidateAll()
 void
 TlbHierarchy::invalidateAsid(Asid asid)
 {
+    filter_.valid = false;
     l1_->invalidateAsid(asid);
     l2_->invalidateAsid(asid);
     source_.invalidateAsid(asid);
@@ -224,6 +388,7 @@ TlbHierarchy::invalidateAsid(Asid asid)
 void
 TlbHierarchy::setAsid(Asid asid)
 {
+    filter_.valid = false;
     l1_->setAsid(asid);
     l2_->setAsid(asid);
 }

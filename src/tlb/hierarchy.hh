@@ -79,6 +79,16 @@ struct TlbHierarchyParams
     Cycles l2HitLatency = 7;
 };
 
+/**
+ * Process-wide switch for the L0 MRU translation filter (on by
+ * default). The filter is semantically lossless — every modeled
+ * statistic and all TLB state evolve bit-identically with it on or
+ * off — so the switch exists only for the differential tests that
+ * prove exactly that, and for debugging.
+ */
+void setL0FilterEnabled(bool enabled);
+bool l0FilterEnabled();
+
 class TlbHierarchy
 {
   public:
@@ -104,6 +114,42 @@ class TlbHierarchy
 
     /** Translate one reference, modelling all side effects. */
     AccessResult access(VAddr vaddr, bool is_store);
+
+    /** Outcome of translateBatch(). */
+    struct BatchResult
+    {
+        /** References fully processed (== refs.size() unless !ok). */
+        std::size_t done = 0;
+        /** False: the ref at index `done` hit an unserviceable fault. */
+        bool ok = true;
+        /** Translation cycles of all processed refs (incl. a failed
+         *  ref's walk cycles, matching access()). */
+        Cycles cycles = 0;
+        /** Data-side cache cycles (only when @p charge_data). */
+        Cycles dataCycles = 0;
+    };
+
+    /**
+     * Translate a batch of references — the fused hot loop of every
+     * run loop. Bit-identical to calling access() per reference (and
+     * caches_.access(paddr, is_store) per reference when
+     * @p charge_data): the per-reference paranoia and fault-site
+     * checks are hoisted to the batch boundary (legal because
+     * contracts::paranoia() and FaultScope arming are fixed while a
+     * run is in flight), and consecutive L0-filter replays batch
+     * their stat updates into one bulk flush per run of repeats.
+     */
+    BatchResult translateBatch(std::span<const MemRef> refs,
+                               bool charge_data);
+
+    /**
+     * Drop the L0 MRU translation filter. The hierarchy invalidates
+     * it on every fill, invalidation, ASID operation, and dirty
+     * micro-op it performs itself; callers that mutate l1()/l2()
+     * directly (tests, mostly) must call this before the next
+     * access() or the filter may replay stale state.
+     */
+    void invalidateFilter() { filter_.valid = false; }
 
     /** Shoot down a page (wire to Process::addInvalidateListener). */
     void invalidatePage(VAddr vbase, PageSize size);
@@ -171,6 +217,39 @@ class TlbHierarchy
     WalkSource &source_;
     cache::CacheHierarchy &caches_;
     TlbHierarchyParams params_;
+
+    /**
+     * The L0 MRU translation filter: a one-entry cache of the last
+     * hit's 4KB page and replay state. While armed, a repeat
+     * reference to the same page short-circuits the TLB probes — the
+     * hit design promised (via BaseTlb::replayable) that replaying
+     * the lookup is a no-op on its state, so the filter only bumps
+     * the same counters the full path would have and re-translates
+     * through the cached entry. Invalidated on every fill,
+     * invalidation, ASID switch, and dirty micro-op.
+     */
+    struct L0Filter
+    {
+        bool valid = false;
+        /** Replays an L1-miss + L2-hit (else an L1 hit). */
+        bool l2Path = false;
+        VAddr lo = 0;      ///< 4KB page base the filter covers
+        Cycles cycles = 0; ///< translation latency per replay
+        TlbLookup l1Result;
+        TlbLookup l2Result;
+    };
+    L0Filter filter_;
+
+    /** Hot-path state cached at batch/call boundaries. */
+    int paranoia_ = 0;
+    bool walkSpikeArmed_ = false;
+    bool filterOn_ = true;
+
+    /** Refresh paranoia_/walkSpikeArmed_/filterOn_ (cheap, cold). */
+    void refreshHotState();
+
+    /** access() body, relying on refreshHotState() having run. */
+    AccessResult accessImpl(VAddr vaddr, bool is_store);
 
     stats::Counter &accesses_;
     stats::Counter &l1Hits_;

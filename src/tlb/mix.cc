@@ -15,6 +15,7 @@ namespace mixtlb::tlb
 MixTlb::MixTlb(const std::string &name, stats::StatGroup *parent,
                const MixTlbParams &params)
     : BaseTlb(name, parent), params_(params),
+      referenceScan_(referenceScanEnabled() || !params.alignmentRestricted),
       mirrorWrites_(stats_.addCounter("mirror_writes",
           "superpage mirror copies written on fills")),
       duplicatesRemoved_(stats_.addCounter("duplicates_removed",
@@ -144,34 +145,47 @@ TlbLookup
 MixTlb::lookup(VAddr vaddr, bool is_store)
 {
     (void)is_store;
+    lastLookupMerged_ = false;
     TlbLookup result;
     result.waysRead = params_.assoc;
     auto &set = sets_[indexOf(vaddr)];
 
-    std::size_t hit = set.size();
-    for (std::size_t i = 0; i < set.size(); i++) {
-        if (entryCovers(set[i], vaddr)) {
-            hit = i;
-            break;
+    const auto covers = [&](const Entry &e) {
+        return entryCovers(e, vaddr);
+    };
+    std::size_t hit;
+    if (referenceScan_) {
+        hit = set.findIf(covers);
+    } else {
+        // Windows are aligned, so a covering entry of size s anchors
+        // at that size's window around vaddr: one candidate per size.
+        std::uint64_t cands[NumPageSizes];
+        for (unsigned s = 0; s < NumPageSizes; ++s) {
+            const auto size = static_cast<PageSize>(s);
+            cands[s] = tagOf(windowBase(vaddr, size), size, asid_);
         }
+        hit = set.findTagAny(cands, NumPageSizes, covers);
     }
-    if (hit != set.size()) {
+    if (hit != TagLaneSet<Entry>::npos) {
         // Sec. 4.3: the probe tag-compares the whole set, so duplicate
         // mirrors of the matched bundle are visible; collapse them.
+        // merge() never touches (wbase, size, asid), so the survivor's
+        // lane tag stays valid.
         for (std::size_t i = 0; i < set.size();) {
-            if (i != hit && compatible(set[hit], set[i])) {
-                merge(set[hit], set[i]);
-                set.erase(set.begin() + static_cast<long>(i));
+            if (i != hit && compatible(set.payload(hit),
+                                       set.payload(i))) {
+                merge(set.payload(hit), set.payload(i));
+                set.eraseAt(i);
                 if (i < hit)
                     hit--;
                 ++duplicatesRemoved_;
+                lastLookupMerged_ = true;
             } else {
                 i++;
             }
         }
-        std::rotate(set.begin(), set.begin() + static_cast<long>(hit),
-                    set.begin() + static_cast<long>(hit) + 1);
-        const Entry &entry = set.front();
+        set.rotateToFront(hit); // move to MRU
+        const Entry &entry = set.payload(0);
         result.hit = true;
         result.xlate.size = entry.size;
         result.xlate.vbase = pageBase(vaddr, entry.size);
@@ -290,21 +304,27 @@ void
 MixTlb::insertIntoSet(unsigned set_idx, const Entry &entry)
 {
     auto &set = sets_[set_idx];
-    auto it = std::find_if(set.begin(), set.end(), [&](const Entry &e) {
+    // compatible() requires equal (wbase, size, asid), so a true match
+    // shares the incoming entry's tag.
+    const std::uint64_t tag = tagOf(entry.wbase, entry.size, entry.asid);
+    const auto matches = [&](const Entry &e) {
         return compatible(e, entry);
-    });
-    if (it != set.end()) {
-        unsigned before = population(*it);
-        merge(*it, entry);
-        std::rotate(set.begin(), it, it + 1); // move to MRU
-        if (population(set.front()) > before)
+    };
+    std::size_t i = referenceScan_ ? set.findIf(matches)
+                                   : set.findTag(tag, matches);
+    if (i != TagLaneSet<Entry>::npos) {
+        Entry &existing = set.payload(i);
+        unsigned before = population(existing);
+        merge(existing, entry);
+        set.rotateToFront(i); // move to MRU
+        if (population(set.payload(0)) > before)
             ++extensions_;
         ++coalesces_;
         return;
     }
-    set.insert(set.begin(), entry);
+    set.insertFront(tag, entry);
     if (set.size() > params_.assoc)
-        set.pop_back();
+        set.popBack();
     ++fills_;
     if (entry.size != PageSize::Size4K)
         ++mirrorWrites_;
@@ -317,9 +337,9 @@ MixTlb::blindInsert(unsigned set_idx, const Entry &entry)
     // existing copy (scanning every set on fill would cost too much
     // energy); duplicates this creates collapse on a later probe.
     auto &set = sets_[set_idx];
-    set.insert(set.begin(), entry);
+    set.insertFront(tagOf(entry.wbase, entry.size, entry.asid), entry);
     if (set.size() > params_.assoc)
-        set.pop_back();
+        set.popBack();
     ++fills_;
     if (entry.size != PageSize::Size4K)
         ++mirrorWrites_;
@@ -422,15 +442,13 @@ MixTlb::invalidate(VAddr vbase, PageSize size, Asid asid)
     // in *every* set and evolve independently under per-set LRU, so
     // all sets are swept (shootdowns are off the hot lookup path).
     for (auto &set : sets_) {
-        for (auto it = set.begin(); it != set.end();) {
-            Entry &entry = *it;
+        set.eraseIf([&](Entry &entry) {
             const std::uint64_t epage = pageBytes(entry.size);
             const unsigned slots = groupSlots(entry.size);
             const std::uint64_t span = epage * slots;
             if (entry.asid != asid || entry.wbase >= hi ||
                 entry.wbase + span <= lo) {
-                ++it;
-                continue;
+                return false;
             }
             // Slots of the entry's window overlapped by [lo, hi).
             const auto s0 = lo > entry.wbase
@@ -445,22 +463,15 @@ MixTlb::invalidate(VAddr vbase, PageSize size, Asid asid)
                 // outside the window stay cached (partial trim).
                 for (unsigned s = s0; s <= s1; s++)
                     entry.bitmap &= ~(1ULL << (s & 63));
-                if (entry.bitmap == 0)
-                    it = set.erase(it);
-                else
-                    ++it;
-            } else {
-                // Length mode: drop the whole bundle if any covered
-                // slot is present (the paper's simple approach).
-                bool present = false;
-                for (unsigned s = s0; s <= s1 && !present; s++)
-                    present = entry.slotPresent(s, params_.mode);
-                if (present)
-                    it = set.erase(it);
-                else
-                    ++it;
+                return entry.bitmap == 0;
             }
-        }
+            // Length mode: drop the whole bundle if any covered slot
+            // is present (the paper's simple approach).
+            bool present = false;
+            for (unsigned s = s0; s <= s1 && !present; s++)
+                present = entry.slotPresent(s, params_.mode);
+            return present;
+        });
     }
 }
 
@@ -476,11 +487,8 @@ void
 MixTlb::invalidateAsid(Asid asid)
 {
     ++invalidations_;
-    for (auto &set : sets_) {
-        std::erase_if(set, [&](const Entry &e) {
-            return e.asid == asid;
-        });
-    }
+    for (auto &set : sets_)
+        set.eraseIf([&](const Entry &e) { return e.asid == asid; });
 }
 
 void
@@ -490,8 +498,9 @@ MixTlb::markDirty(VAddr vaddr)
     // member is dirty; hardware only knows that for singletons.
     bool superpage_covered = false;
     bool small_covered = false;
-    auto mark = [&](std::vector<Entry> &set) {
-        for (auto &entry : set) {
+    auto mark = [&](TagLaneSet<Entry> &set) {
+        for (std::size_t i = 0; i < set.size(); ++i) {
+            Entry &entry = set.payload(i);
             if (!entryCovers(entry, vaddr))
                 continue;
             (entry.size == PageSize::Size4K ? small_covered
@@ -540,7 +549,7 @@ MixTlb::auditSets(contracts::AuditReport &report) const
         MIX_AUDIT_CHECK(report, set.size() <= params_.assoc,
                         "set %u holds %zu entries but has %u ways", s,
                         set.size(), params_.assoc);
-        for (const Entry &entry : set) {
+        for (const Entry &entry : set.payloads()) {
             const unsigned group = groupSlots(entry.size);
             const std::uint64_t page = pageBytes(entry.size);
             const std::uint64_t span = group * page;

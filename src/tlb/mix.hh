@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "tlb/base.hh"
+#include "tlb/tag_lane.hh"
 
 namespace mixtlb::tlb
 {
@@ -88,6 +89,22 @@ class MixTlb : public BaseTlb
     bool supports(PageSize) const override { return true; }
     std::uint64_t numEntries() const override { return params_.entries; }
     unsigned numWays() const override { return params_.assoc; }
+
+    /**
+     * A hit replays only when its duplicate-collapse pass merged
+     * nothing: with the set unchanged, a repeat probe within the same
+     * 4KB page (same index, same covering front entry, same bundle)
+     * again merges nothing. A hit that did collapse mirrors mutated
+     * the set; in Length mode the merge can even extend the run and
+     * enable further merges, so it must not be short-circuited.
+     * Misses scan without mutating and always replay.
+     */
+    bool
+    replayable(const TlbLookup &result, VAddr vaddr) const override
+    {
+        (void)vaddr;
+        return !(result.hit && lastLookupMerged_);
+    }
 
     unsigned numSets() const { return numSets_; }
     unsigned maxCoalesce() const { return maxCoalesce_; }
@@ -142,12 +159,40 @@ class MixTlb : public BaseTlb
     /** log2(colt4k); colt4k is enforced to be a power of two. */
     unsigned colt4kShift_;
 
-    /** Flat per-set arrays, front = MRU. */
-    std::vector<std::vector<Entry>> sets_;
+    /**
+     * Ctor-latched referenceScanEnabled(), forced on when the
+     * alignment-restriction ablation is active: a floating window
+     * anchor makes candidate window bases uncomputable at probe time,
+     * so that configuration always scans with the full predicate.
+     */
+    bool referenceScan_;
+    /** Flat per-set SoA arrays, front = MRU. */
+    std::vector<TagLaneSet<Entry>> sets_;
+
+    /** Did the most recent lookup() collapse any duplicate mirrors? */
+    bool lastLookupMerged_ = false;
 
     stats::Counter &mirrorWrites_;
     stats::Counter &duplicatesRemoved_;
     stats::Counter &extensions_;
+
+    /**
+     * Tag lane packing: the window base is at least 4KB aligned (even
+     * the floating-anchor ablation anchors on a page base), leaving
+     * the low bits free for the size index and ASID. A covering entry
+     * of size s must have wbase == windowBase(vaddr, s) when windows
+     * are aligned, so a probe needs one candidate tag per page size.
+     * Entries sharing (wbase, size, asid) but differing in anchor,
+     * perms, or membership share a tag; confirm predicates
+     * (entryCovers / compatible) disambiguate.
+     */
+    static std::uint64_t
+    tagOf(VAddr wbase, PageSize size, Asid asid)
+    {
+        return ((wbase >> PageShift4K) << 18) |
+               (std::uint64_t(static_cast<unsigned>(size)) << 16) |
+               asid;
+    }
 
     /** The set probed for @p vaddr (small-page or ablation indexing). */
     unsigned indexOf(VAddr vaddr) const;

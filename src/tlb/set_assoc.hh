@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "tlb/base.hh"
+#include "tlb/tag_lane.hh"
 
 namespace mixtlb::tlb
 {
@@ -45,6 +46,19 @@ class SetAssocTlb : public BaseTlb
     std::uint64_t numEntries() const override { return entries_; }
     unsigned numWays() const override { return assoc_; }
 
+    /**
+     * Lookups only rotate the hit entry to the MRU front: within one
+     * 4KB page the VPN — hence the set, the match, and the (no-op)
+     * rotate — cannot change, for hits and misses alike.
+     */
+    bool
+    replayable(const TlbLookup &result, VAddr vaddr) const override
+    {
+        (void)result;
+        (void)vaddr;
+        return true;
+    }
+
   private:
     struct Entry
     {
@@ -60,14 +74,26 @@ class SetAssocTlb : public BaseTlb
     std::uint64_t numSets_;
     /** Mask for power-of-two set counts; 0 selects the modulo path. */
     std::uint64_t setMask_;
-    /** Flat per-set arrays, front = MRU (small, so shifts are cheap). */
-    std::vector<std::vector<Entry>> sets_;
+    /** Ctor-latched referenceScanEnabled(): full-predicate scans. */
+    bool referenceScan_;
+    /** Per-set SoA ways, front = MRU (small, so shifts are cheap). */
+    std::vector<TagLaneSet<Entry>> sets_;
 
     std::uint64_t
     setOf(std::uint64_t vpn) const
     {
         return setMask_ ? (vpn & setMask_) : vpn % numSets_;
     }
+
+    /** Tag lane packing: collisions confirmed against the payload. */
+    static std::uint64_t
+    tagOf(std::uint64_t vpn, Asid asid)
+    {
+        return (vpn << 16) | asid;
+    }
+
+    /** First way matching (vpn, asid), or npos. */
+    std::size_t find(TagLaneSet<Entry> &set, std::uint64_t vpn) const;
 };
 
 /**
@@ -98,6 +124,19 @@ class FullyAssocTlb : public BaseTlb
         return static_cast<unsigned>(entries_);
     }
 
+    /**
+     * Page coverage is constant across a 4KB page (every cached page
+     * is at least 4KB and aligned), and a hit leaves its entry at the
+     * MRU front, so any outcome replays within the page.
+     */
+    bool
+    replayable(const TlbLookup &result, VAddr vaddr) const override
+    {
+        (void)result;
+        (void)vaddr;
+        return true;
+    }
+
   private:
     struct Entry
     {
@@ -108,7 +147,18 @@ class FullyAssocTlb : public BaseTlb
 
     std::uint64_t entries_;
     bool sizeMask_[NumPageSizes] = {};
-    std::vector<Entry> lru_; ///< front = MRU
+    /** Ctor-latched referenceScanEnabled(): full-predicate scans. */
+    bool referenceScan_;
+    TagLaneSet<Entry> lru_; ///< front = MRU
+
+    /** Tag lane packing: collisions confirmed against the payload. */
+    static std::uint64_t
+    tagOf(VAddr vbase, PageSize size, Asid asid)
+    {
+        return ((vbase >> PageShift4K) << 20) |
+               (std::uint64_t(static_cast<unsigned>(size)) << 16) |
+               asid;
+    }
 };
 
 } // namespace mixtlb::tlb

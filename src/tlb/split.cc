@@ -17,6 +17,7 @@ SplitTlb::addComponent(std::unique_ptr<BaseTlb> component)
 {
     components_.push_back(std::move(component));
     components_.back()->setAsid(asid_);
+    lastSub_.resize(components_.size());
     return *components_.back();
 }
 
@@ -29,8 +30,9 @@ SplitTlb::lookup(VAddr vaddr, bool is_store)
     TlbLookup result;
     result.probes = 0;
     result.waysRead = 0;
-    for (auto &component : components_) {
-        TlbLookup sub = component->lookup(vaddr, is_store);
+    for (std::size_t c = 0; c < components_.size(); ++c) {
+        TlbLookup sub = components_[c]->lookup(vaddr, is_store);
+        lastSub_[c] = sub;
         result.probes = std::max(result.probes, sub.probes);
         result.waysRead += sub.waysRead;
         if (sub.hit) {
@@ -98,6 +100,24 @@ SplitTlb::markDirty(VAddr vaddr)
 {
     for (auto &component : components_)
         component->markDirty(vaddr);
+}
+
+bool
+SplitTlb::replayable(const TlbLookup &result, VAddr vaddr) const
+{
+    (void)result;
+    for (std::size_t c = 0; c < components_.size(); ++c)
+        if (!components_[c]->replayable(lastSub_[c], vaddr))
+            return false;
+    return true;
+}
+
+void
+SplitTlb::replayLookup(const TlbLookup &result, std::uint64_t n)
+{
+    for (std::size_t c = 0; c < components_.size(); ++c)
+        components_[c]->replayLookup(lastSub_[c], n);
+    BaseTlb::replayLookup(result, n);
 }
 
 bool

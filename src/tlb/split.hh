@@ -38,8 +38,21 @@ class SplitTlb : public BaseTlb
     std::uint64_t numEntries() const override;
     unsigned numWays() const override;
 
+    /**
+     * Replayable iff every component's most recent sub-lookup is: a
+     * split lookup probes all components, so a replay must replay each
+     * of them. Valid only immediately after lookup() (lastSub_ holds
+     * that lookup's per-component results).
+     */
+    bool replayable(const TlbLookup &result, VAddr vaddr) const override;
+
+    /** Replays the last lookup into every component, then self. */
+    void replayLookup(const TlbLookup &result, std::uint64_t n = 1) override;
+
   private:
     std::vector<std::unique_ptr<BaseTlb>> components_;
+    /** Per-component results of the most recent lookup(). */
+    std::vector<TlbLookup> lastSub_;
 };
 
 } // namespace mixtlb::tlb

@@ -1,0 +1,39 @@
+#include <algorithm>
+#include <vector>
+
+namespace fx
+{
+
+struct Entry
+{
+    unsigned long vbase;
+    int payload;
+};
+
+struct Probe
+{
+    std::vector<Entry> entries_;
+
+    // mixcheck: hot
+    int lookup(unsigned long vbase)
+    {
+        auto it = std::find_if(entries_.begin(), entries_.end(),
+                               [&](const Entry &e) {
+                                   return e.vbase == vbase;
+                               });
+        return it == entries_.end() ? -1 : it->payload;
+    }
+
+    // mixcheck: hot
+    int lookupReference(unsigned long vbase)
+    {
+        // mixcheck: soa-scan
+        auto it = std::find_if(entries_.begin(), entries_.end(),
+                               [&](const Entry &e) {
+                                   return e.vbase == vbase;
+                               });
+        return it == entries_.end() ? -1 : it->payload;
+    }
+};
+
+} // namespace fx

@@ -27,6 +27,8 @@ TREE_EXPECTED = {
     ("src/detbad/det.cc", 33, "determinism"),   # std::random_device
     ("src/hotbad/hot.cc", 13, "hot-path-alloc"),  # push_back on std::vector
     ("src/hotbad/hot.cc", 14, "hot-path-alloc"),  # new
+    ("src/hotbad/scan.cc", 20, "hot-path-scan"),  # unannotated find_if
+    # (scan.cc line 30 carries the soa-scan annotation and must NOT fire)
     ("src/legbad/guard.hh", 1, "include-guard"),
     ("src/legbad/leg.cc", 1, "raw-assert"),     # #include <cassert>
     ("src/legbad/leg.cc", 7, "raw-assert"),     # assert(
@@ -48,9 +50,9 @@ SUPPRESS_SUPPRESSED = {
     ("src/sup.cc", 10, "shift-width"),   # reasoned allow() one line above
 }
 
-ALL_RULES = {"shift-width", "determinism", "hot-path-alloc", "layering",
-             "stat-drift", "raw-assert", "include-guard", "banned-random",
-             "suppression"}
+ALL_RULES = {"shift-width", "determinism", "hot-path-alloc",
+             "hot-path-scan", "layering", "stat-drift", "raw-assert",
+             "include-guard", "banned-random", "suppression"}
 
 failures = []
 

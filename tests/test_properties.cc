@@ -10,6 +10,8 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <sstream>
+#include <string>
 
 #include "common/random.hh"
 #include "mem/phys_mem.hh"
@@ -18,12 +20,15 @@
 #include "os/process.hh"
 #include "pt/page_table.hh"
 #include "pt/walker.hh"
+#include "sim/machine.hh"
 #include "tlb/colt.hh"
 #include "tlb/hash_rehash.hh"
+#include "tlb/hierarchy.hh"
 #include "tlb/mix.hh"
 #include "tlb/set_assoc.hh"
 #include "tlb/skew.hh"
 #include "tlb/split.hh"
+#include "workload/generator.hh"
 
 using namespace mixtlb;
 using namespace mixtlb::tlb;
@@ -309,3 +314,218 @@ TEST_P(MigrationProperty, TranslationsSurviveCompactionChurn)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MigrationProperty,
                          ::testing::Values(1, 2, 3));
+
+namespace
+{
+
+/**
+ * Bit-exactness of the SoA tag-lane fast path: every design driven
+ * through an identical interleaved op stream with the packed tag scan
+ * on and off must produce identical lookup results, identical
+ * statistics, and identical post-state. Two arenas are built from the
+ * same seed (so they are equal) and each TLB gets its own — the
+ * walkers' stats then also evolve in lockstep, letting the final check
+ * compare the full stat dumps byte for byte.
+ */
+struct ReferenceScanGuard
+{
+    bool prev = referenceScanEnabled();
+    ~ReferenceScanGuard() { setReferenceScanEnabled(prev); }
+};
+
+void
+expectLookupEq(const TlbLookup &a, const TlbLookup &b, VAddr va)
+{
+    ASSERT_EQ(a.hit, b.hit) << std::hex << "va=0x" << va;
+    EXPECT_EQ(a.probes, b.probes) << std::hex << "va=0x" << va;
+    EXPECT_EQ(a.waysRead, b.waysRead) << std::hex << "va=0x" << va;
+    EXPECT_EQ(a.entryDirty, b.entryDirty) << std::hex << "va=0x" << va;
+    if (a.hit) {
+        EXPECT_EQ(a.xlate.vbase, b.xlate.vbase);
+        EXPECT_EQ(a.xlate.pbase, b.xlate.pbase);
+        EXPECT_EQ(a.xlate.size, b.xlate.size);
+        EXPECT_TRUE(a.xlate.perms == b.xlate.perms);
+        EXPECT_EQ(a.xlate.accessed, b.xlate.accessed);
+        EXPECT_EQ(a.xlate.dirty, b.xlate.dirty);
+    }
+    ASSERT_EQ(a.bundle.has_value(), b.bundle.has_value())
+        << std::hex << "va=0x" << va;
+    if (a.bundle) {
+        EXPECT_EQ(a.bundle->vbase, b.bundle->vbase);
+        EXPECT_EQ(a.bundle->pbase, b.bundle->pbase);
+        EXPECT_EQ(a.bundle->size, b.bundle->size);
+        EXPECT_EQ(a.bundle->count, b.bundle->count);
+        EXPECT_TRUE(a.bundle->perms == b.bundle->perms);
+        EXPECT_EQ(a.bundle->dirty, b.bundle->dirty);
+    }
+}
+
+std::string
+statDump(stats::StatGroup &group)
+{
+    std::ostringstream os;
+    group.dump(os);
+    return os.str();
+}
+
+template <typename Build>
+void
+compareScanModes(Build &&build, std::uint64_t seed)
+{
+    ReferenceScanGuard guard;
+    setReferenceScanEnabled(true);
+    Arena ref_arena(seed);
+    auto ref = build(&ref_arena.root);
+    setReferenceScanEnabled(false);
+    Arena soa_arena(seed);
+    auto soa = build(&soa_arena.root);
+
+    const auto fillBoth = [&](VAddr va, bool store) {
+        auto ref_walk = ref_arena.walker.walk(va, store);
+        auto soa_walk = soa_arena.walker.walk(va, store);
+        ASSERT_FALSE(ref_walk.pageFault());
+        ASSERT_FALSE(soa_walk.pageFault());
+        FillInfo ref_fill;
+        ref_fill.leaf = *ref_walk.leaf;
+        ref_fill.vaddr = va;
+        ref_fill.walk = &ref_walk;
+        ref->fill(ref_fill);
+        FillInfo soa_fill;
+        soa_fill.leaf = *soa_walk.leaf;
+        soa_fill.vaddr = va;
+        soa_fill.walk = &soa_walk;
+        soa->fill(soa_fill);
+    };
+
+    Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+    const Asid asids[] = {0, 1, 2};
+    for (int i = 0; i < 20000; i++) {
+        if (rng.chance(0.001)) {
+            Asid asid = asids[rng.nextBounded(3)];
+            ref->setAsid(asid);
+            soa->setAsid(asid);
+        }
+        VAddr va = ref_arena.randomAddr(rng);
+        bool store = rng.chance(0.3);
+        auto ref_result = ref->lookup(va, store);
+        auto soa_result = soa->lookup(va, store);
+        expectLookupEq(ref_result, soa_result, va);
+        auto truth = ref_arena.table.translate(va);
+        ASSERT_TRUE(truth.has_value());
+        if (!ref_result.hit && ref->supports(truth->size))
+            fillBoth(va, store);
+        if (rng.chance(0.05)) {
+            ref->markDirty(va);
+            soa->markDirty(va);
+        }
+        if (rng.chance(0.004)) {
+            VAddr page =
+                ref_arena.pages[rng.nextBounded(ref_arena.pages.size())];
+            auto size = ref_arena.table.translate(page)->size;
+            ref->invalidate(page, size);
+            soa->invalidate(page, size);
+        }
+        if (rng.chance(0.001)) {
+            Asid asid = asids[rng.nextBounded(3)];
+            ref->invalidateAsid(asid);
+            soa->invalidateAsid(asid);
+        }
+    }
+
+    // Post-state: a full deterministic sweep (lookups mutate MRU
+    // order, but both sides see the same sweep, so they stay in
+    // lockstep) followed by a byte-for-byte stat comparison.
+    ref->setAsid(0);
+    soa->setAsid(0);
+    for (VAddr page : ref_arena.pages) {
+        auto size = ref_arena.table.translate(page)->size;
+        for (VAddr off : {VAddr(0), VAddr(0x40),
+                          VAddr(pageBytes(size) - 1)}) {
+            expectLookupEq(ref->lookup(page + off, false),
+                           soa->lookup(page + off, false), page + off);
+        }
+    }
+    EXPECT_EQ(statDump(ref_arena.root), statDump(soa_arena.root));
+}
+
+} // anonymous namespace
+
+TEST_P(FamilyProperty, SoaTagLanesMatchReferenceScan)
+{
+    const Family family = GetParam();
+    compareScanModes(
+        [&](stats::StatGroup *root) {
+            return FamilyProperty::build(family, root);
+        },
+        17);
+}
+
+TEST_P(MixProperty, SoaTagLanesMatchReferenceScan)
+{
+    const auto &geometry = GetParam();
+    compareScanModes(
+        [&](stats::StatGroup *root) {
+            MixTlbParams params;
+            params.entries = geometry.entries;
+            params.assoc = geometry.assoc;
+            params.mode = geometry.mode;
+            params.colt4k = geometry.colt4k;
+            params.alignmentRestricted = geometry.alignment;
+            return std::make_unique<MixTlb>("mix", root, params);
+        },
+        19);
+}
+
+namespace
+{
+
+/**
+ * Bit-exactness of the L0 MRU translation filter: a full machine run
+ * with the filter on must leave every modeled statistic identical to
+ * the same run with it off. The dump covers both TLB levels, the
+ * walker, the caches, and the OS, so any replay that diverged from
+ * the full path — a missed counter, a stale latency, a skipped dirty
+ * micro-op — shows up as a dump mismatch.
+ */
+class L0FilterProperty
+    : public ::testing::TestWithParam<sim::TlbDesign>
+{
+  public:
+    static std::string
+    runOnce(sim::TlbDesign design, bool filter_on)
+    {
+        tlb::setL0FilterEnabled(filter_on);
+        sim::MachineParams params;
+        params.name = "m";
+        params.memBytes = 512 * MiB;
+        params.design = design;
+        params.seed = 5;
+        sim::Machine machine(params);
+        VAddr base = machine.mapArena(32 * MiB);
+        machine.warmup(base, 32 * MiB);
+        machine.startMeasurement();
+        for (const char *workload : {"gups", "streamcluster"}) {
+            auto gen = workload::makeGenerator(workload, base,
+                                               32 * MiB, 7);
+            machine.run(*gen, 100000);
+        }
+        std::string dump = statDump(machine.root());
+        tlb::setL0FilterEnabled(true);
+        return dump;
+    }
+};
+
+} // anonymous namespace
+
+TEST_P(L0FilterProperty, FilterOnOffStatsIdentical)
+{
+    const sim::TlbDesign design = GetParam();
+    EXPECT_EQ(runOnce(design, true), runOnce(design, false));
+}
+
+INSTANTIATE_TEST_SUITE_P(Designs, L0FilterProperty,
+                         ::testing::Values(sim::TlbDesign::Split,
+                                           sim::TlbDesign::Mix,
+                                           sim::TlbDesign::MixColt,
+                                           sim::TlbDesign::HashRehash,
+                                           sim::TlbDesign::Skew));

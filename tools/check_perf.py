@@ -30,12 +30,27 @@ reference streams. Checks:
   timed        any timing block carries positive wall_seconds and
                refs_per_sec
 
-Usage: tools/check_perf.py <BENCH_*.json>
+`google-benchmark` (micro_tlb_ops --benchmark_out=...): the raw JSON
+google-benchmark emits (detected by its "context"/"benchmarks" keys
+rather than a "benchmark" field). Checks every benchmark ran (no
+error_occurred, positive real/cpu time) and none were skipped.
+
+With `--baseline <json>`, samples shared by both reports are compared
+on refs/sec (for google-benchmark reports, 1/cpu_time): a sample below
+0.9x its baseline rate warns, below 0.7x fails. Baselines are the
+committed BENCH_*.json files at the repo root, regenerated on the
+machine that measured them — meaningful on a quiet dedicated box, too
+noisy to gate shared CI runners on.
+
+Usage: tools/check_perf.py <BENCH_*.json> [--baseline <BENCH_*.json>]
        (exit 0 clean, 1 otherwise)
 """
 
 import json
 import sys
+
+WARN_RATIO = 0.9
+FAIL_RATIO = 0.7
 
 EXPECTED_DESIGNS = ["split", "mix", "mix+colt", "hash-rehash", "skew"]
 EXPECTED_WORKLOADS = ["gups", "stream"]
@@ -184,19 +199,121 @@ def check_multiprog(report: dict) -> None:
     )
 
 
+def check_google_benchmark(report: dict) -> None:
+    benchmarks = report.get("benchmarks", [])
+    if not benchmarks:
+        fail("google-benchmark report has no benchmarks")
+    for bench in benchmarks:
+        name = bench.get("name", "<unnamed>")
+        if bench.get("error_occurred"):
+            fail(f"{name}: {bench.get('error_message', 'error')}")
+        if bench.get("skipped"):
+            fail(f"{name}: skipped ({bench.get('skip_message', '')})")
+        for key in ("real_time", "cpu_time"):
+            if bench.get(key, 0) <= 0:
+                fail(f"{name}: {key} is {bench.get(key)!r}")
+    print(
+        f"check_perf: OK: {len(benchmarks)} microbenchmarks measured"
+    )
+
+
+def report_kind(report: dict) -> str:
+    if "benchmarks" in report and "context" in report:
+        return "google-benchmark"
+    return report.get("benchmark", "hotpath")
+
+
+def rate_samples(report: dict) -> dict:
+    """Flatten a report of any kind to {sample name: refs/sec}."""
+    kind = report_kind(report)
+    rates = {}
+    if kind == "hotpath":
+        for entry in report.get("designs", []):
+            design = entry.get("design", "?")
+            for workload, sample in entry.get("workloads", {}).items():
+                rates[f"{design}/{workload}"] = sample.get(
+                    "refs_per_sec", 0
+                )
+    elif kind == "multiprog":
+        for record in report.get("results", []):
+            timing = record.get("timing")
+            if timing:
+                rates[record.get("label", "?")] = timing.get(
+                    "refs_per_sec", 0
+                )
+    elif kind == "google-benchmark":
+        # No refs/sec counter; compare on inverse cpu time per
+        # iteration, which scales the same way.
+        for bench in report.get("benchmarks", []):
+            cpu = bench.get("cpu_time", 0)
+            if cpu > 0:
+                rates[bench.get("name", "?")] = 1.0 / cpu
+    return rates
+
+
+def check_baseline(report: dict, baseline: dict) -> None:
+    if report_kind(report) != report_kind(baseline):
+        fail(
+            f"baseline kind {report_kind(baseline)!r} does not match "
+            f"report kind {report_kind(report)!r}"
+        )
+    current = rate_samples(report)
+    expected = rate_samples(baseline)
+    shared = [k for k in expected if k in current and expected[k] > 0]
+    if not shared:
+        fail("baseline and report share no measurable samples")
+
+    worst_name, worst_ratio = None, None
+    failures, warnings = [], []
+    for name in shared:
+        ratio = current[name] / expected[name]
+        if worst_ratio is None or ratio < worst_ratio:
+            worst_name, worst_ratio = name, ratio
+        if ratio < FAIL_RATIO:
+            failures.append(f"{name}: {ratio:.2f}x baseline")
+        elif ratio < WARN_RATIO:
+            warnings.append(f"{name}: {ratio:.2f}x baseline")
+    for line in warnings:
+        print(f"check_perf: WARN: {line}")
+    if failures:
+        fail(
+            f"{len(failures)} samples below {FAIL_RATIO}x baseline: "
+            + "; ".join(failures)
+        )
+    print(
+        f"check_perf: baseline OK: {len(shared)} samples, worst "
+        f"{worst_name} at {worst_ratio:.2f}x"
+    )
+
+
 def main() -> None:
-    if len(sys.argv) != 2:
-        fail("usage: check_perf.py <report.json>")
-    with open(sys.argv[1], encoding="utf-8") as handle:
+    argv = sys.argv[1:]
+    baseline_path = None
+    if "--baseline" in argv:
+        at = argv.index("--baseline")
+        if at + 1 >= len(argv):
+            fail("--baseline requires a path")
+        baseline_path = argv[at + 1]
+        del argv[at:at + 2]
+    if len(argv) != 1:
+        fail("usage: check_perf.py <report.json> [--baseline <json>]")
+    with open(argv[0], encoding="utf-8") as handle:
         report = json.load(handle)
 
-    benchmark = report.get("benchmark", "hotpath")
-    if benchmark == "hotpath":
+    kind = report_kind(report)
+    if kind == "hotpath":
         check_hotpath(report)
-    elif benchmark == "multiprog":
+    elif kind == "multiprog":
         check_multiprog(report)
+    elif kind == "google-benchmark":
+        check_google_benchmark(report)
     else:
-        fail(f"unknown benchmark kind {benchmark!r}")
+        fail(f"unknown benchmark kind {kind!r}")
+
+    if baseline_path is not None:
+        with open(baseline_path, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        check_baseline(report, baseline)
 
 
 if __name__ == "__main__":
