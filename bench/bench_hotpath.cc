@@ -9,15 +9,27 @@
  * measurements of the simulator itself — the repo's perf trajectory
  * baseline. `--json` (default BENCH_hotpath.json) emits the report
  * that tools/check_perf.py validates in CI.
+ *
+ * Each design is measured twice by default: once with the compiled
+ * SIMD probe kernels (src/common/simd.hh) and once with the kernels
+ * forced scalar, giving an end-to-end scalar-vs-SIMD comparison in the
+ * same report (`--scalar-compare 0` skips the scalar pass; it is also
+ * skipped when MIXTLB_FORCE_SCALAR already pins the run to scalar).
+ * The modeled results are bit-identical either way — only wall time
+ * moves — so the primary samples stay comparable across reports
+ * regardless of kernel.
  */
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench_common.hh"
 #include "common/json.hh"
+#include "common/simd.hh"
 #include "workload/generator.hh"
 
 using namespace mixtlb;
@@ -46,11 +58,72 @@ constexpr sim::TlbDesign Designs[] = {
     sim::TlbDesign::Skew,
 };
 
+constexpr std::size_t NumMixPoints =
+    sizeof(ReferenceMix) / sizeof(ReferenceMix[0]);
+
+struct Sample
+{
+    std::uint64_t refs = 0;
+    double wallSeconds = 0;
+    double refsPerSec = 0;
+    double nsPerRef = 0;
+};
+
+struct DesignRun
+{
+    Sample workloads[NumMixPoints];
+    double refsPerSec = 0;
+    double nsPerRef = 0;
+};
+
 double
 seconds(std::chrono::steady_clock::time_point start,
         std::chrono::steady_clock::time_point stop)
 {
     return std::chrono::duration<double>(stop - start).count();
+}
+
+/** One full measurement of a design under the current kernel mode. */
+DesignRun
+measureDesign(sim::TlbDesign design, std::uint64_t refs,
+              std::uint64_t footprint, std::uint64_t mem,
+              std::uint64_t seed)
+{
+    sim::MachineParams params;
+    params.name = sim::designName(design);
+    params.memBytes = mem;
+    params.design = design;
+    params.seed = seed;
+    params.caches = scaledCaches();
+    sim::Machine machine(params);
+
+    VAddr base = machine.mapArena(footprint);
+    machine.warmup(base, footprint);
+    machine.startMeasurement();
+
+    DesignRun run;
+    double total_refs = 0, total_seconds = 0;
+    for (std::size_t p = 0; p < NumMixPoints; ++p) {
+        auto gen = workload::makeGenerator(ReferenceMix[p].workload,
+                                           base, footprint, seed);
+        auto start = std::chrono::steady_clock::now();
+        std::uint64_t done = machine.run(*gen, refs);
+        auto stop = std::chrono::steady_clock::now();
+
+        Sample &sample = run.workloads[p];
+        sample.refs = done;
+        sample.wallSeconds = seconds(start, stop);
+        sample.refsPerSec = sample.wallSeconds > 0
+                                ? done / sample.wallSeconds
+                                : 0.0;
+        sample.nsPerRef =
+            done > 0 ? 1e9 * sample.wallSeconds / done : 0.0;
+        total_refs += static_cast<double>(done);
+        total_seconds += sample.wallSeconds;
+    }
+    run.refsPerSec = total_seconds > 0 ? total_refs / total_seconds : 0.0;
+    run.nsPerRef = total_refs > 0 ? 1e9 * total_seconds / total_refs : 0.0;
+    return run;
 }
 
 } // anonymous namespace
@@ -64,6 +137,8 @@ main(int argc, char **argv)
         args.getU64("footprint-mb", 64) * MiB;
     const std::uint64_t mem = args.getU64("mem-mb", 512) * MiB;
     const std::uint64_t seed = args.getU64("seed", 3);
+    const bool scalar_compare =
+        args.getU64("scalar-compare", 1) != 0 && !simd::scalarForced();
     const std::string json_path =
         args.getString("json", "BENCH_hotpath.json");
 
@@ -71,62 +146,95 @@ main(int argc, char **argv)
     doc["benchmark"] = "hotpath";
     doc["refs_per_workload"] = refs;
     doc["footprint_bytes"] = footprint;
+    doc["simd_kernel"] = simd::activeKernelName();
     doc["designs"] = json::Value::array();
 
-    sim::Table table({"design", "workload", "refs/sec", "ns/lookup"});
+    sim::Table table({"design", "workload", "refs/sec", "ns/lookup",
+                      "scalar refs/sec", "simd x"});
+
+    double log_rate_sum = 0, log_speedup_sum = 0;
+    std::size_t rate_count = 0;
+
+    // Discarded warm pass: the first timed sample of the process
+    // otherwise absorbs one-time host costs (lazy binding, page-cache
+    // and predictor warm-up) and skews whichever design runs first.
+    measureDesign(Designs[0], std::min<std::uint64_t>(refs / 10, 100000),
+                  footprint, mem, seed);
 
     for (sim::TlbDesign design : Designs) {
-        sim::MachineParams params;
-        params.name = sim::designName(design);
-        params.memBytes = mem;
-        params.design = design;
-        params.seed = seed;
-        params.caches = scaledCaches();
-        sim::Machine machine(params);
-
-        VAddr base = machine.mapArena(footprint);
-        machine.warmup(base, footprint);
-        machine.startMeasurement();
+        const DesignRun run =
+            measureDesign(design, refs, footprint, mem, seed);
+        DesignRun scalar_run;
+        if (scalar_compare) {
+            simd::ForceScalarGuard guard;
+            scalar_run = measureDesign(design, refs, footprint, mem,
+                                       seed);
+        }
 
         auto entry = json::Value::object();
         entry["design"] = sim::designName(design);
         auto workloads = json::Value::object();
-        double total_refs = 0, total_seconds = 0;
 
-        for (const MixPoint &point : ReferenceMix) {
-            auto gen = workload::makeGenerator(point.workload, base,
-                                               footprint, seed);
-            auto start = std::chrono::steady_clock::now();
-            std::uint64_t done = machine.run(*gen, refs);
-            auto stop = std::chrono::steady_clock::now();
-
-            const double wall = seconds(start, stop);
-            const double rate = wall > 0 ? done / wall : 0.0;
-            const double ns = done > 0 ? 1e9 * wall / done : 0.0;
-            total_refs += static_cast<double>(done);
-            total_seconds += wall;
-
+        for (std::size_t p = 0; p < NumMixPoints; ++p) {
+            const Sample &s = run.workloads[p];
             auto sample = json::Value::object();
-            sample["refs"] = done;
-            sample["wall_seconds"] = wall;
-            sample["refs_per_sec"] = rate;
-            sample["ns_per_ref"] = ns;
-            workloads[point.label] = std::move(sample);
-
-            table.addRow({sim::designName(design), point.label,
-                          sim::Table::fmt(rate, 0),
-                          sim::Table::fmt(ns, 1)});
+            sample["refs"] = s.refs;
+            sample["wall_seconds"] = s.wallSeconds;
+            sample["refs_per_sec"] = s.refsPerSec;
+            sample["ns_per_ref"] = s.nsPerRef;
+            std::string scalar_cell = "-";
+            std::string speedup_cell = "-";
+            if (scalar_compare) {
+                const Sample &sc = scalar_run.workloads[p];
+                const double speedup = sc.refsPerSec > 0
+                                           ? s.refsPerSec / sc.refsPerSec
+                                           : 0.0;
+                sample["scalar_refs_per_sec"] = sc.refsPerSec;
+                sample["simd_speedup"] = speedup;
+                scalar_cell = sim::Table::fmt(sc.refsPerSec, 0);
+                speedup_cell = sim::Table::fmt(speedup, 2);
+                if (speedup > 0)
+                    log_speedup_sum += std::log(speedup);
+            }
+            if (s.refsPerSec > 0) {
+                log_rate_sum += std::log(s.refsPerSec);
+                ++rate_count;
+            }
+            workloads[ReferenceMix[p].label] = std::move(sample);
+            table.addRow({sim::designName(design), ReferenceMix[p].label,
+                          sim::Table::fmt(s.refsPerSec, 0),
+                          sim::Table::fmt(s.nsPerRef, 1), scalar_cell,
+                          speedup_cell});
         }
 
         entry["workloads"] = std::move(workloads);
-        entry["refs_per_sec"] =
-            total_seconds > 0 ? total_refs / total_seconds : 0.0;
-        entry["ns_per_ref"] =
-            total_refs > 0 ? 1e9 * total_seconds / total_refs : 0.0;
+        entry["refs_per_sec"] = run.refsPerSec;
+        entry["ns_per_ref"] = run.nsPerRef;
+        if (scalar_compare) {
+            entry["scalar_refs_per_sec"] = scalar_run.refsPerSec;
+            entry["simd_speedup"] = scalar_run.refsPerSec > 0
+                                        ? run.refsPerSec /
+                                              scalar_run.refsPerSec
+                                        : 0.0;
+        }
         doc["designs"].push(std::move(entry));
     }
 
+    if (rate_count > 0)
+        doc["geomean_refs_per_sec"] = std::exp(log_rate_sum / rate_count);
+    if (scalar_compare && rate_count > 0)
+        doc["geomean_simd_speedup"] =
+            std::exp(log_speedup_sum / rate_count);
+
     table.print();
+    std::printf("kernel: %s", simd::activeKernelName());
+    if (rate_count > 0)
+        std::printf("  geomean %.0f refs/sec",
+                    std::exp(log_rate_sum / rate_count));
+    if (scalar_compare && rate_count > 0)
+        std::printf("  simd speedup %.2fx",
+                    std::exp(log_speedup_sum / rate_count));
+    std::printf("\n");
     if (!json::writeFile(json_path, doc)) {
         std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
         return 1;

@@ -4,6 +4,7 @@
 
 #include "common/intmath.hh"
 #include "common/logging.hh"
+#include "common/simd.hh"
 
 namespace mixtlb::cache
 {
@@ -20,6 +21,8 @@ Cache::Cache(const CacheParams &params, stats::StatGroup *parent)
     fatal_if(lines == 0 || lines % params.assoc != 0,
              "cache geometry does not divide evenly");
     numSets_ = lines / params.assoc;
+    setsPow2_ = isPowerOf2(numSets_);
+    setMask_ = setsPow2_ ? numSets_ - 1 : 0;
     lineShift_ = floorLog2(params.lineBytes);
     tags_.resize(numSets_ * params.assoc);
     fill_.assign(numSets_, 0);
@@ -38,10 +41,11 @@ Cache::access(PAddr paddr, bool write)
     const std::uint64_t set = setOf(tag);
     std::uint64_t *w = tags_.data() + set * params_.assoc;
     const std::uint32_t n = fill_[set];
-    for (std::uint32_t i = 0; i < n; ++i) {
-        if (w[i] != tag)
-            continue;
-        for (std::uint32_t j = i; j > 0; --j) // move to MRU
+    // Installed tags within a set are unique, so the lowest matching
+    // index simd::firstEqual returns is *the* matching way.
+    const std::size_t i = simd::firstEqual(w, n, tag);
+    if (i != simd::npos) {
+        for (std::size_t j = i; j > 0; --j) // move to MRU
             w[j] = w[j - 1];
         w[0] = tag;
         ++hits_;
@@ -64,11 +68,7 @@ Cache::contains(PAddr paddr) const
     const std::uint64_t tag = tagOf(paddr);
     const std::uint64_t set = setOf(tag);
     const std::uint64_t *w = tags_.data() + set * params_.assoc;
-    for (std::uint32_t i = 0; i < fill_[set]; ++i) {
-        if (w[i] == tag)
-            return true;
-    }
-    return false;
+    return simd::firstEqual(w, fill_[set], tag) != simd::npos;
 }
 
 void
@@ -84,14 +84,21 @@ CacheHierarchy::CacheHierarchy(const HierarchyParams &params,
       l1_(params.l1, &stats_),
       l2_(params.l2, &stats_),
       llc_(params.llc, &stats_),
+      latency_{params.l1.hitLatency, params.l2.hitLatency,
+               params.llc.hitLatency, params.memLatency},
       memAccesses_(stats_.addScalar("mem_accesses",
                                     "accesses that reached memory"))
 {
 }
 
+// mixcheck: hot
 HitLevel
 CacheHierarchy::accessLevel(PAddr paddr, bool write)
 {
+    // Start the outer levels' tag-window loads before the L1 probe so
+    // a full miss chain pays one host memory round-trip, not three.
+    l2_.prefetchSet(paddr);
+    llc_.prefetchSet(paddr);
     if (l1_.access(paddr, write))
         return HitLevel::L1;
     if (l2_.access(paddr, write))
@@ -102,18 +109,7 @@ CacheHierarchy::accessLevel(PAddr paddr, bool write)
     return HitLevel::Memory;
 }
 
-Cycles
-CacheHierarchy::levelLatency(HitLevel level) const
-{
-    switch (level) {
-      case HitLevel::L1: return params_.l1.hitLatency;
-      case HitLevel::L2: return params_.l2.hitLatency;
-      case HitLevel::LLC: return params_.llc.hitLatency;
-      case HitLevel::Memory: return params_.memLatency;
-    }
-    return params_.memLatency;
-}
-
+// mixcheck: hot
 Cycles
 CacheHierarchy::access(PAddr paddr, bool write)
 {

@@ -43,6 +43,21 @@ class Cache
     /** Probe without updating state or statistics. */
     bool contains(PAddr paddr) const;
 
+    /**
+     * Hint the host to pull this address's set window into its own
+     * cache. Issued for the outer levels before the L1 probe starts,
+     * it overlaps the three otherwise-serial tag-window loads of an
+     * L1→L2→LLC miss chain. No modeled effect.
+     */
+    void
+    prefetchSet(PAddr paddr) const
+    {
+        const std::uint64_t set = setOf(tagOf(paddr));
+#if defined(__GNUC__) || defined(__clang__)
+        __builtin_prefetch(tags_.data() + set * params_.assoc, 1, 3);
+#endif
+    }
+
     /** Drop every cached line. */
     void flush();
 
@@ -54,14 +69,19 @@ class Cache
   private:
     CacheParams params_;
     std::uint64_t numSets_;
+    /** numSets_ - 1 when numSets_ is a power of two, else 0. */
+    std::uint64_t setMask_;
     unsigned lineShift_;
+    bool setsPow2_;
 
     /**
      * Flat tag store: set s owns the window
      * tags_[s * assoc, s * assoc + fill_[s]) in LRU order (front =
      * MRU). Same ordering semantics as a per-set list, laid out
      * contiguously so the probe scan and MRU shift stay within one or
-     * two cache lines (assoc <= 16) instead of chasing list nodes.
+     * two cache lines (assoc <= 16) instead of chasing list nodes —
+     * and within one region, so random streams touch half the host
+     * lines a tags-plus-recency-stamps split would.
      */
     std::vector<std::uint64_t> tags_;
     /** Live entries per set. */
@@ -78,7 +98,13 @@ class Cache
         // shift defined even if a bad config slips through.
         return paddr >> (lineShift_ & 63);
     }
-    std::uint64_t setOf(std::uint64_t tag) const { return tag % numSets_; }
+    std::uint64_t
+    setOf(std::uint64_t tag) const
+    {
+        // Every standard geometry has a power-of-two set count; the
+        // modulo fall-back keeps odd configs (e.g. 24 MiB LLCs) exact.
+        return setsPow2_ ? (tag & setMask_) : (tag % numSets_);
+    }
 };
 
 /** Which level of the hierarchy serviced an access. */
@@ -108,7 +134,11 @@ class CacheHierarchy
     HitLevel accessLevel(PAddr paddr, bool write);
 
     /** Latency of a hit at @p level. */
-    Cycles levelLatency(HitLevel level) const;
+    Cycles
+    levelLatency(HitLevel level) const
+    {
+        return latency_[static_cast<unsigned>(level) & 3];
+    }
 
     void flush();
 
@@ -120,6 +150,9 @@ class CacheHierarchy
     Cache l1_;
     Cache l2_;
     Cache llc_;
+    /** Per-level hit latency indexed by HitLevel, so the hot path maps
+     *  level to cycles with one load instead of a switch. */
+    Cycles latency_[4];
     stats::Scalar &memAccesses_;
 };
 

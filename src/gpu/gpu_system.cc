@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/simd.hh"
 
 namespace mixtlb::gpu
 {
@@ -44,6 +45,8 @@ GpuSystem::run(
             const auto turn = static_cast<std::size_t>(
                 std::min<std::uint64_t>(params_.warpRefs,
                                         total_refs - issued));
+            simd::prefetchWrite(warp.data()); // next trace chunk
+            simd::prefetchWrite(warp.data() + 4);
             per_core[core]->nextBatch(warp.data(), turn);
             auto br = cores_[core]->translateBatch(
                 {warp.data(), turn}, false);

@@ -5,6 +5,7 @@
 #include "common/contracts.hh"
 #include "common/fault.hh"
 #include "common/logging.hh"
+#include "common/simd.hh"
 
 namespace mixtlb::sim
 {
@@ -85,6 +86,8 @@ Machine::run(workload::TraceGenerator &gen, std::uint64_t refs)
         const auto chunk = static_cast<std::size_t>(
             std::min<std::uint64_t>(
                 CheckPeriod - (done & (CheckPeriod - 1)), refs - done));
+        simd::prefetchWrite(batch);     // next trace chunk
+        simd::prefetchWrite(batch + 4);
         gen.nextBatch(batch, chunk);
         auto br = hier_->translateBatch({batch, chunk},
                                         data_through_caches);
@@ -347,6 +350,8 @@ VirtMachine::run(unsigned vm, workload::TraceGenerator &gen,
         const auto chunk = static_cast<std::size_t>(
             std::min<std::uint64_t>(
                 CheckPeriod - (done & (CheckPeriod - 1)), refs - done));
+        simd::prefetchWrite(batch);     // next trace chunk
+        simd::prefetchWrite(batch + 4);
         gen.nextBatch(batch, chunk);
         auto br = hier.translateBatch({batch, chunk},
                                       data_through_caches);

@@ -5,6 +5,7 @@
 #include "common/contracts.hh"
 #include "common/fault.hh"
 #include "common/logging.hh"
+#include "common/simd.hh"
 #include "sim/machine.hh"
 #include "tlb/ideal.hh"
 
@@ -226,6 +227,8 @@ MultiMachine::runSlice(unsigned proc, std::uint64_t refs)
             std::min<std::uint64_t>(
                 MultiCheckPeriod - (done & (MultiCheckPeriod - 1)),
                 refs - done));
+        simd::prefetchWrite(batch);     // next trace chunk
+        simd::prefetchWrite(batch + 4);
         gen.nextBatch(batch, chunk);
         auto br = hier_->translateBatch({batch, chunk},
                                         data_through_caches);

@@ -5,6 +5,7 @@
 #include "common/fault.hh"
 #include "common/intmath.hh"
 #include "common/logging.hh"
+#include "common/simd.hh"
 
 namespace mixtlb::tlb
 {
@@ -319,22 +320,42 @@ TlbHierarchy::translateBatch(std::span<const MemRef> refs,
     };
 
     for (std::size_t i = 0; i < refs.size(); ++i) {
-        const VAddr vaddr = refs[i].vaddr;
-        const bool is_store = refs[i].type == AccessType::Write;
-        if (filter_.valid && vaddr - filter_.lo < PageBytes4K) {
+        if (filter_.valid) {
+            // Wide run-scan: count the leading refs the armed filter
+            // replays (in-page, and loads-only unless the cached entry
+            // is dirty) in one go instead of re-testing the filter per
+            // reference. The run is charged in bulk; per-ref work
+            // survives only where it has side effects (oracle checks,
+            // data-cache charging) and runs in the original order.
             const TlbLookup &hit =
                 filter_.l2Path ? filter_.l2Result : filter_.l1Result;
-            if (!is_store || hit.entryDirty) {
-                const PAddr paddr = hit.xlate.translate(vaddr);
-                if (paranoia_ >= 2)
-                    oracleCheck(vaddr, paddr);
-                ++pending;
-                fast_cycles += filter_.cycles;
-                if (charge_data)
-                    out.dataCycles += caches_.access(paddr, is_store);
-                continue;
+            const std::size_t run_end = simd::l0RunLength(
+                refs.data() + i, refs.size() - i, filter_.lo,
+                hit.entryDirty) + i;
+            if (run_end != i) {
+                if (charge_data || paranoia_ >= 2) {
+                    for (std::size_t j = i; j < run_end; ++j) {
+                        const VAddr vaddr = refs[j].vaddr;
+                        const PAddr paddr = hit.xlate.translate(vaddr);
+                        if (paranoia_ >= 2)
+                            oracleCheck(vaddr, paddr);
+                        if (charge_data) {
+                            const bool is_store =
+                                refs[j].type == AccessType::Write;
+                            out.dataCycles +=
+                                caches_.access(paddr, is_store);
+                        }
+                    }
+                }
+                pending += run_end - i;
+                fast_cycles += (run_end - i) * filter_.cycles;
+                if (run_end == refs.size())
+                    break;
+                i = run_end;
             }
         }
+        const VAddr vaddr = refs[i].vaddr;
+        const bool is_store = refs[i].type == AccessType::Write;
         flush();
         AccessResult result = accessImpl(vaddr, is_store);
         out.cycles += result.cycles;

@@ -9,9 +9,9 @@
  * over full entries. That scan loads each entry's whole struct (40-80
  * bytes) to evaluate a predicate that almost always fails on the
  * first compared field. TagLaneSet splits the match-relevant bits
- * into a contiguous `std::uint64_t` lane: the probe loop compares one
- * word per way (branch-light, auto-vectorizable) and only dereferences
- * the payload to *confirm* a candidate.
+ * into a contiguous `std::uint64_t` lane: the probe compares 2-4 ways
+ * per instruction (simd::firstEqual, DESIGN.md section 13) and only
+ * dereferences the payload to *confirm* a candidate.
  *
  * Exactness contract: the tag is a pure function of the fields the
  * design's match predicate reads, so a true match always has equal
@@ -32,6 +32,8 @@
 #include <limits>
 #include <utility>
 #include <vector>
+
+#include "common/simd.hh"
 
 namespace mixtlb::tlb
 {
@@ -66,6 +68,11 @@ class TagLaneSet
     /**
      * First index whose tag equals @p tag and whose payload passes
      * @p confirm; scans on past tag collisions that fail confirm.
+     *
+     * The wide scan (simd::firstEqual) returns the *lowest* matching
+     * index and resumes from i + 1 after a failed confirm, so the
+     * first confirmed index is identical to the scalar
+     * tag-compare-then-confirm loop's.
      */
     // mixcheck: soa-scan
     template <typename Confirm>
@@ -74,8 +81,10 @@ class TagLaneSet
     {
         const std::uint64_t *lane = tags_.data();
         const std::size_t n = tags_.size();
-        for (std::size_t i = 0; i < n; ++i) {
-            if (lane[i] == tag && confirm(payloads_[i]))
+        simd::prefetchRead(payloads_.data());
+        for (std::size_t i = simd::firstEqual(lane, n, tag); i != npos;
+             i = simd::firstEqual(lane, n, tag, i + 1)) {
+            if (confirm(payloads_[i]))
                 return i;
         }
         return npos;
@@ -95,12 +104,11 @@ class TagLaneSet
     {
         const std::uint64_t *lane = tags_.data();
         const std::size_t n = tags_.size();
-        for (std::size_t i = 0; i < n; ++i) {
-            const std::uint64_t t = lane[i];
-            bool any = false;
-            for (unsigned c = 0; c < ncands; ++c)
-                any |= t == cands[c];
-            if (any && confirm(payloads_[i]))
+        simd::prefetchRead(payloads_.data());
+        for (std::size_t i = simd::firstEqualAny(lane, n, cands, ncands);
+             i != npos;
+             i = simd::firstEqualAny(lane, n, cands, ncands, i + 1)) {
+            if (confirm(payloads_[i]))
                 return i;
         }
         return npos;

@@ -1,0 +1,20 @@
+#ifndef MIXTLB_COMMON_SIMD_HH
+#define MIXTLB_COMMON_SIMD_HH
+
+#include <immintrin.h>
+
+namespace fx
+{
+
+// The sanctioned kernel home: raw intrinsics in src/common/simd.hh
+// must NOT fire the simd rule.
+inline unsigned
+firstEqualMask(const long long *lane)
+{
+    __m128i v = _mm_loadu_si128((const __m128i *)lane);
+    return (unsigned)_mm_movemask_epi8(v);
+}
+
+} // namespace fx
+
+#endif // MIXTLB_COMMON_SIMD_HH

@@ -17,4 +17,11 @@ reasonless(unsigned n)
     return 2 << n;
 }
 
+unsigned
+vecok(const long long *lane)
+{
+    // mixcheck: allow(simd) -- fixture: reasoned intrinsic escape
+    return (unsigned)_mm_movemask_epi8(*(const __m128i *)lane);
+}
+
 } // namespace fx

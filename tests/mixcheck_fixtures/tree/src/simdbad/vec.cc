@@ -1,0 +1,19 @@
+#include <immintrin.h>
+
+namespace fx
+{
+
+unsigned
+probe(const long long *lane)
+{
+    __m128i v = _mm_loadu_si128((const __m128i *)lane);
+    return (unsigned)_mm_movemask_epi8(v);
+}
+
+unsigned long long
+probe_neon(const unsigned long long *lane)
+{
+    return vld1q_u64(lane)[0];
+}
+
+} // namespace fx

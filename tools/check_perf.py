@@ -35,6 +35,14 @@ google-benchmark emits (detected by its "context"/"benchmarks" keys
 rather than a "benchmark" field). Checks every benchmark ran (no
 error_occurred, positive real/cpu time) and none were skipped.
 
+A multiprog report may instead be a *summary* (`"schema": "summary"`):
+per-design geomean refs/sec plus aggregated multi-block counters,
+produced with `--write-summary` from a full report. The committed
+BENCH_multiprog.json baseline uses this form so refreshes stay a
+dozen-line diff instead of thousands; `--baseline` accepts either form
+on either side (full-vs-summary comparisons share the per-design
+geomean samples).
+
 With `--baseline <json>`, samples shared by both reports are compared
 on refs/sec (for google-benchmark reports, 1/cpu_time): a sample below
 0.9x its baseline rate warns, below 0.7x fails. Baselines are the
@@ -43,10 +51,12 @@ machine that measured them — meaningful on a quiet dedicated box, too
 noisy to gate shared CI runners on.
 
 Usage: tools/check_perf.py <BENCH_*.json> [--baseline <BENCH_*.json>]
+                           [--write-summary <out.json>]
        (exit 0 clean, 1 otherwise)
 """
 
 import json
+import math
 import sys
 
 WARN_RATIO = 0.9
@@ -116,6 +126,9 @@ def pair_key(config: dict) -> tuple:
 
 
 def check_multiprog(report: dict) -> None:
+    if report.get("schema") == "summary":
+        check_multiprog_summary(report)
+        return
     results = report.get("results", [])
     if not results:
         fail("report has no results")
@@ -199,6 +212,100 @@ def check_multiprog(report: dict) -> None:
     )
 
 
+def geomean(values: list) -> float:
+    positive = [v for v in values if v > 0]
+    if not positive:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in positive) / len(positive))
+
+
+def summarize_multiprog(report: dict) -> dict:
+    """Collapse a full multiprog report into the summary schema."""
+    designs = {}
+    for record in report.get("results", []):
+        config = record.get("config", {})
+        entry = designs.setdefault(
+            config.get("design", "?"),
+            {
+                "points": 0,
+                "timed_points": 0,
+                "rates": [],
+                "context_switches": 0,
+                "full_flushes": 0,
+                "flush_miss_rates": [],
+                "asid_miss_rates": [],
+            },
+        )
+        entry["points"] += 1
+        timing = record.get("timing")
+        if timing and timing.get("refs_per_sec", 0) > 0:
+            entry["timed_points"] += 1
+            entry["rates"].append(timing["refs_per_sec"])
+        multi = record.get("multi", {})
+        entry["context_switches"] += multi.get("context_switches", 0)
+        entry["full_flushes"] += multi.get("full_flushes", 0)
+        rate = record.get("metrics", {}).get("l1_miss_rate")
+        if rate is not None:
+            key = ("flush_miss_rates"
+                   if config.get("policy") == "full-flush"
+                   else "asid_miss_rates")
+            entry[key].append(rate)
+
+    out = {}
+    for design, entry in sorted(designs.items()):
+        flush_rates = entry.pop("flush_miss_rates")
+        asid_rates = entry.pop("asid_miss_rates")
+        rates = entry.pop("rates")
+        entry["geomean_refs_per_sec"] = geomean(rates)
+        entry["mean_l1_miss_rate_flush"] = (
+            sum(flush_rates) / len(flush_rates) if flush_rates else 0.0
+        )
+        entry["mean_l1_miss_rate_asid"] = (
+            sum(asid_rates) / len(asid_rates) if asid_rates else 0.0
+        )
+        out[design] = entry
+    return {
+        "benchmark": "multiprog",
+        "schema": "summary",
+        "source_points": len(report.get("results", [])),
+        "designs": out,
+    }
+
+
+def check_multiprog_summary(report: dict) -> None:
+    designs = report.get("designs", {})
+    missing = [d for d in EXPECTED_DESIGNS if d not in designs]
+    if missing:
+        fail(f"summary missing designs: {', '.join(missing)}")
+    for design, entry in designs.items():
+        if entry.get("points", 0) <= 0:
+            fail(f"{design}: summary has no points")
+        if entry.get("timed_points", 0) > 0 and \
+                entry.get("geomean_refs_per_sec", 0) <= 0:
+            fail(f"{design}: timed points but no geomean rate")
+        if entry.get("context_switches", 0) <= 0:
+            fail(f"{design}: no context switches recorded")
+        if entry.get("full_flushes", 0) <= 0:
+            fail(f"{design}: full-flush policy never flushed")
+        flush_mean = entry.get("mean_l1_miss_rate_flush", 0)
+        asid_mean = entry.get("mean_l1_miss_rate_asid", 0)
+        if not asid_mean < flush_mean:
+            fail(
+                f"{design}: mean ASID-tagged L1 miss rate "
+                f"({asid_mean:.6f}) not below full-flush "
+                f"({flush_mean:.6f})"
+            )
+        print(
+            f"check_perf: {design}: mean L1 miss "
+            f"{flush_mean:.4%} (flush) -> {asid_mean:.4%} (asid)"
+        )
+    print(
+        f"check_perf: OK: multiprog summary of "
+        f"{report.get('source_points', 0)} points across "
+        f"{len(designs)} designs"
+    )
+
+
 def check_google_benchmark(report: dict) -> None:
     benchmarks = report.get("benchmarks", [])
     if not benchmarks:
@@ -235,12 +342,26 @@ def rate_samples(report: dict) -> dict:
                     "refs_per_sec", 0
                 )
     elif kind == "multiprog":
-        for record in report.get("results", []):
-            timing = record.get("timing")
-            if timing:
-                rates[record.get("label", "?")] = timing.get(
-                    "refs_per_sec", 0
+        if report.get("schema") == "summary":
+            for design, entry in report.get("designs", {}).items():
+                rates[f"{design}/geomean"] = entry.get(
+                    "geomean_refs_per_sec", 0
                 )
+        else:
+            for record in report.get("results", []):
+                timing = record.get("timing")
+                if timing:
+                    rates[record.get("label", "?")] = timing.get(
+                        "refs_per_sec", 0
+                    )
+            # The per-design geomeans a summary carries, so a full
+            # report can be gated against a summary baseline (and vice
+            # versa) on the shared keys.
+            summary = summarize_multiprog(report)
+            for design, entry in summary["designs"].items():
+                rates[f"{design}/geomean"] = entry[
+                    "geomean_refs_per_sec"
+                ]
     elif kind == "google-benchmark":
         # No refs/sec counter; compare on inverse cpu time per
         # iteration, which scales the same way.
@@ -289,14 +410,22 @@ def check_baseline(report: dict, baseline: dict) -> None:
 def main() -> None:
     argv = sys.argv[1:]
     baseline_path = None
+    summary_path = None
     if "--baseline" in argv:
         at = argv.index("--baseline")
         if at + 1 >= len(argv):
             fail("--baseline requires a path")
         baseline_path = argv[at + 1]
         del argv[at:at + 2]
+    if "--write-summary" in argv:
+        at = argv.index("--write-summary")
+        if at + 1 >= len(argv):
+            fail("--write-summary requires a path")
+        summary_path = argv[at + 1]
+        del argv[at:at + 2]
     if len(argv) != 1:
-        fail("usage: check_perf.py <report.json> [--baseline <json>]")
+        fail("usage: check_perf.py <report.json> [--baseline <json>] "
+             "[--write-summary <out.json>]")
     with open(argv[0], encoding="utf-8") as handle:
         report = json.load(handle)
 
@@ -309,6 +438,14 @@ def main() -> None:
         check_google_benchmark(report)
     else:
         fail(f"unknown benchmark kind {kind!r}")
+
+    if summary_path is not None:
+        if kind != "multiprog" or report.get("schema") == "summary":
+            fail("--write-summary needs a full multiprog report")
+        with open(summary_path, "w", encoding="utf-8") as handle:
+            json.dump(summarize_multiprog(report), handle, indent=2)
+            handle.write("\n")
+        print(f"check_perf: wrote summary to {summary_path}")
 
     if baseline_path is not None:
         with open(baseline_path, encoding="utf-8") as handle:

@@ -17,11 +17,12 @@ import hotpath
 import layering
 import legacy
 import shift
+import simdcheck
 import statdrift
 from source import (RepoTables, SourceFile, apply_suppressions,
                     suppression_findings)
 
-VERSION = "1.0.0"
+VERSION = "1.1.0"
 
 CXX_EXTENSIONS = {".hh", ".cc", ".cpp", ".h"}
 SCAN_DIRS = ("src", "bench", "examples", "tests", "tools")
@@ -71,6 +72,7 @@ def run(root):
                                root))
     for source in sources:
         raw.extend(legacy.check(source))
+        raw.extend(simdcheck.check(source))
 
     kept, suppressed = [], []
     for source in sources:
